@@ -1,0 +1,25 @@
+# Convenience targets for the ppSCAN reproduction.
+
+PYTHON ?= python
+SCALE ?= 0.4
+
+.PHONY: install test bench bench-full examples clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	REPRO_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_SCALE=1.0 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks bench_results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,75 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5."""
+
+from repro.bench.experiments import (
+    ablate_ed_order,
+    ablate_lane_width,
+    ablate_prune_phase,
+    ablate_task_threshold,
+    ablate_two_phase_clustering,
+)
+
+
+def test_ablate_task_threshold(benchmark, save_result):
+    """Granularity trade-off: tiny thresholds explode the task count;
+    huge thresholds destroy load balance.  A mid-range threshold is
+    within 2x of the best simulated time."""
+    result = benchmark.pedantic(ablate_task_threshold, rounds=1, iterations=1)
+    save_result(result)
+    data = result.data
+    thresholds = sorted(data)
+    tasks = [data[t]["tasks"] for t in thresholds]
+    assert tasks == sorted(tasks, reverse=True)
+    times = {t: data[t]["seconds"] for t in thresholds}
+    best = min(times.values())
+    mid = [t for t in thresholds if 256 <= t <= 16384]
+    assert any(times[t] < 2.0 * best for t in mid)
+    # The coarsest threshold loses parallelism: strictly worse than best.
+    assert times[thresholds[-1]] > best
+
+
+def test_ablate_two_phase_clustering(benchmark, save_result):
+    """Phase 1 (no-compsim) unions prune phase-2 CompSims: never more,
+    usually fewer."""
+    result = benchmark.pedantic(
+        ablate_two_phase_clustering, rounds=1, iterations=1
+    )
+    save_result(result)
+    for name, counts in result.data.items():
+        assert counts["two_phase"] <= counts["single_phase"], name
+
+
+def test_ablate_prune_phase(benchmark, save_result):
+    """The similarity-predicate pruning phase never increases CompSims
+    and pays off visibly somewhere."""
+    result = benchmark.pedantic(ablate_prune_phase, rounds=1, iterations=1)
+    save_result(result)
+    wins = 0
+    for key, counts in result.data.items():
+        assert counts["with"] <= counts["without"], key
+        wins += counts["with"] < counts["without"]
+    assert wins >= 1
+
+
+def test_ablate_ed_order(benchmark, save_result):
+    """Paper §4.1: dropping pSCAN's ed-priority ordering changes the
+    workload only marginally — the justification for ppSCAN not keeping
+    it."""
+    result = benchmark.pedantic(ablate_ed_order, rounds=1, iterations=1)
+    save_result(result)
+    for key, counts in result.data.items():
+        hi = max(counts["ed_order"], counts["static"])
+        lo = max(min(counts["ed_order"], counts["static"]), 1)
+        assert hi / lo < 1.6, (key, counts)
+
+
+def test_ablate_lane_width(benchmark, save_result):
+    """Wider vectors need fewer block ops; speedup saturates once lanes
+    exceed typical adjacency-list lengths."""
+    result = benchmark.pedantic(ablate_lane_width, rounds=1, iterations=1)
+    save_result(result)
+    data = result.data
+    lanes = sorted(data)
+    vec_ops = [data[l]["vector_ops"] for l in lanes]
+    # More lanes -> fewer (or equal) vector block operations.
+    assert vec_ops == sorted(vec_ops, reverse=True)
+    assert all(data[l]["speedup"] > 0.7 for l in lanes)

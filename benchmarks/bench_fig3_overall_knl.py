@@ -1,0 +1,48 @@
+"""Figure 3: comparison with existing algorithms on the KNL server.
+
+Shape claims: same ordering as Figure 2 with larger ppSCAN-vs-pSCAN gaps
+(paper: 98-442x in most cases; we demand >=30x in most cells), since KNL's
+256 threads amplify the parallel advantage while pSCAN stays sequential.
+"""
+
+from repro.bench.experiments import DEFAULT_EPS, fig3_overall_knl
+
+
+def test_fig3(benchmark, save_result):
+    result = benchmark.pedantic(fig3_overall_knl, rounds=1, iterations=1)
+    save_result(result)
+    data = result.data
+
+    ratios = []
+    for name, series in data.items():
+        for i, eps in enumerate(DEFAULT_EPS):
+            pp = series["ppSCAN"][i]
+            others = [
+                series[a][i]
+                for a in ("SCAN", "pSCAN", "anySCAN", "SCAN-XP")
+                if series[a][i] is not None
+            ]
+            assert pp < min(others), (name, eps)
+            ratios.append(series["pSCAN"][i] / pp)
+        if name in ("webbase", "friendster"):
+            assert all(v is None for v in series["anySCAN"])
+
+    big = sum(1 for r in ratios if r >= 30)
+    assert big >= len(ratios) * 0.5, sorted(ratios)
+
+
+def test_knl_gap_exceeds_cpu_gap(benchmark, save_result):
+    """ppSCAN/pSCAN gap grows from CPU to KNL (more threads)."""
+    from repro.bench.experiments import fig2_overall_cpu
+
+    cpu = benchmark.pedantic(fig2_overall_cpu, rounds=1, iterations=1).data
+    knl = fig3_overall_knl().data
+    improvements = 0
+    cells = 0
+    for name in cpu:
+        for i in range(len(DEFAULT_EPS)):
+            cpu_ratio = cpu[name]["pSCAN"][i] / cpu[name]["ppSCAN"][i]
+            knl_ratio = knl[name]["pSCAN"][i] / knl[name]["ppSCAN"][i]
+            cells += 1
+            improvements += knl_ratio > cpu_ratio
+    assert improvements >= cells * 0.7

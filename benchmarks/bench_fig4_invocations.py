@@ -1,0 +1,28 @@
+"""Figure 4: normalized set-intersection invocation counts.
+
+Shape claims: ppSCAN and pSCAN conduct a similar amount of CompSim work
+(the paper's headline observation — parallelization does not sacrifice
+pruning), and both stay well below the exhaustive 1.0 invocations/edge.
+"""
+
+from repro.bench.experiments import DEFAULT_EPS, fig4_invocations
+
+
+def test_fig4(benchmark, save_result):
+    result = benchmark.pedantic(fig4_invocations, rounds=1, iterations=1)
+    save_result(result)
+
+    for name, series in result.data.items():
+        for i, eps in enumerate(DEFAULT_EPS):
+            pscan_n = series["pSCAN"][i]
+            ppscan_n = series["ppSCAN"][i]
+            # Normalized counts bounded by 1 (Theorem 4.1 for ppSCAN).
+            assert 0.0 <= ppscan_n <= 1.0
+            assert 0.0 <= pscan_n <= 1.0
+            # "Similar amount of work": within 2x of each other, or both
+            # negligible.
+            if max(pscan_n, ppscan_n) > 0.02:
+                ratio = max(pscan_n, ppscan_n) / max(
+                    min(pscan_n, ppscan_n), 1e-9
+                )
+                assert ratio < 2.5, (name, eps, pscan_n, ppscan_n)

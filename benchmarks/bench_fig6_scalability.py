@@ -1,0 +1,51 @@
+"""Figure 6: ppSCAN stage scalability on KNL, ε=0.2, µ=5.
+
+Shape claims: every stage group speeds up with threads; core checking +
+consolidating dominates the runtime on the social graphs (an order of
+magnitude over pruning, two over clustering); total self-speedup at 256
+threads is large on compute-heavy graphs and smallest on the
+memory-bound webbase.
+"""
+
+from repro.bench.experiments import DEFAULT_THREADS, fig6_scalability
+
+
+def test_fig6(benchmark, save_result):
+    result = benchmark.pedantic(fig6_scalability, rounds=1, iterations=1)
+    save_result(result)
+    data = result.data
+
+    speedup_256 = {}
+    for name, series in data.items():
+        total = series["The Whole ppSCAN"]
+        # Monotone-ish decrease with threads (allow small wobbles).
+        assert total[DEFAULT_THREADS.index(16)] < total[0]
+        assert total[-1] < total[0] / 5, (name, total)
+        speedup_256[name] = total[0] / total[-1]
+
+        check = series["2. Core Checking and Consolidating"]
+        assert check[-1] < check[0] / 5, name
+
+        # Core checking dominates on the heavy-tailed social graphs.
+        if name in ("orkut", "twitter", "friendster"):
+            assert check[0] > series["1. Similarity Pruning"][0]
+            assert check[0] > series["3. Core Clustering"][0]
+            assert check[0] > series["4. Non-Core Clustering"][0]
+
+    # webbase saturates lowest (paper: 28x vs 72-131x elsewhere).
+    assert speedup_256["webbase"] <= min(
+        speedup_256[n] * 1.1 for n in ("orkut", "twitter", "friendster")
+    ), speedup_256
+
+
+def test_fig6_clustering_overhead_grows_with_threads(benchmark, save_result):
+    """§6.3: lock-free clustering overhead rises with the thread count —
+    clustering speedup trails core-checking speedup at 256 threads."""
+    data = benchmark.pedantic(
+        fig6_scalability, kwargs={"datasets": ("orkut",)}, rounds=1, iterations=1
+    ).data["orkut"]
+    check = data["2. Core Checking and Consolidating"]
+    cluster = data["3. Core Clustering"]
+    check_speedup = check[0] / check[-1]
+    cluster_speedup = cluster[0] / max(cluster[-1], 1e-12)
+    assert cluster_speedup < check_speedup

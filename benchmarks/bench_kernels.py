@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the hot kernels (real wall time on this host).
+
+These complement the figure benches: absolute Python-substrate timings
+for the set-intersection kernels and one end-to-end ppSCAN clustering.
+"""
+
+import pytest
+
+from repro.core import ppscan, pscan
+from repro.graph.generators import real_world_standin
+from repro.intersect import (
+    merge_compsim,
+    merge_count,
+    pivot_vectorized_compsim,
+)
+from repro.types import ScanParams
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    a = list(range(0, 3000, 2))
+    b = list(range(0, 3000, 3))
+    return a, b
+
+
+def test_merge_count_kernel(benchmark, arrays):
+    a, b = arrays
+    assert benchmark(merge_count, a, b) == 500
+
+
+def test_merge_compsim_kernel(benchmark, arrays):
+    a, b = arrays
+    benchmark(merge_compsim, a, b, 400)
+
+
+def test_pivot_vectorized_kernel(benchmark, arrays):
+    a, b = arrays
+    benchmark(pivot_vectorized_compsim, a, b, 400, 16)
+
+
+def test_vectorized_skew_advantage(benchmark):
+    """The pivot walk shines on skewed pairs (hub vs small neighbor)."""
+    hub = list(range(0, 40000, 2))
+    small = list(range(37000, 37030))
+    benchmark(pivot_vectorized_compsim, hub, small, 10, 16)
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return real_world_standin("twitter", scale=0.1)
+
+
+def test_ppscan_end_to_end(benchmark, small_graph):
+    params = ScanParams(0.4, 5)
+    result = benchmark.pedantic(
+        ppscan, args=(small_graph, params), rounds=3, iterations=1
+    )
+    assert result.num_vertices == small_graph.num_vertices
+
+
+def test_pscan_end_to_end(benchmark, small_graph):
+    params = ScanParams(0.4, 5)
+    benchmark.pedantic(pscan, args=(small_graph, params), rounds=3, iterations=1)

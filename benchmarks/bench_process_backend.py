@@ -1,0 +1,51 @@
+"""Real wall-clock behaviour of the fork-based process backend.
+
+On this substrate the interesting guarantees are correctness (identical
+clustering under bulk-synchronous execution) and bounded overhead; real
+speedup appears only on multi-core hosts, so no speedup is asserted —
+the measured times are recorded for inspection.
+"""
+
+import os
+import time
+
+from repro.core import assert_same_clustering, ppscan
+from repro.graph.generators import real_world_standin
+from repro.parallel import ProcessBackend
+from repro.types import ScanParams
+
+
+def test_process_backend_wall_time(benchmark, save_result):
+    graph = real_world_standin("twitter", scale=0.2)
+    params = ScanParams(0.3, 5)
+
+    serial_result = ppscan(graph, params)
+
+    def run_parallel():
+        return ppscan(graph, params, backend=ProcessBackend(workers=2))
+
+    parallel_result = benchmark.pedantic(run_parallel, rounds=2, iterations=1)
+    assert_same_clustering(serial_result, parallel_result)
+
+    from repro.bench.experiments import ExperimentResult
+    from repro.bench.reporting import format_table
+
+    text = format_table(
+        f"process backend (host cores: {os.cpu_count()})",
+        ["mode", "wall"],
+        [
+            ["serial", f"{serial_result.record.wall_seconds:.3f}s"],
+            ["2 workers", f"{parallel_result.record.wall_seconds:.3f}s"],
+        ],
+    )
+    save_result(
+        ExperimentResult(
+            "process_backend",
+            "Process backend wall time",
+            text,
+            {
+                "serial": serial_result.record.wall_seconds,
+                "parallel": parallel_result.record.wall_seconds,
+            },
+        )
+    )

@@ -1,0 +1,27 @@
+"""Table 1: real-world stand-in graph statistics."""
+
+from repro.bench.experiments import table1_real_graphs
+
+
+def test_table1(benchmark, save_result):
+    result = benchmark.pedantic(table1_real_graphs, rounds=1, iterations=1)
+    save_result(result)
+    rows = {r.name: r for r in result.data["rows"]}
+
+    # Table 1 shape: orkut has the highest average degree; webbase the
+    # lowest; twitter has the most extreme hub relative to its mean;
+    # friendster is the largest graph with bounded hubs.
+    assert rows["orkut"].average_degree == max(
+        r.average_degree for r in rows.values()
+    )
+    assert rows["webbase"].average_degree == min(
+        r.average_degree for r in rows.values()
+    )
+    assert rows["friendster"].num_edges == max(
+        r.num_edges for r in rows.values()
+    )
+    tw = rows["twitter"]
+    fr = rows["friendster"]
+    assert (
+        tw.max_degree / tw.average_degree > fr.max_degree / fr.average_degree
+    )

@@ -1,0 +1,18 @@
+"""Table 2: synthetic ROLL graph statistics (equal |E|, varying degree)."""
+
+from repro.bench.experiments import table2_roll_graphs
+
+
+def test_table2(benchmark, save_result):
+    result = benchmark.pedantic(table2_roll_graphs, rounds=1, iterations=1)
+    save_result(result)
+    rows = result.data["rows"]
+
+    # Equal edge budget across the four graphs (Table 2: all ~1e9 at
+    # paper scale), while average degree rises and |V| falls.
+    edges = [r.num_edges for r in rows]
+    assert max(edges) <= 1.3 * min(edges)
+    degrees = [r.average_degree for r in rows]
+    assert degrees == sorted(degrees)
+    vertices = [r.num_vertices for r in rows]
+    assert vertices == sorted(vertices, reverse=True)

@@ -1,0 +1,64 @@
+"""Shared fixtures for the paper-figure benchmarks.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper: it runs the
+experiment (work records + machine-model pricing), writes the rendered
+table under ``bench_results/``, prints it, and asserts the paper's *shape*
+claims (orderings, trends, crossovers) — not absolute numbers.
+
+Scale: set ``REPRO_SCALE`` (default 0.4) to grow/shrink every evaluation
+graph.  Run caches are shared across benches within one pytest session.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result) -> None:
+        path = RESULTS_DIR / f"{result.exp_id}.txt"
+        path.write_text(result.text + "\n")
+        json_path = RESULTS_DIR / f"{result.exp_id}.json"
+        try:
+            json_path.write_text(
+                json.dumps(_jsonable(result.data), indent=1, sort_keys=True)
+            )
+        except TypeError:
+            pass  # non-serializable payloads keep the .txt only
+        print(f"\n{result.text}\n[saved to {path}]", file=sys.stderr)
+
+    return _save
+
+
+def _jsonable(obj):
+    """Best-effort conversion of experiment data to JSON-safe values."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if hasattr(obj, "item"):
+        return obj.item()
+    if hasattr(obj, "__dict__") and not isinstance(obj, type):
+        return {
+            k: _jsonable(v)
+            for k, v in vars(obj).items()
+            if not k.startswith("_")
+        }
+    return obj
+
+
+def monotone_fraction(values) -> float:
+    """Fraction of adjacent pairs that are non-increasing (trend check)."""
+    pairs = list(zip(values, values[1:]))
+    if not pairs:
+        return 1.0
+    return sum(1 for a, b in pairs if b <= a * 1.05) / len(pairs)

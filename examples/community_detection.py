@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Community detection on a planted-partition graph.
+
+The paper motivates structural clustering with applications (advertising,
+epidemiology) that need exact communities *and* the hub/outlier split.
+This example plants ground-truth communities, sweeps ε to find the best
+recovery, and reports the adjusted Rand index plus the hubs ppSCAN
+identifies between communities.
+
+Run:  python examples/community_detection.py
+"""
+
+import numpy as np
+
+from repro import CORE, HUB, OUTLIER, ScanParams, ppscan
+from repro.graph.generators import planted_partition
+from repro.quality import adjusted_rand_index, primary_labels
+
+NUM_BLOCKS = 6
+BLOCK_SIZE = 40
+P_IN, P_OUT = 0.45, 0.01
+
+graph, truth = planted_partition(
+    NUM_BLOCKS, BLOCK_SIZE, p_in=P_IN, p_out=P_OUT, seed=11
+)
+print(
+    f"planted-partition graph: |V|={graph.num_vertices}, "
+    f"|E|={graph.num_edges}, {NUM_BLOCKS} blocks of {BLOCK_SIZE}"
+)
+print()
+
+print("eps sweep (mu=4):")
+print(f"{'eps':>5}  {'clusters':>8}  {'ARI':>6}  {'clustered':>9}")
+best_eps, best_ari = None, -1.0
+for eps in (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8):
+    result = ppscan(graph, ScanParams(eps=eps, mu=4))
+    labels = primary_labels(result)
+    clustered = int(np.count_nonzero(labels >= 0))
+    # Score recovery on the clustered vertices only (noise excluded).
+    mask = labels >= 0
+    ari = adjusted_rand_index(truth[mask].tolist(), labels[mask].tolist())
+    print(f"{eps:>5}  {result.num_clusters:>8}  {ari:>6.3f}  {clustered:>9}")
+    if ari > best_ari and result.num_clusters >= 2:
+        best_eps, best_ari = eps, ari
+
+print()
+print(f"best recovery at eps={best_eps} (ARI={best_ari:.3f})")
+result = ppscan(graph, ScanParams(eps=best_eps, mu=4))
+classified = result.classify(graph)
+hubs = np.flatnonzero(classified == HUB)
+outliers = np.flatnonzero(classified == OUTLIER)
+print(
+    f"cores={int(np.count_nonzero(classified == CORE))}, "
+    f"hubs={hubs.size}, outliers={outliers.size}"
+)
+if hubs.size:
+    member = result.membership()
+    v = int(hubs[0])
+    bridged = sorted({c for w in graph.neighbors(v) for c in member[int(w)]})
+    print(f"example hub: vertex {v} bridges clusters {bridged}")

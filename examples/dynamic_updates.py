@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Dynamic graphs: incremental index maintenance vs. reclustering.
+
+A monitoring scenario: the network changes (edges appear and disappear)
+and an analyst wants up-to-date clusters after every batch of updates.
+Two strategies are compared on the same update stream:
+
+* recluster from scratch with ppSCAN after each batch;
+* maintain a DynamicGSIndex incrementally (O(d(u)+d(v)) repair per
+  update) and query it.
+
+Both stay exact at every checkpoint (asserted), and the index's
+maintenance counter shows how little work an update really needs.
+
+Run:  python examples/dynamic_updates.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import ScanParams, assert_same_clustering, ppscan
+from repro.core import DynamicGSIndex
+from repro.graph import DynamicGraph
+from repro.graph.generators import planted_partition
+
+rng = np.random.default_rng(7)
+
+base, _ = planted_partition(8, 40, p_in=0.4, p_out=0.01, seed=7)
+dyn = DynamicGraph.from_csr(base)
+params = ScanParams(eps=0.4, mu=3)
+
+t = time.perf_counter()
+index = DynamicGSIndex(dyn)
+print(
+    f"initial graph: |V|={dyn.num_vertices}, |E|={dyn.num_edges}; "
+    f"index built in {time.perf_counter() - t:.2f}s"
+)
+print()
+
+n = dyn.num_vertices
+print(f"{'batch':>5}  {'updates':>7}  {'maint ops':>9}  "
+      f"{'query':>8}  {'recluster':>9}  {'clusters':>8}")
+for batch in range(5):
+    index.maintenance_ops = 0
+    applied = 0
+    while applied < 60:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u == v:
+            continue
+        if rng.random() < 0.55:
+            applied += index.insert_edge(u, v)
+        else:
+            applied += index.remove_edge(u, v)
+
+    t = time.perf_counter()
+    from_index = index.query(params)
+    query_time = time.perf_counter() - t
+
+    t = time.perf_counter()
+    from_scratch = ppscan(dyn.snapshot(), params)
+    recluster_time = time.perf_counter() - t
+
+    assert_same_clustering(from_scratch, from_index)
+    print(
+        f"{batch:>5}  {applied:>7}  {index.maintenance_ops:>9}  "
+        f"{query_time * 1e3:>6.0f}ms  {recluster_time * 1e3:>7.0f}ms  "
+        f"{from_index.num_clusters:>8}"
+    )
+
+print()
+print("every checkpoint: incremental index == full recluster (exact).")

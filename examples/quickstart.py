@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Quickstart: cluster a small graph with ppSCAN and read the output.
+
+Builds the classic two-triangle-plus-bridge graph, runs ppSCAN, and shows
+roles (core / non-core / hub / outlier), clusters, and the run record.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ScanParams, from_edges, ppscan, role_name
+
+# Two dense triangles {0,1,2} and {3,4,5} joined through vertex 2-3 edge,
+# plus a pendant vertex 6 hanging off vertex 5.
+graph = from_edges(
+    [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (5, 6)]
+)
+
+params = ScanParams(eps=0.6, mu=2)
+result = ppscan(graph, params)
+
+print(result.summary())
+print()
+
+print("clusters (cores + attached non-cores):")
+for cluster_id, members in result.clusters().items():
+    print(f"  cluster {cluster_id}: vertices {members.tolist()}")
+print()
+
+print("per-vertex classification:")
+for v, role in enumerate(result.classify(graph)):
+    print(f"  vertex {v}: {role_name(int(role))}")
+print()
+
+record = result.record
+print(f"CompSim invocations: {record.compsim_invocations}")
+print(f"wall time: {record.wall_seconds * 1e3:.2f} ms across stages:")
+for stage in record.stages:
+    print(f"  {stage.name:<30} {stage.num_tasks:>3} tasks")

@@ -1,0 +1,30 @@
+"""Benchmark harness: dataset registry, experiments, reporting."""
+
+from .datasets import (
+    EVAL_DATASETS,
+    PAPER_GRAPH_SIZES,
+    ROLL_DEGREES,
+    bench_scale,
+    clear_caches,
+    roll,
+    run_algorithm,
+    standin,
+)
+from .reporting import format_seconds, format_series, format_table
+from .experiments import EXPERIMENTS, ExperimentResult
+
+__all__ = [
+    "EVAL_DATASETS",
+    "PAPER_GRAPH_SIZES",
+    "ROLL_DEGREES",
+    "bench_scale",
+    "clear_caches",
+    "roll",
+    "run_algorithm",
+    "standin",
+    "format_seconds",
+    "format_series",
+    "format_table",
+    "EXPERIMENTS",
+    "ExperimentResult",
+]

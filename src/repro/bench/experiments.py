@@ -1,0 +1,846 @@
+"""One experiment per paper table/figure (and per DESIGN.md ablation).
+
+Every function returns an :class:`ExperimentResult` whose ``text`` is the
+paper-shaped table and whose ``data`` holds the raw numbers the benchmark
+assertions check.  Simulated seconds come from pricing machine-independent
+work records on the documented CPU/KNL machine models; counts (Figure 4)
+are direct measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.anyscan import estimated_memory_bytes
+from ..core.ppscan import PPSCAN_STAGES
+from ..graph.stats import format_stats_table, graph_stats
+from ..metrics.records import RunRecord, TaskCost
+from ..parallel.machine import CPU_SERVER, KNL_SERVER, MachineSpec
+from ..types import ScanParams
+from .datasets import (
+    EVAL_DATASETS,
+    PAPER_GRAPH_SIZES,
+    ROLL_DEGREES,
+    roll,
+    run_algorithm,
+    standin,
+)
+from .reporting import format_seconds, format_series, format_table
+
+__all__ = ["ExperimentResult", "EXPERIMENTS"] + [
+    name
+    for name in (
+        "table1_real_graphs",
+        "table2_roll_graphs",
+        "fig1_breakdown",
+        "fig2_overall_cpu",
+        "fig3_overall_knl",
+        "fig4_invocations",
+        "fig5_vectorization",
+        "fig6_scalability",
+        "fig7_robustness",
+        "fig8_roll",
+        "kernel_design_space",
+        "related_baselines",
+        "ablate_task_threshold",
+        "ablate_two_phase_clustering",
+        "ablate_prune_phase",
+        "ablate_ed_order",
+        "ablate_lane_width",
+    )
+]
+
+DEFAULT_EPS = (0.2, 0.4, 0.6, 0.8)
+DEFAULT_MU = 5
+#: The paper's 64 GB anySCAN memory budget.
+MEMORY_LIMIT_64GB = 64 * 10**9
+
+
+@dataclass
+class ExperimentResult:
+    exp_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+# ---------------------------------------------------------------------------
+# Tables 1 and 2
+# ---------------------------------------------------------------------------
+
+
+def table1_real_graphs(scale: float | None = None) -> ExperimentResult:
+    """Table 1: real-world graph statistics (stand-in scale)."""
+    rows = [
+        graph_stats(name, standin(name, scale)) for name in EVAL_DATASETS
+    ]
+    text = format_stats_table(
+        rows, "Table 1: real-world stand-in graph statistics"
+    )
+    return ExperimentResult(
+        "table1", "Real-world graph statistics", text, {"rows": rows}
+    )
+
+
+def table2_roll_graphs(scale: float | None = None) -> ExperimentResult:
+    """Table 2: synthetic ROLL graph statistics (equal |E|, varying d)."""
+    rows = [
+        graph_stats(f"ROLL-d{d}", roll(d, scale)) for d in ROLL_DEGREES
+    ]
+    text = format_stats_table(rows, "Table 2: synthetic ROLL graph statistics")
+    return ExperimentResult(
+        "table2", "Synthetic ROLL graph statistics", text, {"rows": rows}
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: SCAN vs pSCAN time breakdown
+# ---------------------------------------------------------------------------
+
+
+def fig1_breakdown(
+    scale: float | None = None,
+    eps_values: tuple[float, ...] = DEFAULT_EPS,
+    datasets: tuple[str, ...] = ("livejournal", "orkut", "twitter"),
+    machine: MachineSpec = CPU_SERVER,
+) -> ExperimentResult:
+    """Figure 1: per-bucket time breakdown of SCAN and pSCAN, µ = 5.
+
+    Buckets: similarity evaluation / workload reduction / other, priced on
+    the CPU model single-threaded (both algorithms are sequential).
+    """
+    buckets = (
+        "similarity evaluation",
+        "workload reduction computation",
+        "other computation",
+    )
+    rows = []
+    data: dict = {}
+    for name in datasets:
+        graph = standin(name, scale)
+        for algo in ("SCAN", "pSCAN"):
+            for eps in eps_values:
+                params = ScanParams(eps, DEFAULT_MU)
+                record = run_algorithm(algo, name, graph, params).record
+                cells = {}
+                for bucket in buckets:
+                    try:
+                        stage = record.stage(bucket)
+                    except KeyError:
+                        cells[bucket] = 0.0
+                        continue
+                    cells[bucket] = machine.stage_seconds(stage, 1)
+                data[(name, algo, eps)] = cells
+                rows.append(
+                    [name, algo, f"{eps}"]
+                    + [format_seconds(cells[b]) for b in buckets]
+                    + [format_seconds(sum(cells.values()))]
+                )
+    text = format_table(
+        f"Figure 1: time breakdown of SCAN and pSCAN (mu={DEFAULT_MU}, "
+        f"{machine.name})",
+        ["dataset", "algorithm", "eps", *buckets, "total"],
+        rows,
+    )
+    return ExperimentResult("fig1", "SCAN/pSCAN breakdown", text, data)
+
+
+# ---------------------------------------------------------------------------
+# Figures 2 and 3: overall comparison on CPU and KNL
+# ---------------------------------------------------------------------------
+
+
+def _overall(
+    machine: MachineSpec,
+    threads: int,
+    scale: float | None,
+    eps_values: tuple[float, ...],
+    datasets: tuple[str, ...],
+) -> tuple[str, dict]:
+    algos = ("SCAN", "pSCAN", "anySCAN", "SCAN-XP", "ppSCAN")
+    data: dict = {}
+    blocks = []
+    for name in datasets:
+        graph = standin(name, scale)
+        # anySCAN ran out of memory on the paper's 64 GB server for the
+        # paper-scale webbase/friendster; reproduce the RE entries.
+        paper_v, paper_e = PAPER_GRAPH_SIZES[name]
+        anyscan_re = estimated_memory_bytes(paper_v, paper_e) > MEMORY_LIMIT_64GB
+        series: dict[str, list] = {a: [] for a in algos}
+        # SCAN and SCAN-XP workloads are ε-independent (Theorem 3.4 /
+        # exhaustive computation): run once per dataset and reuse.
+        fixed_eps = eps_values[0]
+        for eps in eps_values:
+            params = ScanParams(eps, DEFAULT_MU)
+            for algo in algos:
+                if algo == "anySCAN" and anyscan_re:
+                    series[algo].append(None)
+                    continue
+                kwargs = {}
+                if algo in ("SCAN-XP", "ppSCAN"):
+                    kwargs["lanes"] = machine.lanes
+                run_params = (
+                    ScanParams(fixed_eps, DEFAULT_MU)
+                    if algo in ("SCAN", "SCAN-XP")
+                    else params
+                )
+                record = run_algorithm(
+                    algo, name, graph, run_params, **kwargs
+                ).record
+                t = 1 if algo in ("SCAN", "pSCAN") else threads
+                series[algo].append(machine.run_seconds(record, t))
+        data[name] = series
+        blocks.append(
+            format_series(
+                f"dataset = {name}"
+                + (" (anySCAN: RE at paper scale, >64 GB)" if anyscan_re else ""),
+                "eps",
+                eps_values,
+                series,
+                fmt=format_seconds,
+            )
+        )
+    header = (
+        f"Overall comparison on {machine.name}, mu={DEFAULT_MU} "
+        f"(SCAN/pSCAN sequential; parallel algorithms at {threads} threads)"
+    )
+    return header + "\n\n" + "\n\n".join(blocks), data
+
+
+def fig2_overall_cpu(
+    scale: float | None = None,
+    eps_values: tuple[float, ...] = DEFAULT_EPS,
+    datasets: tuple[str, ...] = EVAL_DATASETS,
+) -> ExperimentResult:
+    """Figure 2: comparison with existing algorithms on the CPU server."""
+    text, data = _overall(CPU_SERVER, 64, scale, eps_values, datasets)
+    return ExperimentResult("fig2", "Overall comparison (CPU)", text, data)
+
+
+def fig3_overall_knl(
+    scale: float | None = None,
+    eps_values: tuple[float, ...] = DEFAULT_EPS,
+    datasets: tuple[str, ...] = EVAL_DATASETS,
+) -> ExperimentResult:
+    """Figure 3: comparison with existing algorithms on the KNL server."""
+    text, data = _overall(KNL_SERVER, 256, scale, eps_values, datasets)
+    return ExperimentResult("fig3", "Overall comparison (KNL)", text, data)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: set-intersection invocation reduction
+# ---------------------------------------------------------------------------
+
+
+def fig4_invocations(
+    scale: float | None = None,
+    eps_values: tuple[float, ...] = DEFAULT_EPS,
+    datasets: tuple[str, ...] = EVAL_DATASETS,
+) -> ExperimentResult:
+    """Figure 4: normalized CompSim invocation count, pSCAN vs ppSCAN."""
+    data: dict = {}
+    blocks = []
+    for name in datasets:
+        graph = standin(name, scale)
+        m = graph.num_edges
+        series: dict[str, list] = {"pSCAN": [], "ppSCAN": []}
+        for eps in eps_values:
+            params = ScanParams(eps, DEFAULT_MU)
+            for algo in series:
+                result = run_algorithm(algo, name, graph, params)
+                series[algo].append(result.record.compsim_invocations / m)
+        data[name] = series
+        blocks.append(
+            format_series(
+                f"dataset = {name} (|E| = {m:,})",
+                "eps",
+                eps_values,
+                series,
+                fmt=lambda v: f"{v:.3f}",
+            )
+        )
+    text = (
+        f"Figure 4: normalized set-intersection invocations "
+        f"(invocations / |E|), mu={DEFAULT_MU}\n\n" + "\n\n".join(blocks)
+    )
+    return ExperimentResult("fig4", "Invocation reduction", text, data)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: vectorization speedup of core checking
+# ---------------------------------------------------------------------------
+
+
+def _core_check_seconds(record: RunRecord, machine: MachineSpec, threads: int) -> float:
+    return machine.stage_seconds(
+        record.stage("core checking"), threads
+    ) + machine.stage_seconds(record.stage("core consolidating"), threads)
+
+
+def fig5_vectorization(
+    scale: float | None = None,
+    eps_values: tuple[float, ...] = DEFAULT_EPS,
+    datasets: tuple[str, ...] = EVAL_DATASETS,
+) -> ExperimentResult:
+    """Figure 5: core-checking speedup of the pivot-vectorized kernel over
+    ppSCAN-NO (scalar merge), on the CPU (AVX2) and KNL (AVX512) models."""
+    data: dict = {}
+    blocks = []
+    for name in datasets:
+        graph = standin(name, scale)
+        series: dict[str, list] = {"CPU (AVX2)": [], "KNL (AVX512)": []}
+        for eps in eps_values:
+            params = ScanParams(eps, DEFAULT_MU)
+            rec_no = run_algorithm(
+                "ppSCAN", name, graph, params, kernel="merge"
+            ).record
+            for label, machine, threads in (
+                ("CPU (AVX2)", CPU_SERVER, 64),
+                ("KNL (AVX512)", KNL_SERVER, 256),
+            ):
+                rec_vec = run_algorithm(
+                    "ppSCAN", name, graph, params, lanes=machine.lanes
+                ).record
+                series[label].append(
+                    _core_check_seconds(rec_no, machine, threads)
+                    / _core_check_seconds(rec_vec, machine, threads)
+                )
+        data[name] = series
+        blocks.append(
+            format_series(
+                f"dataset = {name}",
+                "eps",
+                eps_values,
+                series,
+                fmt=lambda v: f"{v:.2f}x",
+            )
+        )
+    text = (
+        f"Figure 5: core-checking speedup of ppSCAN over ppSCAN-NO "
+        f"(pivot-vectorized vs scalar merge), mu={DEFAULT_MU}\n\n"
+        + "\n\n".join(blocks)
+    )
+    return ExperimentResult("fig5", "Vectorization speedup", text, data)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: scalability with thread count (KNL)
+# ---------------------------------------------------------------------------
+
+#: Mapping from the paper's four Figure-6 stage groups to our phase names.
+FIG6_GROUPS: dict[str, tuple[str, ...]] = {
+    "1. Similarity Pruning": ("similarity pruning",),
+    "2. Core Checking and Consolidating": (
+        "core checking",
+        "core consolidating",
+    ),
+    "3. Core Clustering": (
+        "core clustering (no compsim)",
+        "core clustering (compsim)",
+        "cluster id init",
+    ),
+    "4. Non-Core Clustering": ("non-core clustering",),
+}
+
+DEFAULT_THREADS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def fig6_scalability(
+    scale: float | None = None,
+    datasets: tuple[str, ...] = EVAL_DATASETS,
+    threads: tuple[int, ...] = DEFAULT_THREADS,
+    eps: float = 0.2,
+) -> ExperimentResult:
+    """Figure 6: per-stage runtime of ppSCAN vs thread count on KNL."""
+    machine = KNL_SERVER
+    data: dict = {}
+    blocks = []
+    for name in datasets:
+        graph = standin(name, scale)
+        params = ScanParams(eps, DEFAULT_MU)
+        record = run_algorithm(
+            "ppSCAN", name, graph, params, lanes=machine.lanes
+        ).record
+        series: dict[str, list] = {g: [] for g in FIG6_GROUPS}
+        series["The Whole ppSCAN"] = []
+        for t in threads:
+            breakdown = machine.stage_breakdown(record, t)
+            total = 0.0
+            for group, stage_names in FIG6_GROUPS.items():
+                sec = sum(breakdown[s] for s in stage_names)
+                series[group].append(sec)
+                total += sec
+            series["The Whole ppSCAN"].append(total)
+        data[name] = series
+        blocks.append(
+            format_series(
+                f"dataset = {name}",
+                "threads",
+                threads,
+                series,
+                fmt=format_seconds,
+            )
+        )
+    text = (
+        f"Figure 6: ppSCAN stage scalability on {machine.name}, "
+        f"eps={eps}, mu={DEFAULT_MU}\n\n" + "\n\n".join(blocks)
+    )
+    return ExperimentResult("fig6", "Thread scalability", text, data)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: robustness to mu and eps
+# ---------------------------------------------------------------------------
+
+
+def fig7_robustness(
+    scale: float | None = None,
+    eps_values: tuple[float, ...] = DEFAULT_EPS,
+    mu_values: tuple[int, ...] = (2, 5, 10, 15),
+    datasets: tuple[str, ...] = EVAL_DATASETS,
+) -> ExperimentResult:
+    """Figure 7: ppSCAN runtime for µ in {2, 5, 10, 15} on KNL."""
+    machine, threads = KNL_SERVER, 256
+    data: dict = {}
+    blocks = []
+    for name in datasets:
+        graph = standin(name, scale)
+        series: dict[str, list] = {f"mu={mu}": [] for mu in mu_values}
+        for eps in eps_values:
+            for mu in mu_values:
+                record = run_algorithm(
+                    "ppSCAN",
+                    name,
+                    graph,
+                    ScanParams(eps, mu),
+                    lanes=machine.lanes,
+                ).record
+                series[f"mu={mu}"].append(machine.run_seconds(record, threads))
+        data[name] = series
+        blocks.append(
+            format_series(
+                f"dataset = {name}",
+                "eps",
+                eps_values,
+                series,
+                fmt=format_seconds,
+            )
+        )
+    text = (
+        f"Figure 7: ppSCAN robustness over mu on {machine.name} "
+        f"({threads} threads)\n\n" + "\n\n".join(blocks)
+    )
+    return ExperimentResult("fig7", "Robustness over mu", text, data)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: ROLL graphs, runtime and self-speedup
+# ---------------------------------------------------------------------------
+
+
+def fig8_roll(
+    scale: float | None = None,
+    eps_values: tuple[float, ...] = DEFAULT_EPS,
+    degrees: tuple[int, ...] = ROLL_DEGREES,
+) -> ExperimentResult:
+    """Figure 8: ppSCAN on ROLL graphs — runtime and self-speedup on both
+    servers, µ = 5."""
+    data: dict = {}
+    blocks = []
+    for machine, threads in ((CPU_SERVER, 64), (KNL_SERVER, 256)):
+        runtime: dict[str, list] = {}
+        speedup: dict[str, list] = {}
+        for d in degrees:
+            graph = roll(d, scale)
+            rt, sp = [], []
+            for eps in eps_values:
+                record = run_algorithm(
+                    "ppSCAN",
+                    f"ROLL-d{d}",
+                    graph,
+                    ScanParams(eps, DEFAULT_MU),
+                    lanes=machine.lanes,
+                ).record
+                t_par = machine.run_seconds(record, threads)
+                rt.append(t_par)
+                sp.append(machine.run_seconds(record, 1) / t_par)
+            runtime[f"ROLL-d{d}"] = rt
+            speedup[f"ROLL-d{d}"] = sp
+        data[machine.name] = {"runtime": runtime, "speedup": speedup}
+        blocks.append(
+            format_series(
+                f"runtime on {machine.name} ({threads} threads)",
+                "eps",
+                eps_values,
+                runtime,
+                fmt=format_seconds,
+            )
+        )
+        blocks.append(
+            format_series(
+                f"self-speedup on {machine.name} ({threads} threads vs 1)",
+                "eps",
+                eps_values,
+                speedup,
+                fmt=lambda v: f"{v:.1f}x",
+            )
+        )
+    text = (
+        f"Figure 8: ppSCAN on 1-budget-edge ROLL graphs, mu={DEFAULT_MU}\n\n"
+        + "\n\n".join(blocks)
+    )
+    return ExperimentResult("fig8", "ROLL robustness", text, data)
+
+
+# ---------------------------------------------------------------------------
+# Ablations (DESIGN.md §5)
+# ---------------------------------------------------------------------------
+
+
+def ablate_task_threshold(
+    scale: float | None = None,
+    thresholds: tuple[int, ...] = (64, 256, 1024, 4096, 16384, 65536),
+    dataset: str = "twitter",
+    eps: float = 0.2,
+) -> ExperimentResult:
+    """Task-granularity trade-off: load balance vs scheduling overhead."""
+    machine, threads = KNL_SERVER, 256
+    graph = standin(dataset, scale)
+    params = ScanParams(eps, DEFAULT_MU)
+    rows = []
+    data: dict = {}
+    for threshold in thresholds:
+        record = run_algorithm(
+            "ppSCAN",
+            dataset,
+            graph,
+            params,
+            lanes=machine.lanes,
+            task_threshold=threshold,
+        ).record
+        tasks = sum(s.num_tasks for s in record.stages)
+        sec = machine.run_seconds(record, threads)
+        data[threshold] = {"tasks": tasks, "seconds": sec}
+        rows.append([threshold, tasks, format_seconds(sec)])
+    text = format_table(
+        f"Ablation: Algorithm-5 degree-sum threshold ({dataset}, eps={eps}, "
+        f"{machine.name} @ {threads} threads)",
+        ["threshold", "total tasks", "simulated time"],
+        rows,
+    )
+    return ExperimentResult("ablate_threshold", "Task threshold", text, data)
+
+
+def ablate_two_phase_clustering(
+    scale: float | None = None,
+    datasets: tuple[str, ...] = ("orkut", "twitter"),
+    eps: float = 0.2,
+) -> ExperimentResult:
+    """Two-phase core clustering vs single phase: CompSim counts saved by
+    clustering known-similar edges before computing unknown ones."""
+    rows = []
+    data: dict = {}
+    for name in datasets:
+        graph = standin(name, scale)
+        params = ScanParams(eps, DEFAULT_MU)
+        two = run_algorithm("ppSCAN", name, graph, params).record
+        one = run_algorithm(
+            "ppSCAN", name, graph, params, two_phase_clustering=False
+        ).record
+
+        def cluster_compsims(record: RunRecord) -> int:
+            return (
+                record.stage("core clustering (compsim)").total().compsims
+            )
+
+        data[name] = {
+            "two_phase": cluster_compsims(two),
+            "single_phase": cluster_compsims(one),
+        }
+        rows.append(
+            [name, cluster_compsims(two), cluster_compsims(one)]
+        )
+    text = format_table(
+        f"Ablation: two-phase core clustering (CompSim invocations in the "
+        f"clustering step, eps={eps}, mu={DEFAULT_MU})",
+        ["dataset", "two-phase", "single-phase"],
+        rows,
+    )
+    return ExperimentResult("ablate_two_phase", "Two-phase clustering", text, data)
+
+
+def ablate_prune_phase(
+    scale: float | None = None,
+    datasets: tuple[str, ...] = ("orkut", "twitter"),
+    eps_values: tuple[float, ...] = (0.2, 0.6),
+) -> ExperimentResult:
+    """Similarity-predicate pruning phase on/off: CompSim invocations."""
+    rows = []
+    data: dict = {}
+    for name in datasets:
+        graph = standin(name, scale)
+        for eps in eps_values:
+            params = ScanParams(eps, DEFAULT_MU)
+            with_prune = run_algorithm("ppSCAN", name, graph, params).record
+            without = run_algorithm(
+                "ppSCAN", name, graph, params, prune_phase=False
+            ).record
+            data[(name, eps)] = {
+                "with": with_prune.compsim_invocations,
+                "without": without.compsim_invocations,
+            }
+            rows.append(
+                [
+                    name,
+                    eps,
+                    with_prune.compsim_invocations,
+                    without.compsim_invocations,
+                ]
+            )
+    text = format_table(
+        "Ablation: similarity-predicate pruning phase (total CompSim "
+        f"invocations, mu={DEFAULT_MU})",
+        ["dataset", "eps", "with prune", "without prune"],
+        rows,
+    )
+    return ExperimentResult("ablate_prune", "Prune phase", text, data)
+
+
+def ablate_ed_order(
+    scale: float | None = None,
+    datasets: tuple[str, ...] = ("orkut", "twitter"),
+    eps_values: tuple[float, ...] = (0.2, 0.6),
+) -> ExperimentResult:
+    """pSCAN's dynamic ed-ordering vs static degree order — the paper's
+    §4.1 claim that dropping the priority queue costs little pruning."""
+    rows = []
+    data: dict = {}
+    for name in datasets:
+        graph = standin(name, scale)
+        for eps in eps_values:
+            params = ScanParams(eps, DEFAULT_MU)
+            ordered = run_algorithm("pSCAN", name, graph, params).record
+            static = run_algorithm(
+                "pSCAN", name, graph, params, use_ed_order=False
+            ).record
+            data[(name, eps)] = {
+                "ed_order": ordered.compsim_invocations,
+                "static": static.compsim_invocations,
+            }
+            rows.append(
+                [
+                    name,
+                    eps,
+                    ordered.compsim_invocations,
+                    static.compsim_invocations,
+                ]
+            )
+    text = format_table(
+        "Ablation: pSCAN ed-priority ordering vs static degree order "
+        f"(CompSim invocations, mu={DEFAULT_MU})",
+        ["dataset", "eps", "ed order", "static order"],
+        rows,
+    )
+    return ExperimentResult("ablate_ed_order", "ed ordering", text, data)
+
+
+def ablate_lane_width(
+    scale: float | None = None,
+    lanes_values: tuple[int, ...] = (4, 8, 16, 32),
+    dataset: str = "orkut",
+    eps: float = 0.2,
+) -> ExperimentResult:
+    """Vector lane-width sweep for the pivot-vectorized kernel."""
+    graph = standin(dataset, scale)
+    params = ScanParams(eps, DEFAULT_MU)
+    rec_no = run_algorithm("ppSCAN", dataset, graph, params, kernel="merge").record
+    rows = []
+    data: dict = {}
+    for lanes in lanes_values:
+        rec = run_algorithm("ppSCAN", dataset, graph, params, lanes=lanes).record
+        machine = KNL_SERVER
+        speedup = _core_check_seconds(rec_no, machine, 256) / _core_check_seconds(
+            rec, machine, 256
+        )
+        total = rec.total()
+        data[lanes] = {
+            "vector_ops": total.vector_ops,
+            "scalar_cmp": total.scalar_cmp,
+            "speedup": speedup,
+        }
+        rows.append(
+            [lanes, total.vector_ops, total.scalar_cmp, f"{speedup:.2f}x"]
+        )
+    text = format_table(
+        f"Ablation: vector lane width ({dataset}, eps={eps}, KNL pricing)",
+        ["lanes", "vector ops", "scalar cmps", "core-check speedup"],
+        rows,
+    )
+    return ExperimentResult("ablate_lanes", "Lane width", text, data)
+
+
+def kernel_design_space(
+    scale: float | None = None,
+    dataset: str = "twitter",
+    eps_values: tuple[float, ...] = DEFAULT_EPS,
+) -> ExperimentResult:
+    """§3.2.2 design space: the intersection kernels on a real workload.
+
+    Runs every kernel over the exact set of edges ppSCAN's role phases
+    would compute (predicate-pruned out edges excluded), and prices the
+    op counts on the KNL model.  Expected shapes: bounded kernels beat
+    the full-intersection ones and improve with ε; the branch-free merge
+    is cheap per step but ε-flat; the pivot-vectorized kernel is the
+    best or near-best bounded kernel.
+    """
+    from ..intersect import (
+        OpCounter,
+        branchless_merge_count,
+        galloping_compsim,
+        merge_compsim,
+        merge_count,
+        pivot_vectorized_compsim,
+        simd_shuffle_count,
+    )
+    from ..similarity.bulk import min_cn_arcs, predicate_prune_arcs
+    from ..types import UNKNOWN
+
+    graph = standin(dataset, scale)
+    off = graph.offsets.tolist()
+    dst = graph.dst.tolist()
+    adj = [dst[off[u] : off[u + 1]] for u in range(graph.num_vertices)]
+
+    kernels = {
+        "merge+bounds": lambda a, b, c, ctr: merge_compsim(a, b, c, ctr),
+        "galloping+bounds": lambda a, b, c, ctr: galloping_compsim(a, b, c, ctr),
+        "pivot-vectorized": lambda a, b, c, ctr: pivot_vectorized_compsim(
+            a, b, c, lanes=16, counter=ctr
+        ),
+        "merge-full": lambda a, b, c, ctr: merge_count(a, b, ctr) + 2 >= c,
+        "branchless-full": lambda a, b, c, ctr: (
+            branchless_merge_count(a, b, ctr) + 2 >= c
+        ),
+        "shuffle-full": lambda a, b, c, ctr: (
+            simd_shuffle_count(a, b, lanes=4, counter=ctr) + 2 >= c
+        ),
+    }
+    machine = KNL_SERVER
+    series: dict[str, list] = {k: [] for k in kernels}
+    data: dict = {}
+    for eps in eps_values:
+        params = ScanParams(eps, DEFAULT_MU)
+        mcn = min_cn_arcs(graph, params.eps_fraction)
+        prune = predicate_prune_arcs(graph, mcn)
+        work = [
+            (u, arc)
+            for u in range(graph.num_vertices)
+            for arc in range(off[u], off[u + 1])
+            if u < dst[arc] and prune[arc] == UNKNOWN
+        ]
+        data[eps] = {"edges": len(work)}
+        for name, kernel in kernels.items():
+            counter = OpCounter()
+            for u, arc in work:
+                kernel(adj[u], adj[dst[arc]], int(mcn[arc]), counter)
+            cost = TaskCost(
+                scalar_cmp=counter.scalar_cmp,
+                branchless_cmp=counter.branchless_cmp,
+                vector_ops=counter.vector_ops,
+                bound_updates=counter.bound_updates,
+            )
+            seconds = machine.task_cycles(cost) / machine.clock_hz
+            series[name].append(seconds)
+            data[eps][name] = seconds
+    text = format_series(
+        f"Kernel design space on {dataset} (KNL pricing of the "
+        f"predicate-surviving edge workload, mu={DEFAULT_MU})",
+        "eps",
+        eps_values,
+        series,
+        fmt=format_seconds,
+    )
+    return ExperimentResult("kernels", "Intersection kernel design space", text, data)
+
+
+def related_baselines(
+    scale: float | None = None,
+    dataset: str = "twitter",
+    eps_values: tuple[float, ...] = (0.2, 0.6),
+) -> ExperimentResult:
+    """§3.3 baselines beyond Figures 2-3: GS*-Index and SCAN++.
+
+    Reproduces the paper's qualitative verdicts: GS*-Index queries are
+    cheap but its construction is exhaustive (paying off only after many
+    queries); SCAN++'s DTAR maintenance dwarfs its intersection savings.
+    """
+    from ..core.gsindex import GSIndex
+    from ..core.scanpp import scanpp
+
+    machine, threads = KNL_SERVER, 256
+    graph = standin(dataset, scale)
+    index = GSIndex(graph)
+    build_cost = machine.run_seconds(index.construction_record, 1)
+    rows = []
+    data: dict = {
+        "index_build_seconds": build_cost,
+        "index_build_compsims": index.construction_record.compsim_invocations,
+    }
+    for eps in eps_values:
+        params = ScanParams(eps, DEFAULT_MU)
+        pp = run_algorithm("ppSCAN", dataset, graph, params, lanes=machine.lanes)
+        pp_sec = machine.run_seconds(pp.record, threads)
+        query = index.query(params)
+        query_sec = machine.run_seconds(query.record, 1)
+        sp = scanpp(graph, params)
+        sp_sec = machine.run_seconds(sp.record, 1)
+        ps = run_algorithm("pSCAN", dataset, graph, params)
+        ps_sec = machine.run_seconds(ps.record, 1)
+        data[eps] = {
+            "ppscan": pp_sec,
+            "gsindex_query": query_sec,
+            "scanpp": sp_sec,
+            "pscan": ps_sec,
+            "scanpp_compsims": sp.record.compsim_invocations,
+            "pscan_compsims": ps.record.compsim_invocations,
+        }
+        rows.append(
+            [
+                eps,
+                format_seconds(pp_sec),
+                format_seconds(query_sec),
+                format_seconds(sp_sec),
+                format_seconds(ps_sec),
+            ]
+        )
+    text = format_table(
+        f"Related baselines on {dataset} (KNL model; index built once at "
+        f"{format_seconds(build_cost)}, exhaustive)",
+        ["eps", "ppSCAN@256", "GS*-Index query", "SCAN++", "pSCAN"],
+        rows,
+    )
+    return ExperimentResult("related", "GS*-Index / SCAN++ baselines", text, data)
+
+
+#: Experiment registry for the CLI (`repro-scan bench <id>`).
+EXPERIMENTS = {
+    "table1": table1_real_graphs,
+    "table2": table2_roll_graphs,
+    "fig1": fig1_breakdown,
+    "fig2": fig2_overall_cpu,
+    "fig3": fig3_overall_knl,
+    "fig4": fig4_invocations,
+    "fig5": fig5_vectorization,
+    "fig6": fig6_scalability,
+    "fig7": fig7_robustness,
+    "fig8": fig8_roll,
+    "kernels": kernel_design_space,
+    "related": related_baselines,
+    "ablate_threshold": ablate_task_threshold,
+    "ablate_two_phase": ablate_two_phase_clustering,
+    "ablate_prune": ablate_prune_phase,
+    "ablate_ed_order": ablate_ed_order,
+    "ablate_lanes": ablate_lane_width,
+}

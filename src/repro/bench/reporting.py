@@ -1,0 +1,62 @@
+"""Plain-text table and series rendering for the experiment harness.
+
+The paper's figures become ASCII tables: one row per x-value (ε, thread
+count, …) and one column per series (algorithm, dataset, µ, …), which is
+the most diff-friendly way to record "the same rows/series the paper
+reports" without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "format_seconds"]
+
+
+def format_seconds(value: float | None) -> str:
+    """Human-scaled time cell; ``None`` renders as the paper's RE/TLE."""
+    if value is None:
+        return "RE"
+    if value == float("inf"):
+        return "TLE"
+    if value >= 100:
+        return f"{value:.0f}s"
+    if value >= 1:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+) -> str:
+    """Render a right-aligned ASCII table with a separator under headers."""
+    table = [list(map(str, headers))] + [list(map(str, r)) for r in rows]
+    ncols = max(len(r) for r in table)
+    for r in table:
+        r.extend([""] * (ncols - len(r)))
+    widths = [max(len(r[c]) for r in table) for c in range(ncols)]
+    lines = [title]
+    for i, r in enumerate(table):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: dict[str, Sequence],
+    fmt=lambda v: str(v),
+) -> str:
+    """Render ``{series_name: values-over-xs}`` as a table (x as rows)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([str(x)] + [fmt(series[name][i]) for name in series])
+    return format_table(title, headers, rows)

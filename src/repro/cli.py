@@ -1,0 +1,356 @@
+"""Command-line interface: ``repro-scan`` / ``python -m repro``.
+
+Subcommands
+-----------
+cluster
+    Cluster an edge-list (or binary CSR) graph file and print the
+    summary, roles and clusters; optionally save the result (.npz).
+compare
+    Run every algorithm on a graph, assert they produce the identical
+    clustering, and print a work/time comparison table.
+sweep
+    Cluster over an (eps, mu) grid and print/export one row per cell.
+stats
+    Print Table-1-style statistics for a graph file.
+generate
+    Write a synthetic evaluation graph to an edge-list file.
+bench
+    Run one of the paper-figure experiments and print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import __version__
+from .bench.experiments import EXPERIMENTS
+from .core import anyscan, ppscan, pscan, scan, scanxp
+from .graph import graph_stats, load_graph, write_edge_list
+from .graph.generators import (
+    REAL_WORLD_STANDINS,
+    real_world_standin,
+    roll_graph,
+)
+from .parallel import ProcessBackend
+from .types import CORE, HUB, OUTLIER, ScanParams
+
+_ALGORITHMS = {
+    "scan": scan,
+    "pscan": pscan,
+    "ppscan": ppscan,
+    "scanxp": scanxp,
+    "anyscan": anyscan,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-scan",
+        description="ppSCAN reproduction: graph structural clustering",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cluster = sub.add_parser("cluster", help="cluster a graph file")
+    p_cluster.add_argument("graph", help="edge-list (.txt) or CSR (.bin) file")
+    p_cluster.add_argument("--eps", type=float, default=0.5)
+    p_cluster.add_argument("--mu", type=int, default=2)
+    p_cluster.add_argument(
+        "--algorithm", choices=sorted(_ALGORITHMS), default="ppscan"
+    )
+    p_cluster.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-backend workers (0 = serial; ppscan/scanxp/anyscan only)",
+    )
+    p_cluster.add_argument(
+        "--show-clusters", action="store_true", help="print cluster members"
+    )
+    p_cluster.add_argument(
+        "--save", default=None, help="save the clustering to an .npz file"
+    )
+
+    p_compare = sub.add_parser(
+        "compare", help="run all algorithms and verify they agree"
+    )
+    p_compare.add_argument("graph")
+    p_compare.add_argument("--eps", type=float, default=0.5)
+    p_compare.add_argument("--mu", type=int, default=2)
+
+    p_sweep = sub.add_parser("sweep", help="cluster over an (eps, mu) grid")
+    p_sweep.add_argument("graph")
+    p_sweep.add_argument(
+        "--eps",
+        default="0.2,0.4,0.6,0.8",
+        help="comma-separated eps values",
+    )
+    p_sweep.add_argument(
+        "--mu", default="2,5", help="comma-separated mu values"
+    )
+    p_sweep.add_argument(
+        "--csv", default=None, help="also write the grid as CSV"
+    )
+
+    p_stats = sub.add_parser("stats", help="print graph statistics")
+    p_stats.add_argument("graph")
+
+    p_gen = sub.add_parser("generate", help="write a synthetic graph")
+    p_gen.add_argument(
+        "kind",
+        choices=sorted(REAL_WORLD_STANDINS) + ["roll"],
+        help="stand-in name or 'roll'",
+    )
+    p_gen.add_argument("output", help="output edge-list path")
+    p_gen.add_argument("--scale", type=float, default=1.0)
+    p_gen.add_argument("--avg-degree", type=int, default=40, help="roll only")
+    p_gen.add_argument("--vertices", type=int, default=50000, help="roll only")
+    p_gen.add_argument("--seed", type=int, default=42)
+
+    p_bench = sub.add_parser("bench", help="run a paper experiment")
+    p_bench.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    p_bench.add_argument("--scale", type=float, default=None)
+    p_bench.add_argument(
+        "--out", default=None, help="directory to write result tables into"
+    )
+
+    p_verify = sub.add_parser(
+        "verify", help="verify a saved clustering against a graph"
+    )
+    p_verify.add_argument("graph")
+    p_verify.add_argument("clustering", help=".npz file from cluster --save")
+
+    p_profile = sub.add_parser(
+        "profile", help="similarity/pruning profile of a graph"
+    )
+    p_profile.add_argument("graph")
+    p_profile.add_argument("--mu", type=int, default=5)
+    p_profile.add_argument(
+        "--eps", default="0.2,0.4,0.6,0.8", help="comma-separated eps values"
+    )
+
+    return parser
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    params = ScanParams(eps=args.eps, mu=args.mu)
+    algo = _ALGORITHMS[args.algorithm]
+    kwargs = {}
+    if args.workers > 0:
+        if args.algorithm in ("ppscan", "scanxp", "anyscan"):
+            kwargs["backend"] = ProcessBackend(workers=args.workers)
+        else:
+            print(
+                f"note: {args.algorithm} is sequential; --workers ignored",
+                file=sys.stderr,
+            )
+    result = algo(graph, params, **kwargs)
+    print(result.summary())
+    classified = result.classify(graph)
+    print(
+        f"cores={int(np.count_nonzero(classified == CORE))}, "
+        f"hubs={int(np.count_nonzero(classified == HUB))}, "
+        f"outliers={int(np.count_nonzero(classified == OUTLIER))}"
+    )
+    if result.record is not None:
+        print(f"wall time: {result.record.wall_seconds:.3f}s")
+    if args.show_clusters:
+        for cid, members in result.clusters().items():
+            print(f"cluster {cid}: {members.tolist()}")
+    if args.save:
+        result.save(args.save)
+        print(f"saved clustering to {args.save}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .bench.reporting import format_table
+    from .core import assert_same_clustering, scanpp
+
+    graph = load_graph(args.graph)
+    params = ScanParams(eps=args.eps, mu=args.mu)
+    algorithms = {
+        "SCAN": scan,
+        "pSCAN": pscan,
+        "SCAN++": scanpp,
+        "anySCAN": anyscan,
+        "SCAN-XP": scanxp,
+        "ppSCAN": ppscan,
+    }
+    rows = []
+    reference = None
+    for name, algo in algorithms.items():
+        result = algo(graph, params)
+        if reference is None:
+            reference = result
+        else:
+            assert_same_clustering(reference, result)
+        record = result.record
+        total = record.total()
+        rows.append(
+            [
+                name,
+                f"{record.compsim_invocations}",
+                f"{total.scalar_cmp + total.branchless_cmp}",
+                f"{total.vector_ops}",
+                f"{record.wall_seconds * 1e3:.1f}ms",
+            ]
+        )
+    print(
+        format_table(
+            f"all algorithms agree on {args.graph} ({params}): "
+            f"{reference.num_clusters} clusters, {reference.num_cores} cores",
+            ["algorithm", "CompSims", "scalar ops", "vector ops", "wall"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .bench.reporting import format_table
+
+    graph = load_graph(args.graph)
+    eps_values = [float(x) for x in args.eps.split(",") if x]
+    mu_values = [int(x) for x in args.mu.split(",") if x]
+    header = ["eps", "mu", "clusters", "cores", "CompSims", "wall_ms"]
+    rows = []
+    for mu in mu_values:
+        for eps in eps_values:
+            result = ppscan(graph, ScanParams(eps=eps, mu=mu))
+            rows.append(
+                [
+                    f"{eps}",
+                    f"{mu}",
+                    f"{result.num_clusters}",
+                    f"{result.num_cores}",
+                    f"{result.record.compsim_invocations}",
+                    f"{result.record.wall_seconds * 1e3:.1f}",
+                ]
+            )
+    print(format_table(f"parameter sweep on {args.graph}", header, rows))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(",".join(header) + "\n")
+            for row in rows:
+                fh.write(",".join(row) + "\n")
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    stats = graph_stats(args.graph, graph)
+    print(
+        f"|V| = {stats.num_vertices:,}\n|E| = {stats.num_edges:,}\n"
+        f"avg degree = {stats.average_degree:.2f}\n"
+        f"max degree = {stats.max_degree:,}"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "roll":
+        graph = roll_graph(args.vertices, args.avg_degree, seed=args.seed)
+    else:
+        graph = real_world_standin(args.kind, scale=args.scale, seed=args.seed)
+    write_edge_list(graph, args.output)
+    print(
+        f"wrote {args.output}: |V|={graph.num_vertices:,}, "
+        f"|E|={graph.num_edges:,}"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = EXPERIMENTS[name](scale=args.scale)
+        print(result.text)
+        print()
+        if out_dir is not None:
+            (out_dir / f"{result.exp_id}.txt").write_text(result.text + "\n")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .core import ClusteringResult, verify_clustering
+    from .core.verify import ClusteringVerificationError
+
+    graph = load_graph(args.graph)
+    result = ClusteringResult.load(args.clustering)
+    try:
+        verify_clustering(graph, result)
+    except ClusteringVerificationError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    print(
+        f"OK: {args.clustering} is the exact SCAN clustering of "
+        f"{args.graph} at {result.params}"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .analysis import core_ratio_curve, pruning_profile, similarity_histogram
+    from .bench.reporting import format_table
+
+    graph = load_graph(args.graph)
+    eps_values = tuple(float(x) for x in args.eps.split(",") if x)
+
+    counts, bins = similarity_histogram(graph, bins=10)
+    print("edge similarity distribution:")
+    total = max(int(counts.sum()), 1)
+    for i, count in enumerate(counts):
+        bar = "#" * int(40 * count / total)
+        print(f"  [{bins[i]:.1f}, {bins[i + 1]:.1f}): {int(count):>8,}  {bar}")
+
+    rows = []
+    curve = core_ratio_curve(graph, eps_values, args.mu)
+    for eps in eps_values:
+        profile = pruning_profile(graph, ScanParams(eps, args.mu))
+        rows.append(
+            [
+                f"{eps}",
+                f"{profile.arcs_resolved_fraction:.1%}",
+                f"{profile.roles_settled_fraction:.1%}",
+                f"{curve[eps]:.1%}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            f"pruning and core profile (mu={args.mu})",
+            ["eps", "arcs pruned free", "roles settled", "core fraction"],
+            rows,
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "cluster": _cmd_cluster,
+        "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
+        "stats": _cmd_stats,
+        "generate": _cmd_generate,
+        "bench": _cmd_bench,
+        "verify": _cmd_verify,
+        "profile": _cmd_profile,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

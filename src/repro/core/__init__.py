@@ -1,0 +1,46 @@
+"""SCAN-family clustering algorithms."""
+
+from .result import ClusteringResult
+from .context import RunContext, reverse_arc_index
+from .scan import scan
+from .pscan import pscan
+from .ppscan import PPSCAN_STAGES, auto_task_threshold, ppscan
+from .scanxp import scanxp
+from .anyscan import (
+    ProgressSnapshot,
+    anyscan,
+    anyscan_progressive,
+    estimated_memory_bytes,
+)
+from .scanpp import scanpp
+from .gsindex import GSIndex
+from .dynamic_index import DynamicGSIndex
+from .fastscan import fast_structural_clustering
+from .hubs import classify_peripherals
+from .validate import assert_same_clustering, brute_force_scan
+from .verify import ClusteringVerificationError, verify_clustering
+
+__all__ = [
+    "ClusteringResult",
+    "RunContext",
+    "reverse_arc_index",
+    "scan",
+    "pscan",
+    "ppscan",
+    "PPSCAN_STAGES",
+    "auto_task_threshold",
+    "scanxp",
+    "anyscan",
+    "anyscan_progressive",
+    "ProgressSnapshot",
+    "scanpp",
+    "GSIndex",
+    "DynamicGSIndex",
+    "fast_structural_clustering",
+    "classify_peripherals",
+    "estimated_memory_bytes",
+    "brute_force_scan",
+    "assert_same_clustering",
+    "verify_clustering",
+    "ClusteringVerificationError",
+]

@@ -1,0 +1,87 @@
+"""Shared mutable run state for the SCAN-family algorithms.
+
+Materializes the graph's CSR arrays, the reverse-arc index (pSCAN's
+similarity-reuse target, computed for the whole graph in one pass instead
+of per-edge binary searches), the per-arc similarity thresholds, and the
+mutable ``sim`` / ``role`` arrays, all as plain Python lists — the fastest
+representation for the data-dependent early-terminating inner loops on
+this substrate (see the optimization guide: ndarray scalar access in tight
+loops is several times slower than list access).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..similarity import SimilarityEngine, min_cn_arcs
+from ..types import ROLE_UNKNOWN, UNKNOWN, ScanParams
+
+__all__ = ["RunContext", "reverse_arc_index"]
+
+
+def reverse_arc_index(graph: CSRGraph) -> np.ndarray:
+    """``rev[i]`` = arc index of the reverse of arc ``i``.
+
+    Arcs in natural order are sorted by ``(src, dst)``; re-sorting them by
+    ``(dst, src)`` enumerates exactly the reverse arcs in natural order,
+    so one lexsort yields the whole mapping (each pair is unique in a
+    simple graph).
+    """
+    src = graph.arc_source()
+    order = np.lexsort((src, graph.dst))
+    rev = np.empty(graph.num_arcs, dtype=np.int64)
+    rev[order] = np.arange(graph.num_arcs, dtype=np.int64)
+    return rev
+
+
+class RunContext:
+    """Per-run working state shared by the phases of one algorithm."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        params: ScanParams,
+        kernel: str = "vectorized",
+        lanes: int = 16,
+    ) -> None:
+        self.graph = graph
+        self.params = params
+        self.engine = SimilarityEngine(graph, params, kernel=kernel, lanes=lanes)
+
+        self.n = graph.num_vertices
+        self.num_arcs = graph.num_arcs
+        self.off: list[int] = graph.offsets.tolist()
+        self.dst: list[int] = graph.dst.tolist()
+        self.deg: list[int] = graph.degrees.tolist()
+        off = self.off
+        dst = self.dst
+        #: per-vertex adjacency lists (list slices; zero-copy kernel input).
+        self.adj: list[list[int]] = [
+            dst[off[u] : off[u + 1]] for u in range(self.n)
+        ]
+        self.rev: list[int] = reverse_arc_index(graph).tolist()
+        self.mcn_np: np.ndarray = min_cn_arcs(graph, params.eps_fraction)
+        self.mcn: list[int] = self.mcn_np.tolist()
+        #: per-arc similarity states (Definition 2.12).
+        self.sim: list[int] = [UNKNOWN] * self.num_arcs
+        #: per-vertex roles (Definition 2.5).
+        self.roles: list[int] = [ROLE_UNKNOWN] * self.n
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def mu(self) -> int:
+        return self.params.mu
+
+    def compsim_arc(self, u: int, arc: int) -> bool:
+        """Run the configured CompSim kernel for arc ``(u, dst[arc])``."""
+        return self.engine.kernel(
+            self.adj[u], self.adj[self.dst[arc]], self.mcn[arc]
+        )
+
+    def roles_array(self) -> np.ndarray:
+        return np.array(self.roles, dtype=np.int8)
+
+    def sim_array(self) -> np.ndarray:
+        return np.array(self.sim, dtype=np.int8)

@@ -1,0 +1,110 @@
+"""Hub/outlier classification as its own parallel phase.
+
+The paper (§2, after Definition 2.10) notes that hubs and outliers "can be
+found by exploring all the neighbors of vertices not in any cluster with a
+time complexity O(|E| + |V|)".  :meth:`ClusteringResult.classify` does the
+sequential version; this module provides the task-parallel phase in
+ppSCAN's execution model — vertex-range tasks through an execution
+backend, with per-task work records — so the post-processing step can be
+costed alongside the clustering stages.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..metrics.records import RunRecord, StageRecord, TaskCost
+from ..parallel.backend import ExecutionBackend, SerialBackend
+from ..parallel.scheduler import degree_based_tasks
+from ..types import CORE, HUB, NONCORE, OUTLIER
+from .ppscan import auto_task_threshold
+from .result import ClusteringResult
+
+__all__ = ["classify_peripherals"]
+
+
+def classify_peripherals(
+    graph: CSRGraph,
+    result: ClusteringResult,
+    backend: ExecutionBackend | None = None,
+    task_threshold: int | None = None,
+) -> tuple[np.ndarray, RunRecord]:
+    """Parallel hub/outlier classification (Definition 2.10).
+
+    Returns ``(classification, record)`` where ``classification`` matches
+    :meth:`ClusteringResult.classify` exactly: CORE, cluster-member
+    NONCORE, HUB, or OUTLIER per vertex.
+    """
+    t0 = time.perf_counter()
+    if graph.num_vertices != result.num_vertices:
+        raise ValueError("graph does not match this result")
+    backend = backend if backend is not None else SerialBackend()
+    threshold = (
+        task_threshold
+        if task_threshold is not None
+        else auto_task_threshold(graph.num_arcs)
+    )
+    n = graph.num_vertices
+    member = result.membership()
+    roles = result.roles
+    off = graph.offsets.tolist()
+    dst = graph.dst.tolist()
+    deg = graph.degrees.tolist()
+
+    out = np.empty(n, dtype=np.int8)
+    unclustered = [
+        roles[v] != CORE and not member[v] for v in range(n)
+    ]
+
+    def run_task(beg: int, end: int):
+        writes: list[tuple[int, int]] = []
+        arcs = 0
+        for v in range(beg, end):
+            if roles[v] == CORE:
+                writes.append((v, CORE))
+                continue
+            if member[v]:
+                writes.append((v, NONCORE))
+                continue
+            # Unclustered: hub iff two distinct neighbors can supply two
+            # distinct clusters.
+            first: set[int] | None = None
+            label = OUTLIER
+            for arc in range(off[v], off[v + 1]):
+                arcs += 1
+                sets = member[dst[arc]]
+                if not sets:
+                    continue
+                if first is None:
+                    first = sets
+                    continue
+                if len(first) > 1 or len(sets) > 1 or first != sets:
+                    label = HUB
+                    break
+            writes.append((v, label))
+        return writes, TaskCost(arcs=arcs)
+
+    def commit(writes) -> None:
+        for v, label in writes:
+            out[v] = label
+
+    # Degree-based tasks over the whole vertex set; vertices that are
+    # trivially classified contribute no degree (the needs mask mirrors
+    # Algorithm 5's role check).
+    tasks = degree_based_tasks(deg, unclustered, threshold)
+    records = backend.run_phase(tasks, run_task, commit)
+    record = RunRecord(
+        algorithm="hub/outlier classification",
+        stages=[
+            StageRecord(
+                "peripheral classification",
+                records,
+                time.perf_counter() - t0,
+            )
+        ],
+        wall_seconds=time.perf_counter() - t0,
+    )
+    return out, record

@@ -1,0 +1,220 @@
+"""SCAN++ (Shiokawa et al., VLDB'15) — DTAR-based sequential baseline.
+
+The paper's §3.3: "SCAN++ introduces a data structure called Directly
+Two-hop Away Reachable vertices (DTAR) and shares intermediate
+similarities within DTAR to reduce the workload.  However, maintaining
+DTAR comes at a high cost." — in the paper's own experiments SCAN++
+could not finish the twitter dataset within 24 hours.
+
+This implementation keeps SCAN++'s structure — pivot selection over a
+dominating set, per-pivot DTAR materialization, similarity sharing
+through an edge cache — while remaining *exact* (identical clusters to
+every other algorithm, enforced by the cross-validation tests):
+
+* **Pivot expansion**: an uncovered vertex becomes a pivot; its full
+  ε-neighborhood is evaluated (with similarity reuse) and its DTAR — the
+  distinct two-hop neighbors — is materialized.  DTAR construction scans
+  ``sum(d(v) for v in N(u))`` adjacency entries and allocates one
+  candidate node per entry: exactly the cost the paper calls out, and it
+  is charged as real work (``arcs``/``allocs``) in the run record.
+* **Consolidation**: edges between two covered non-pivots are resolved
+  lazily so every role is exact.
+* **Clustering** reuses the standard union-find + membership-pair logic.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..metrics.records import RunRecord, StageRecord, TaskCost
+from ..types import CORE, NONCORE, NSIM, SIM, UNKNOWN, ScanParams
+from ..unionfind import UnionFind
+from .context import RunContext
+from .result import ClusteringResult
+
+__all__ = ["scanpp"]
+
+
+def scanpp(graph: CSRGraph, params: ScanParams) -> ClusteringResult:
+    """Run SCAN++; returns the canonical clustering result."""
+    t0 = time.perf_counter()
+    ctx = RunContext(graph, params, kernel="merge")
+    counter = ctx.engine.counter
+    off, dst, adj, deg = ctx.off, ctx.dst, ctx.adj, ctx.deg
+    sim, roles, mcn, rev = ctx.sim, ctx.roles, ctx.mcn, ctx.rev
+    kernel_fn = ctx.engine.kernel
+    mu = ctx.mu
+    n = ctx.n
+    stages: list[StageRecord] = []
+
+    def resolve_arc(u: int, arc: int) -> int:
+        v = dst[arc]
+        c = mcn[arc]
+        if c <= 2:
+            state = SIM
+        elif (deg[u] if deg[u] < deg[v] else deg[v]) + 2 < c:
+            state = NSIM
+        else:
+            state = SIM if kernel_fn(adj[u], adj[v], c) else NSIM
+        sim[arc] = state
+        sim[rev[arc]] = state
+        return state
+
+    # -- Phase 1: pivot expansion with DTAR maintenance --------------------
+
+    t_stage = time.perf_counter()
+    snap = (counter.scalar_cmp, counter.invocations)
+    covered = [False] * n
+    pivots: list[int] = []
+    arcs_scanned = 0
+    allocs = 0
+    dtar_sizes: list[int] = []
+    for u in range(n):
+        if covered[u]:
+            continue
+        pivots.append(u)
+        covered[u] = True
+        # Evaluate the pivot's full neighborhood (with reuse).
+        sd = 0
+        for arc in range(off[u], off[u + 1]):
+            arcs_scanned += 1
+            state = sim[arc]
+            if state == UNKNOWN:
+                state = resolve_arc(u, arc)
+            if state == SIM:
+                sd += 1
+            covered[dst[arc]] = True
+        roles[u] = CORE if sd >= mu else NONCORE
+        # Materialize DTAR(u): distinct two-hop neighbors.  This is the
+        # data structure whose maintenance the paper identifies as
+        # SCAN++'s bottleneck — built for real, charged for real.
+        dtar: set[int] = set()
+        for arc in range(off[u], off[u + 1]):
+            v = dst[arc]
+            for arc2 in range(off[v], off[v + 1]):
+                arcs_scanned += 1
+                allocs += 1  # candidate node insertion
+                w = dst[arc2]
+                if w != u:
+                    dtar.add(w)
+        dtar_sizes.append(len(dtar))
+    cost = TaskCost(
+        scalar_cmp=counter.scalar_cmp - snap[0],
+        compsims=counter.invocations - snap[1],
+        arcs=arcs_scanned,
+        allocs=allocs,
+    )
+    stages.append(
+        StageRecord("pivot expansion", [cost], time.perf_counter() - t_stage)
+    )
+
+    # -- Phase 2: consolidate remaining roles -----------------------------
+
+    t_stage = time.perf_counter()
+    snap = (counter.scalar_cmp, counter.invocations)
+    arcs_scanned = 0
+    for u in range(n):
+        if roles[u] != 0:  # ROLE_UNKNOWN
+            continue
+        sd = 0
+        for arc in range(off[u], off[u + 1]):
+            arcs_scanned += 1
+            state = sim[arc]
+            if state == UNKNOWN:
+                state = resolve_arc(u, arc)
+            if state == SIM:
+                sd += 1
+                if sd >= mu:
+                    break
+        roles[u] = CORE if sd >= mu else NONCORE
+    stages.append(
+        StageRecord(
+            "consolidation",
+            [
+                TaskCost(
+                    scalar_cmp=counter.scalar_cmp - snap[0],
+                    compsims=counter.invocations - snap[1],
+                    arcs=arcs_scanned,
+                )
+            ],
+            time.perf_counter() - t_stage,
+        )
+    )
+
+    # -- Phase 3: clustering ------------------------------------------------
+
+    t_stage = time.perf_counter()
+    uf = UnionFind(n)
+    arcs_scanned = 0
+    snap = (counter.scalar_cmp, counter.invocations)
+    for u in range(n):
+        if roles[u] != CORE:
+            continue
+        for arc in range(off[u], off[u + 1]):
+            arcs_scanned += 1
+            v = dst[arc]
+            if v <= u or roles[v] != CORE:
+                continue
+            state = sim[arc]
+            if state == UNKNOWN:
+                state = resolve_arc(u, arc)
+            if state == SIM:
+                uf.union(u, v)
+    cluster_id: dict[int, int] = {}
+    labels = np.full(n, -1, dtype=np.int64)
+    for u in range(n):
+        if roles[u] == CORE:
+            root = uf.find(u)
+            if root not in cluster_id:
+                cluster_id[root] = u
+            labels[u] = cluster_id[root]
+    pairs: list[tuple[int, int]] = []
+    for u in range(n):
+        if roles[u] != CORE:
+            continue
+        cid = int(labels[u])
+        for arc in range(off[u], off[u + 1]):
+            arcs_scanned += 1
+            v = dst[arc]
+            if roles[v] != NONCORE:
+                continue
+            state = sim[arc]
+            if state == UNKNOWN:
+                state = resolve_arc(u, arc)
+            if state == SIM:
+                pairs.append((cid, v))
+    stages.append(
+        StageRecord(
+            "clustering",
+            [
+                TaskCost(
+                    scalar_cmp=counter.scalar_cmp - snap[0],
+                    compsims=counter.invocations - snap[1],
+                    arcs=arcs_scanned,
+                    atomics=uf.num_unions,
+                )
+            ],
+            time.perf_counter() - t_stage,
+        )
+    )
+
+    record = RunRecord(
+        algorithm="SCAN++",
+        stages=stages,
+        wall_seconds=time.perf_counter() - t0,
+    )
+    result = ClusteringResult(
+        algorithm="SCAN++",
+        params=params,
+        roles=np.array(roles, dtype=np.int8),
+        core_labels=labels,
+        noncore_pairs=pairs,
+        record=record,
+    )
+    # Expose the DTAR statistics for the baseline bench.
+    record.dtar_sizes = dtar_sizes  # type: ignore[attr-defined]
+    record.num_pivots = len(pivots)  # type: ignore[attr-defined]
+    return result

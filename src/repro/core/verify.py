@@ -1,0 +1,126 @@
+"""Independent post-hoc verification of a clustering against §2's definitions.
+
+``verify_clustering`` checks a :class:`ClusteringResult` — produced by any
+algorithm, loaded from disk, or handed over by another system — directly
+against the paper's definitions using only set arithmetic:
+
+* role correctness (Definitions 2.3–2.5),
+* cluster-id canonicalization (Definition 3.7: min core id per cluster),
+* core-cluster connectivity and maximality (Definition 2.9),
+* non-core membership = direct structural reachability from a core
+  (Definition 2.6),
+* disjointness of core clusters (Lemma 3.5).
+
+It is the library-grade version of the checks the algorithm test-suite
+runs, intended for downstream users integrating their own variants.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..similarity.threshold import min_cn_threshold
+from ..types import CORE, ScanParams
+from .result import ClusteringResult
+
+__all__ = ["verify_clustering", "ClusteringVerificationError"]
+
+
+class ClusteringVerificationError(AssertionError):
+    """Raised when a clustering violates the SCAN definitions."""
+
+
+def verify_clustering(
+    graph: CSRGraph, result: ClusteringResult, params: ScanParams | None = None
+) -> None:
+    """Raise :class:`ClusteringVerificationError` unless ``result`` is the
+    exact SCAN clustering of ``graph`` for ``params`` (defaults to
+    ``result.params``)."""
+    if params is None:
+        params = result.params
+    n = graph.num_vertices
+    if result.num_vertices != n:
+        raise ClusteringVerificationError(
+            f"result covers {result.num_vertices} vertices, graph has {n}"
+        )
+    eps = params.eps_fraction
+    mu = params.mu
+    nbr_sets = [set(graph.neighbors(u).tolist()) for u in range(n)]
+    deg = graph.degrees
+
+    def similar(u: int, v: int) -> bool:
+        overlap = len(nbr_sets[u] & nbr_sets[v]) + 2
+        return overlap >= min_cn_threshold(eps, int(deg[u]), int(deg[v]))
+
+    # -- roles (Definitions 2.3-2.5) -----------------------------------
+    for u in range(n):
+        sd = sum(1 for v in nbr_sets[u] if similar(u, v))
+        expected_core = sd >= mu
+        if (result.roles[u] == CORE) != expected_core:
+            raise ClusteringVerificationError(
+                f"vertex {u}: role {'Core' if expected_core else 'NonCore'} "
+                f"expected, got the opposite (|N_eps|-1 = {sd}, mu = {mu})"
+            )
+
+    cores = [u for u in range(n) if result.roles[u] == CORE]
+    core_set = set(cores)
+    labels = result.core_labels
+
+    # -- label hygiene + Lemma 3.5 ---------------------------------------
+    for u in range(n):
+        if u in core_set:
+            if labels[u] < 0:
+                raise ClusteringVerificationError(f"core {u} has no cluster")
+        elif labels[u] != -1:
+            raise ClusteringVerificationError(
+                f"non-core {u} carries a core label {labels[u]}"
+            )
+
+    # -- connectivity & maximality (Definition 2.9) ---------------------
+    # BFS over similar core-core edges yields the ground-truth partition.
+    truth = np.full(n, -1, dtype=np.int64)
+    for seed in cores:
+        if truth[seed] != -1:
+            continue
+        component = [seed]
+        truth[seed] = seed
+        queue = deque([seed])
+        while queue:
+            u = queue.popleft()
+            for v in nbr_sets[u]:
+                if v in core_set and truth[v] == -1 and similar(u, v):
+                    truth[v] = seed
+                    component.append(v)
+                    queue.append(v)
+        cid = min(component)
+        for v in component:
+            truth[v] = cid
+    for u in cores:
+        if labels[u] != truth[u]:
+            raise ClusteringVerificationError(
+                f"core {u}: cluster {labels[u]} violates "
+                f"connectivity/maximality (expected {truth[u]})"
+            )
+
+    # -- non-core membership (Definition 2.6) ----------------------------
+    member = result.membership()
+    for v in range(n):
+        if v in core_set:
+            if member[v] != {int(labels[v])}:
+                raise ClusteringVerificationError(
+                    f"core {v} membership {member[v]} != {{{labels[v]}}}"
+                )
+            continue
+        expected = {
+            int(labels[u])
+            for u in nbr_sets[v]
+            if u in core_set and similar(u, v)
+        }
+        if member[v] != expected:
+            raise ClusteringVerificationError(
+                f"non-core {v}: memberships {sorted(member[v])} != "
+                f"expected {sorted(expected)}"
+            )

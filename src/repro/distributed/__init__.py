@@ -1,0 +1,24 @@
+"""Distributed (BSP/MapReduce-style) execution simulation — §3.3's
+PSCAN/SparkSCAN setting, with exact results and counted communication."""
+
+from .partition import (
+    block_partition,
+    cut_arcs,
+    degree_balanced_partition,
+    hash_partition,
+)
+from .network import COMMODITY_CLUSTER, ClusterSpec, CommRecord, Superstep
+from .scan_bsp import PARTITIONERS, distributed_scan
+
+__all__ = [
+    "block_partition",
+    "hash_partition",
+    "degree_balanced_partition",
+    "cut_arcs",
+    "ClusterSpec",
+    "CommRecord",
+    "Superstep",
+    "COMMODITY_CLUSTER",
+    "distributed_scan",
+    "PARTITIONERS",
+]

@@ -1,0 +1,87 @@
+"""Communication accounting and cluster pricing for BSP execution.
+
+The distributed baselines of §3.3 (PSCAN on MapReduce, SparkSCAN) pay for
+what shared memory gets for free: every datum referenced across a
+partition boundary is a message.  ``CommRecord`` tallies those messages
+per superstep; ``ClusterSpec`` prices the whole BSP run — per-superstep
+compute makespan plus network transfer plus per-round framework latency
+(the job-scheduling overhead that dominates MapReduce rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Superstep", "CommRecord", "ClusterSpec", "COMMODITY_CLUSTER"]
+
+
+@dataclass
+class Superstep:
+    """One BSP round: per-worker compute cycles + exchanged bytes."""
+
+    name: str
+    compute_cycles: list[float]
+    bytes_sent: int = 0
+    messages: int = 0
+
+    @property
+    def max_compute(self) -> float:
+        return max(self.compute_cycles) if self.compute_cycles else 0.0
+
+
+@dataclass
+class CommRecord:
+    """Full trace of a distributed run."""
+
+    workers: int
+    supersteps: list[Superstep] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.supersteps)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages for s in self.supersteps)
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    def bytes_by_phase(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for step in self.supersteps:
+            out[step.name] = out.get(step.name, 0) + step.bytes_sent
+        return out
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A priced commodity cluster for the BSP model."""
+
+    name: str
+    clock_hz: float
+    #: aggregate network bandwidth available to the job, bytes/second.
+    net_bandwidth: float
+    #: fixed framework latency per superstep (job scheduling, shuffles).
+    round_latency: float
+
+    def superstep_seconds(self, step: Superstep) -> float:
+        compute = step.max_compute / self.clock_hz
+        transfer = step.bytes_sent / self.net_bandwidth
+        return compute + transfer + self.round_latency
+
+    def run_seconds(self, record: CommRecord) -> float:
+        return sum(self.superstep_seconds(s) for s in record.supersteps)
+
+
+#: A modest commodity cluster: the setting PSCAN [25] / SparkSCAN [26]
+#: target.  The round latency is the characteristic MapReduce/Spark
+#: per-stage overhead (job scheduling + shuffle materialization),
+#: scaled down ~10^3x with the graphs like the shared-memory constants.
+COMMODITY_CLUSTER = ClusterSpec(
+    name="commodity cluster (1 GbE, MapReduce-style rounds)",
+    clock_hz=2.3e9,
+    net_bandwidth=125e6,  # 1 Gb/s
+    round_latency=3e-3,
+)

@@ -1,0 +1,281 @@
+"""Distributed structural clustering in the BSP/MapReduce style of
+PSCAN [25] and SparkSCAN [26].
+
+§3.3 dismisses the distributed algorithms in one clause — "incurring
+communication overheads" — and this module makes that clause measurable.
+The algorithm is exact (same clusters as everything else); what differs
+is *where data lives*: vertices are partitioned across workers, and every
+cross-partition reference becomes counted bytes in a
+:class:`~repro.distributed.network.CommRecord`:
+
+====  =======================  =============================================
+step  superstep                 communication
+====  =======================  =============================================
+0     degree broadcast          the degree vector to every worker
+1     adjacency exchange        N(v) shipped to each worker that must
+                                intersect against it (once per (v, worker))
+2     similarity + mirror       computed predicates for cut edges sent to
+                                the opposite owner
+3     role computation          local (roles need only own arcs)
+4+    cluster label propagation min-label rounds over cut similar
+                                core-core edges until a global fixpoint
+last  membership assembly       (cluster, non-core) pairs for remote owners
+====  =======================  =============================================
+
+The returned record prices on a :class:`ClusterSpec`, whose per-round
+framework latency and 1 GbE bandwidth reproduce why a 10-superstep BSP
+job cannot compete with shared memory on this problem.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.context import RunContext
+from ..core.result import ClusteringResult
+from ..graph.csr import CSRGraph
+from ..types import CORE, NONCORE, NSIM, SIM, UNKNOWN, ScanParams
+from ..unionfind import UnionFind
+from .network import CommRecord, Superstep
+from .partition import (
+    block_partition,
+    degree_balanced_partition,
+    hash_partition,
+)
+
+__all__ = ["distributed_scan", "PARTITIONERS"]
+
+PARTITIONERS = {
+    "block": block_partition,
+    "hash": hash_partition,
+    "degree": degree_balanced_partition,
+}
+
+_ID_BYTES = 8
+_MSG_BYTES = 16  # (key, value) pair in a shuffle
+
+
+def distributed_scan(
+    graph: CSRGraph,
+    params: ScanParams,
+    workers: int = 4,
+    partitioner: str = "block",
+) -> tuple[ClusteringResult, CommRecord]:
+    """Run BSP distributed SCAN; returns (exact clustering, comm record)."""
+    if partitioner not in PARTITIONERS:
+        raise ValueError(
+            f"unknown partitioner {partitioner!r}; known: {sorted(PARTITIONERS)}"
+        )
+    t0 = time.perf_counter()
+    ctx = RunContext(graph, params, kernel="merge")
+    counter = ctx.engine.counter
+    off, dst, adj, deg = ctx.off, ctx.dst, ctx.adj, ctx.deg
+    sim, roles, mcn, rev = ctx.sim, ctx.roles, ctx.mcn, ctx.rev
+    kernel_fn = ctx.engine.kernel
+    mu = ctx.mu
+    n = ctx.n
+    owner = PARTITIONERS[partitioner](graph, workers)
+    own = owner.tolist()
+    record = CommRecord(workers=workers)
+
+    # ---- Superstep 0: degree broadcast -----------------------------------
+    record.supersteps.append(
+        Superstep(
+            "degree broadcast",
+            compute_cycles=[float(n) for _ in range(workers)],
+            bytes_sent=n * _ID_BYTES * max(workers - 1, 0),
+            messages=max(workers - 1, 0),
+        )
+    )
+
+    # ---- Superstep 1: adjacency exchange ---------------------------------
+    # Owner of u computes edge (u, v) for u < v (after local predicate
+    # pruning); it needs N(v), shipped once per (v, destination worker).
+    compute_edges: list[list[tuple[int, int]]] = [[] for _ in range(workers)]
+    shipped: set[tuple[int, int]] = set()
+    ship_bytes = 0
+    ship_msgs = 0
+    prep_cycles = [0.0] * workers
+    for u in range(n):
+        w = own[u]
+        for arc in range(off[u], off[u + 1]):
+            v = dst[arc]
+            prep_cycles[w] += 1
+            if u >= v:
+                continue
+            c = mcn[arc]
+            if c <= 2:
+                sim[arc] = SIM
+                sim[rev[arc]] = SIM
+                continue
+            if (deg[u] if deg[u] < deg[v] else deg[v]) + 2 < c:
+                sim[arc] = NSIM
+                sim[rev[arc]] = NSIM
+                continue
+            compute_edges[w].append((u, arc))
+            if own[v] != w and (v, w) not in shipped:
+                shipped.add((v, w))
+                ship_bytes += deg[v] * _ID_BYTES + _MSG_BYTES
+                ship_msgs += 1
+    record.supersteps.append(
+        Superstep(
+            "adjacency exchange",
+            compute_cycles=prep_cycles,
+            bytes_sent=ship_bytes,
+            messages=ship_msgs,
+        )
+    )
+
+    # ---- Superstep 2: similarity computation + mirror shuffle ------------
+    sim_cycles = [0.0] * workers
+    mirror_bytes = 0
+    mirror_msgs = 0
+    for w in range(workers):
+        before = counter.scalar_cmp + counter.bound_updates
+        for u, arc in compute_edges[w]:
+            v = dst[arc]
+            state = SIM if kernel_fn(adj[u], adj[v], mcn[arc]) else NSIM
+            sim[arc] = state
+            sim[rev[arc]] = state
+            if own[v] != w:
+                mirror_bytes += _MSG_BYTES
+                mirror_msgs += 1
+        sim_cycles[w] = float(
+            counter.scalar_cmp + counter.bound_updates - before
+        )
+    record.supersteps.append(
+        Superstep(
+            "similarity + mirror",
+            compute_cycles=sim_cycles,
+            bytes_sent=mirror_bytes,
+            messages=mirror_msgs,
+        )
+    )
+
+    # ---- Superstep 3: role computation (fully local) ---------------------
+    role_cycles = [0.0] * workers
+    for u in range(n):
+        w = own[u]
+        sd = 0
+        for arc in range(off[u], off[u + 1]):
+            role_cycles[w] += 1
+            if sim[arc] == SIM:
+                sd += 1
+        roles[u] = CORE if sd >= mu else NONCORE
+    record.supersteps.append(
+        Superstep("role computation", compute_cycles=role_cycles)
+    )
+
+    # ---- Supersteps 4..k: cluster label propagation -----------------------
+    # Per worker, intra-partition similar core-core edges collapse into
+    # local components (a per-worker union-find, free of communication);
+    # every round exchanges min labels over the cut similar core edges.
+    uf = UnionFind(n)
+    cut_core_arcs: list[tuple[int, int]] = []  # (u, v) with owners differing
+    for u in range(n):
+        if roles[u] != CORE:
+            continue
+        for arc in range(off[u], off[u + 1]):
+            v = dst[arc]
+            if v <= u or roles[v] != CORE or sim[arc] != SIM:
+                continue
+            if own[u] == own[v]:
+                uf.union(u, v)
+            else:
+                cut_core_arcs.append((u, v))
+
+    comp_label: dict[int, int] = {}
+    for u in range(n):
+        if roles[u] == CORE:
+            root = uf.find(u)
+            cur = comp_label.get(root)
+            if cur is None or u < cur:
+                comp_label[root] = u
+
+    changed = True
+    while changed:
+        changed = False
+        prop_cycles = [0.0] * workers
+        round_bytes = 0
+        round_msgs = 0
+        for u, v in cut_core_arcs:
+            # Both endpoints advertise their component labels.
+            round_bytes += 2 * _MSG_BYTES
+            round_msgs += 2
+            prop_cycles[own[u]] += 1
+            prop_cycles[own[v]] += 1
+            ru, rv = uf.find(u), uf.find(v)
+            lu, lv = comp_label[ru], comp_label[rv]
+            if lu == lv:
+                continue
+            low = lu if lu < lv else lv
+            if comp_label[ru] != low:
+                comp_label[ru] = low
+                changed = True
+            if comp_label[rv] != low:
+                comp_label[rv] = low
+                changed = True
+        record.supersteps.append(
+            Superstep(
+                "label propagation",
+                compute_cycles=prop_cycles,
+                bytes_sent=round_bytes,
+                messages=round_msgs,
+            )
+        )
+
+    # Components connected through cut edges share a final label; collapse
+    # them for the canonical min-core-id labels.
+    final_uf = UnionFind(n)
+    for u in range(n):
+        if roles[u] == CORE:
+            final_uf.union(u, uf.find(u))
+    for u, v in cut_core_arcs:
+        final_uf.union(u, v)
+    labels = np.full(n, -1, dtype=np.int64)
+    cluster_id: dict[int, int] = {}
+    for u in range(n):
+        if roles[u] == CORE:
+            root = final_uf.find(u)
+            if root not in cluster_id:
+                cluster_id[root] = u
+            labels[u] = cluster_id[root]
+
+    # ---- Final superstep: membership assembly ---------------------------
+    pairs: list[tuple[int, int]] = []
+    member_cycles = [0.0] * workers
+    member_bytes = 0
+    member_msgs = 0
+    for u in range(n):
+        if roles[u] != CORE:
+            continue
+        w = own[u]
+        cid = int(labels[u])
+        for arc in range(off[u], off[u + 1]):
+            member_cycles[w] += 1
+            v = dst[arc]
+            if roles[v] == NONCORE and sim[arc] == SIM:
+                pairs.append((cid, v))
+                if own[v] != w:
+                    member_bytes += _MSG_BYTES
+                    member_msgs += 1
+    record.supersteps.append(
+        Superstep(
+            "membership assembly",
+            compute_cycles=member_cycles,
+            bytes_sent=member_bytes,
+            messages=member_msgs,
+        )
+    )
+
+    result = ClusteringResult(
+        algorithm=f"BSP-SCAN[{workers}w/{partitioner}]",
+        params=params,
+        roles=np.array(roles, dtype=np.int8),
+        core_labels=labels,
+        noncore_pairs=pairs,
+    )
+    record.wall_seconds = time.perf_counter() - t0  # type: ignore[attr-defined]
+    return result, record

@@ -1,0 +1,133 @@
+"""Constructing :class:`~repro.graph.csr.CSRGraph` from various inputs.
+
+All builders normalize their input the same way the pSCAN/ppSCAN C++ code
+bases do when ingesting SNAP-style edge lists: self loops are dropped,
+duplicate edges are collapsed, both arc directions are materialized, and
+every adjacency list is sorted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .csr import CSRGraph, VERTEX_DTYPE
+
+__all__ = [
+    "from_edge_array",
+    "from_edges",
+    "from_adjacency",
+    "from_networkx",
+    "empty_graph",
+    "complete_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+]
+
+
+def from_edge_array(edges: np.ndarray, num_vertices: int | None = None) -> CSRGraph:
+    """Build a graph from an ``(m, 2)`` integer edge array.
+
+    Self loops are removed and duplicates (including reversed duplicates)
+    collapsed.  ``num_vertices`` may extend the vertex set past the largest
+    endpoint id to include isolated vertices.
+    """
+    edges = np.asarray(edges, dtype=VERTEX_DTYPE)
+    if edges.size == 0:
+        edges = edges.reshape(0, 2)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError("edges must have shape (m, 2)")
+    if edges.size and edges.min() < 0:
+        raise ValueError("vertex ids must be non-negative")
+    n = int(edges.max()) + 1 if edges.size else 0
+    if num_vertices is not None:
+        if num_vertices < n:
+            raise ValueError("num_vertices smaller than largest endpoint id")
+        n = int(num_vertices)
+
+    # Canonicalize u < v, drop self loops, deduplicate.
+    u = np.minimum(edges[:, 0], edges[:, 1])
+    v = np.maximum(edges[:, 0], edges[:, 1])
+    keep = u != v
+    u, v = u[keep], v[keep]
+    if u.size:
+        key = u * n + v
+        _, unique_idx = np.unique(key, return_index=True)
+        u, v = u[unique_idx], v[unique_idx]
+
+    # Materialize both directions, then counting-sort into CSR.
+    src = np.concatenate([u, v])
+    dst = np.concatenate([v, u])
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    offsets = np.zeros(n + 1, dtype=VERTEX_DTYPE)
+    np.add.at(offsets, src + 1, 1)
+    np.cumsum(offsets, out=offsets)
+    return CSRGraph(offsets=offsets, dst=dst)
+
+
+def from_edges(
+    edges: Iterable[tuple[int, int]], num_vertices: int | None = None
+) -> CSRGraph:
+    """Build a graph from an iterable of ``(u, v)`` pairs.
+
+    >>> g = from_edges([(0, 1), (1, 2), (0, 2)])
+    >>> g.num_vertices, g.num_edges
+    (3, 3)
+    >>> g.neighbors(0).tolist()
+    [1, 2]
+    """
+    arr = np.array(list(edges), dtype=VERTEX_DTYPE).reshape(-1, 2)
+    return from_edge_array(arr, num_vertices=num_vertices)
+
+
+def from_adjacency(adjacency: Sequence[Sequence[int]]) -> CSRGraph:
+    """Build a graph from an adjacency-list sequence (index = vertex id)."""
+    pairs = [(u, v) for u, nbrs in enumerate(adjacency) for v in nbrs]
+    return from_edges(pairs, num_vertices=len(adjacency))
+
+
+def from_networkx(nx_graph) -> CSRGraph:
+    """Build a graph from an undirected :mod:`networkx` graph.
+
+    Node labels are compacted to ``0..n-1`` in sorted label order; the
+    mapping is returned on the graph via the second tuple element.
+    """
+    nodes = sorted(nx_graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [(index[a], index[b]) for a, b in nx_graph.edges()]
+    return from_edges(edges, num_vertices=len(nodes))
+
+
+# -- tiny canonical graphs used pervasively in tests -------------------------
+
+
+def empty_graph(n: int) -> CSRGraph:
+    return from_edge_array(np.empty((0, 2), dtype=VERTEX_DTYPE), num_vertices=n)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    return from_edges(
+        ((u, v) for u in range(n) for v in range(u + 1, n)), num_vertices=n
+    )
+
+
+def path_graph(n: int) -> CSRGraph:
+    return from_edges(((i, i + 1) for i in range(n - 1)), num_vertices=n)
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    if n < 3:
+        raise ValueError("cycle needs at least 3 vertices")
+    return from_edges(
+        [(i, (i + 1) % n) for i in range(n)], num_vertices=n
+    )
+
+
+def star_graph(n_leaves: int) -> CSRGraph:
+    """Hub vertex 0 connected to ``n_leaves`` leaves."""
+    return from_edges(
+        [(0, i) for i in range(1, n_leaves + 1)], num_vertices=n_leaves + 1
+    )

@@ -1,0 +1,112 @@
+"""Mutable adjacency structure for dynamic-graph workloads.
+
+The static :class:`~repro.graph.csr.CSRGraph` is what every clustering
+algorithm consumes; ``DynamicGraph`` supports edge insertions/removals
+(the workload of the incremental GS*-Index in
+:mod:`repro.core.dynamic_index`) and snapshots to CSR for batch
+re-clustering and cross-validation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+import numpy as np
+
+from .csr import CSRGraph, VERTEX_DTYPE
+from .builders import from_edge_array
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """An undirected simple graph with sorted mutable adjacency lists.
+
+    >>> g = DynamicGraph(3)
+    >>> g.insert_edge(0, 2), g.insert_edge(2, 0)
+    (True, False)
+    >>> g.neighbors(2)
+    [0]
+    """
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._adj: list[list[int]] = [[] for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    @classmethod
+    def from_csr(cls, graph: CSRGraph) -> "DynamicGraph":
+        dyn = cls(graph.num_vertices)
+        dyn._adj = [graph.neighbors(u).tolist() for u in range(len(graph))]
+        dyn._num_edges = graph.num_edges
+        return dyn
+
+    # -- shape -----------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def degree(self, u: int) -> int:
+        return len(self._adj[u])
+
+    def neighbors(self, u: int) -> list[int]:
+        """Sorted neighbor list (a direct reference; do not mutate)."""
+        return self._adj[u]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self._adj[u]
+        i = bisect_left(nbrs, v)
+        return i < len(nbrs) and nbrs[i] == v
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_vertex(self) -> int:
+        """Append an isolated vertex; returns its id."""
+        self._adj.append([])
+        return len(self._adj) - 1
+
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Insert undirected edge ``{u, v}``; False if it already exists."""
+        self._check(u, v)
+        if self.has_edge(u, v):
+            return False
+        insort(self._adj[u], v)
+        insort(self._adj[v], u)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove undirected edge ``{u, v}``; False if absent."""
+        self._check(u, v)
+        if not self.has_edge(u, v):
+            return False
+        self._adj[u].remove(v)
+        self._adj[v].remove(u)
+        self._num_edges -= 1
+        return True
+
+    def _check(self, u: int, v: int) -> None:
+        n = len(self._adj)
+        if not (0 <= u < n and 0 <= v < n):
+            raise IndexError(f"vertex out of range: ({u}, {v}) with n={n}")
+        if u == v:
+            raise ValueError("self loops are not allowed")
+
+    # -- snapshot ------------------------------------------------------------
+
+    def snapshot(self) -> CSRGraph:
+        """Freeze the current state into a normalized CSR graph."""
+        pairs = [
+            (u, v)
+            for u in range(len(self._adj))
+            for v in self._adj[u]
+            if u < v
+        ]
+        edges = np.array(pairs, dtype=VERTEX_DTYPE).reshape(-1, 2)
+        return from_edge_array(edges, num_vertices=len(self._adj))

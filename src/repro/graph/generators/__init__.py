@@ -1,0 +1,31 @@
+"""Synthetic graph generators used by the evaluation harness.
+
+Every generator is deterministic given ``seed`` and returns a normalized
+:class:`~repro.graph.csr.CSRGraph` (sorted adjacency, no self loops, no
+duplicate edges).
+"""
+
+from .er import erdos_renyi
+from .powerlaw import chung_lu, powerlaw_weights
+from .rmat import rmat
+from .roll import roll_graph
+from .community import planted_partition
+from .lfr import lfr_graph
+from .smallworld import watts_strogatz
+from .realworld import (
+    REAL_WORLD_STANDINS,
+    real_world_standin,
+)
+
+__all__ = [
+    "erdos_renyi",
+    "chung_lu",
+    "powerlaw_weights",
+    "rmat",
+    "roll_graph",
+    "planted_partition",
+    "lfr_graph",
+    "watts_strogatz",
+    "real_world_standin",
+    "REAL_WORLD_STANDINS",
+]

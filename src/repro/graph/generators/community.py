@@ -1,0 +1,74 @@
+"""Planted-partition graphs with ground-truth communities.
+
+Used by the community-detection example and the clustering-quality tests:
+SCAN-family algorithms should recover planted blocks as clusters (cores in
+the dense blocks, sparse inter-block vertices as hubs/outliers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr import CSRGraph, VERTEX_DTYPE
+from ..builders import from_edge_array
+
+__all__ = ["planted_partition"]
+
+
+def planted_partition(
+    num_blocks: int,
+    block_size: int,
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> tuple[CSRGraph, np.ndarray]:
+    """Sample a planted-partition graph.
+
+    Vertices ``[b * block_size, (b + 1) * block_size)`` form block ``b``;
+    intra-block pairs connect with probability ``p_in``, inter-block pairs
+    with ``p_out``.  Returns ``(graph, labels)`` where ``labels[v]`` is the
+    planted block of ``v``.
+    """
+    if not (0.0 <= p_out <= p_in <= 1.0):
+        raise ValueError("need 0 <= p_out <= p_in <= 1")
+    n = num_blocks * block_size
+    rng = np.random.default_rng(seed)
+    labels = np.repeat(np.arange(num_blocks, dtype=VERTEX_DTYPE), block_size)
+
+    edges: list[np.ndarray] = []
+
+    # Intra-block edges: dense Bernoulli sampling per block (blocks are
+    # small by construction).
+    iu, iv = np.triu_indices(block_size, k=1)
+    for b in range(num_blocks):
+        mask = rng.random(iu.size) < p_in
+        base = b * block_size
+        if mask.any():
+            edges.append(
+                np.column_stack([iu[mask] + base, iv[mask] + base]).astype(
+                    VERTEX_DTYPE
+                )
+            )
+
+    # Inter-block edges: sample the expected count uniformly over
+    # cross-block pairs (sparse regime).
+    cross_pairs = n * (n - 1) // 2 - num_blocks * iu.size
+    expect = rng.binomial(cross_pairs, p_out) if p_out > 0 else 0
+    drawn = 0
+    while drawn < expect:
+        batch = max(1024, (expect - drawn) * 2)
+        u = rng.integers(0, n, size=batch, dtype=VERTEX_DTYPE)
+        v = rng.integers(0, n, size=batch, dtype=VERTEX_DTYPE)
+        keep = (labels[u] != labels[v]) & (u != v)
+        u, v = u[keep], v[keep]
+        take = min(u.size, expect - drawn)
+        if take:
+            edges.append(np.column_stack([u[:take], v[:take]]))
+            drawn += take
+
+    if edges:
+        all_edges = np.concatenate(edges, axis=0)
+    else:
+        all_edges = np.empty((0, 2), dtype=VERTEX_DTYPE)
+    graph = from_edge_array(all_edges, num_vertices=n)
+    return graph, labels

@@ -1,0 +1,37 @@
+"""Erdős–Rényi ``G(n, m)`` generator (uniform random simple graphs)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr import CSRGraph, VERTEX_DTYPE
+from ..builders import from_edge_array
+
+__all__ = ["erdos_renyi"]
+
+
+def erdos_renyi(n: int, m: int, seed: int = 0) -> CSRGraph:
+    """Sample a uniform simple graph with ``n`` vertices and ``m`` edges.
+
+    Uses rejection-free oversampling: draw batches of candidate pairs,
+    deduplicate, and repeat until ``m`` distinct edges are collected.
+    """
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"m={m} exceeds the {max_edges} possible edges")
+    rng = np.random.default_rng(seed)
+    chosen: np.ndarray = np.empty(0, dtype=np.int64)
+    while chosen.size < m:
+        need = m - chosen.size
+        batch = max(1024, int(need * 1.2))
+        u = rng.integers(0, n, size=batch, dtype=VERTEX_DTYPE)
+        v = rng.integers(0, n, size=batch, dtype=VERTEX_DTYPE)
+        lo, hi = np.minimum(u, v), np.maximum(u, v)
+        keys = lo * n + hi
+        keys = keys[lo != hi]
+        chosen = np.unique(np.concatenate([chosen, keys]))
+        if chosen.size > m:
+            # Keep a uniformly random subset of the distinct edges found.
+            chosen = rng.permutation(chosen)[:m]
+    edges = np.column_stack([chosen // n, chosen % n])
+    return from_edge_array(edges, num_vertices=n)

@@ -1,0 +1,96 @@
+"""LFR-lite benchmark graphs: power-law degrees *and* community sizes.
+
+A lightweight take on the Lancichinetti–Fortunato–Radicchi benchmark: the
+standard stress test for community detection beyond uniform planted
+partitions.  Community sizes follow a truncated power law, per-vertex
+degrees follow a power law, and a mixing parameter ``mu_mix`` routes that
+fraction of each vertex's edge endpoints outside its community.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr import CSRGraph, VERTEX_DTYPE
+from ..builders import from_edge_array
+
+__all__ = ["lfr_graph"]
+
+
+def lfr_graph(
+    n: int,
+    avg_degree: float = 12.0,
+    mu_mix: float = 0.1,
+    degree_gamma: float = 2.5,
+    community_gamma: float = 2.0,
+    min_community: int = 16,
+    seed: int = 0,
+) -> tuple[CSRGraph, np.ndarray]:
+    """Sample an LFR-lite graph; returns ``(graph, community_labels)``.
+
+    ``mu_mix`` ∈ [0, 1] is the expected fraction of inter-community edge
+    endpoints (0 = perfectly separated communities).
+    """
+    if not (0.0 <= mu_mix <= 1.0):
+        raise ValueError("mu_mix must be in [0, 1]")
+    if min_community < 2 or min_community > n:
+        raise ValueError("min_community must be in [2, n]")
+    rng = np.random.default_rng(seed)
+
+    # Community sizes: truncated power law, sampled until n is covered.
+    sizes: list[int] = []
+    max_community = max(min_community + 1, n // 4)
+    while sum(sizes) < n:
+        u = rng.random()
+        # Inverse-CDF sampling of P(s) ~ s^-gamma on [min, max].
+        a = min_community ** (1 - community_gamma)
+        b = max_community ** (1 - community_gamma)
+        size = int((a + u * (b - a)) ** (1 / (1 - community_gamma)))
+        sizes.append(min(size, n - sum(sizes)) if sum(sizes) + size > n else size)
+    if sizes[-1] < min_community and len(sizes) > 1:
+        sizes[-2] += sizes[-1]
+        sizes.pop()
+
+    labels = np.repeat(
+        np.arange(len(sizes), dtype=VERTEX_DTYPE), sizes
+    )[:n]
+    perm = rng.permutation(n)
+    labels = labels[perm]
+
+    # Degrees: power law with the target mean.
+    raw = (1.0 - rng.random(n)) ** (-1.0 / (degree_gamma - 1.0))
+    degrees = raw * (avg_degree / raw.mean())
+
+    # Edge endpoints: each vertex contributes degree "stubs", a mu_mix
+    # fraction wired globally, the rest within its community (Chung-Lu
+    # style sampling on both sides).
+    members: dict[int, np.ndarray] = {
+        int(c): np.flatnonzero(labels == c) for c in np.unique(labels)
+    }
+    edges: list[np.ndarray] = []
+    for c, verts in members.items():
+        w = degrees[verts] * (1.0 - mu_mix)
+        target = int(w.sum() / 2)
+        if target <= 0 or verts.size < 2:
+            continue
+        p = w / w.sum()
+        u = rng.choice(verts, size=2 * target, p=p).astype(VERTEX_DTYPE)
+        v = rng.choice(verts, size=2 * target, p=p).astype(VERTEX_DTYPE)
+        keep = u != v
+        edges.append(np.column_stack([u[keep], v[keep]])[:target])
+    if mu_mix > 0:
+        w = degrees * mu_mix
+        target = int(w.sum() / 2)
+        if target > 0:
+            p = w / w.sum()
+            u = rng.choice(n, size=2 * target, p=p).astype(VERTEX_DTYPE)
+            v = rng.choice(n, size=2 * target, p=p).astype(VERTEX_DTYPE)
+            keep = (u != v) & (labels[u] != labels[v])
+            edges.append(np.column_stack([u[keep], v[keep]])[:target])
+
+    all_edges = (
+        np.concatenate(edges, axis=0)
+        if edges
+        else np.empty((0, 2), dtype=VERTEX_DTYPE)
+    )
+    return from_edge_array(all_edges, num_vertices=n), labels

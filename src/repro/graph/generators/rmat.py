@@ -1,0 +1,50 @@
+"""R-MAT recursive-matrix graph generator (Chakrabarti et al., SDM'04).
+
+Produces graphs with the extreme hub skew characteristic of web crawls —
+our webbase stand-in uses it with a strongly skewed quadrant distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr import CSRGraph, VERTEX_DTYPE
+from ..builders import from_edge_array
+
+__all__ = ["rmat"]
+
+
+def rmat(
+    scale: int,
+    edge_factor: float,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> CSRGraph:
+    """Generate an R-MAT graph with ``2**scale`` vertices.
+
+    ``edge_factor`` is the target ratio |E| / |V| before deduplication;
+    ``(a, b, c)`` are the standard quadrant probabilities with
+    ``d = 1 - a - b - c``.  Edge endpoints are built one bit per level with
+    fully vectorized draws.
+    """
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ValueError("a + b + c must not exceed 1")
+    n = 1 << scale
+    m = int(n * edge_factor)
+    rng = np.random.default_rng(seed)
+
+    u = np.zeros(m, dtype=VERTEX_DTYPE)
+    v = np.zeros(m, dtype=VERTEX_DTYPE)
+    for _ in range(scale):
+        r = rng.random(m)
+        # Quadrant choice: [a | b / c | d] — row bit set for quadrants c, d,
+        # column bit set for quadrants b, d.
+        row_bit = r >= a + b
+        col_bit = (r >= a) & (r < a + b) | (r >= a + b + c)
+        u = (u << 1) | row_bit
+        v = (v << 1) | col_bit
+    edges = np.column_stack([u, v])
+    return from_edge_array(edges, num_vertices=n)

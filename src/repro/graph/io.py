@@ -1,0 +1,152 @@
+"""Graph IO: SNAP-style text edge lists and a compact binary CSR format.
+
+The binary format mirrors the ``b_degree.bin`` / ``b_adj.bin`` convention of
+the original pSCAN/ppSCAN code bases closely enough to make the round trip
+obvious: a small header (magic, vertex count, arc count) followed by the
+offset and destination arrays.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .csr import CSRGraph, VERTEX_DTYPE
+from .builders import from_edge_array
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_csr_binary",
+    "write_csr_binary",
+    "read_matrix_market",
+    "write_matrix_market",
+    "load_graph",
+]
+
+_MAGIC = b"PPSCANG1"
+
+
+def read_edge_list(
+    path: str | os.PathLike,
+    comment: str = "#",
+    compact_ids: bool = False,
+) -> CSRGraph:
+    """Read a whitespace-separated edge list (SNAP format).
+
+    Lines starting with ``comment`` are skipped.  Vertex ids must be
+    non-negative integers; the graph is normalized (deduplicated,
+    symmetric, sorted) on load.  Real SNAP dumps often use sparse,
+    non-contiguous ids — pass ``compact_ids=True`` to remap them densely
+    to ``0..n-1`` (ascending original-id order) instead of materializing
+    ``max(id) + 1`` vertices.
+    """
+    rows: list[tuple[int, int]] = []
+    opener = gzip.open if Path(path).suffix == ".gz" else open
+    with opener(path, "rt", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            rows.append((int(parts[0]), int(parts[1])))
+    edges = np.array(rows, dtype=VERTEX_DTYPE).reshape(-1, 2)
+    if compact_ids and edges.size:
+        unique_ids, edges_flat = np.unique(edges, return_inverse=True)
+        edges = edges_flat.reshape(-1, 2).astype(VERTEX_DTYPE)
+    return from_edge_array(edges)
+
+
+def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write the undirected edge list (one ``u v`` per line, ``u < v``)."""
+    edges = graph.edge_list()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# ppSCAN reproduction edge list |V|={graph.num_vertices}\n")
+        for u, v in edges:
+            fh.write(f"{u} {v}\n")
+
+
+def write_csr_binary(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write the graph in the compact binary CSR format."""
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        header = np.array(
+            [graph.num_vertices, graph.num_arcs], dtype=np.int64
+        )
+        fh.write(header.tobytes())
+        fh.write(np.asarray(graph.offsets, dtype=np.int64).tobytes())
+        fh.write(np.asarray(graph.dst, dtype=np.int64).tobytes())
+
+
+def read_csr_binary(path: str | os.PathLike) -> CSRGraph:
+    """Read a graph written by :func:`write_csr_binary`."""
+    with open(path, "rb") as fh:
+        magic = fh.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise ValueError(f"{path}: bad magic {magic!r}")
+        header = np.frombuffer(fh.read(16), dtype=np.int64)
+        n, arcs = int(header[0]), int(header[1])
+        offsets = np.frombuffer(fh.read(8 * (n + 1)), dtype=np.int64).copy()
+        dst = np.frombuffer(fh.read(8 * arcs), dtype=np.int64).copy()
+    return CSRGraph(offsets=offsets, dst=dst)
+
+
+def read_matrix_market(path: str | os.PathLike) -> CSRGraph:
+    """Read a MatrixMarket coordinate file as an undirected graph.
+
+    Supports ``pattern``/``real``/``integer`` symmetric or general
+    coordinate matrices (1-based indices per the format); entry values are
+    ignored, self loops dropped, and the result normalized like every
+    other loader.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path}: missing MatrixMarket header")
+        parts = header.split()
+        if len(parts) < 4 or parts[2] != "coordinate":
+            raise ValueError(f"{path}: only coordinate format is supported")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        rows, cols, _nnz = (int(x) for x in line.split()[:3])
+        n = max(rows, cols)
+        pairs: list[tuple[int, int]] = []
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            fields = line.split()
+            pairs.append((int(fields[0]) - 1, int(fields[1]) - 1))
+    edges = np.array(pairs, dtype=VERTEX_DTYPE).reshape(-1, 2)
+    return from_edge_array(edges, num_vertices=n)
+
+
+def write_matrix_market(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write the graph as a symmetric pattern MatrixMarket file."""
+    edges = graph.edge_list()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("%%MatrixMarket matrix coordinate pattern symmetric\n")
+        fh.write(f"% ppSCAN reproduction export\n")
+        n = graph.num_vertices
+        fh.write(f"{n} {n} {len(edges)}\n")
+        for u, v in edges:
+            # Symmetric format stores the lower triangle: row >= col.
+            fh.write(f"{v + 1} {u + 1}\n")
+
+
+def load_graph(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph, dispatching on extension: ``.bin`` binary CSR,
+    ``.mtx`` MatrixMarket, else a whitespace edge list (optionally
+    gzip-compressed, the format SNAP distributes)."""
+    suffix = Path(path).suffix
+    if suffix == ".bin":
+        return read_csr_binary(path)
+    if suffix == ".mtx":
+        return read_matrix_market(path)
+    return read_edge_list(path)

@@ -1,0 +1,23 @@
+"""Set-intersection kernels and operation counters."""
+
+from .counters import OpCounter
+from .merge import merge_compsim, merge_count
+from .galloping import galloping_compsim, galloping_count
+from .branchless import branchless_merge_count, simd_shuffle_count
+from .pivot import pivot_compsim, pivot_vectorized_compsim, pivot_vectorized_count
+from .bulk import BulkIntersector, common_neighbor_counts
+
+__all__ = [
+    "OpCounter",
+    "merge_count",
+    "merge_compsim",
+    "galloping_count",
+    "galloping_compsim",
+    "branchless_merge_count",
+    "simd_shuffle_count",
+    "pivot_compsim",
+    "pivot_vectorized_compsim",
+    "pivot_vectorized_count",
+    "BulkIntersector",
+    "common_neighbor_counts",
+]

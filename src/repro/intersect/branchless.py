@@ -1,0 +1,97 @@
+"""Branch-free merge intersection (Inoue et al., VLDB'14 style).
+
+§3.2.2 dismisses branch-misprediction-reduction approaches for pSCAN
+because "they cannot handle early terminations": the branch-free advance
+(`i += a[i] <= b[j]`, `j += b[j] <= a[i]`) removes the unpredictable
+comparison branch but must always run the full merge.  We implement it so
+the kernel-comparison bench can show the trade-off: cheap per-element cost
+(no mispredictions — counted in ``OpCounter.branchless_cmp`` and priced
+separately by the machine models) but a workload that cannot shrink with
+ε.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .counters import OpCounter
+from .merge import as_int_list
+
+__all__ = ["branchless_merge_count", "simd_shuffle_count"]
+
+
+def branchless_merge_count(
+    a: Sequence[int], b: Sequence[int], counter: OpCounter | None = None
+) -> int:
+    """Full ``|a ∩ b|`` with branch-free advances (no early termination)."""
+    la, lb = as_int_list(a), as_int_list(b)
+    na, nb = len(la), len(lb)
+    i = j = matches = steps = 0
+    while i < na and j < nb:
+        x, y = la[i], lb[j]
+        steps += 1
+        # Branch-free: booleans are the advance amounts.
+        matches += x == y
+        i += x <= y
+        j += y <= x
+    if counter is not None:
+        counter.invocations += 1
+        counter.branchless_cmp += steps
+    return matches
+
+
+def simd_shuffle_count(
+    a: Sequence[int],
+    b: Sequence[int],
+    lanes: int = 4,
+    counter: OpCounter | None = None,
+) -> int:
+    """Block-wise all-pairs SIMD intersection (Inoue et al.'s full
+    algorithm, the style SCAN-XP's Xeon Phi kernel uses).
+
+    Each step compares one ``lanes``-element block from each side via
+    ``lanes`` rotate-and-compare rounds (all-pairs needs one round per
+    cyclic alignment, so ``lanes`` ``vector_ops`` are charged per block
+    pair), then advances the block whose last element is smaller.
+    Exactly-once counting holds because a block is only retired when its
+    maximum is below the other side's current block maximum.  No early
+    termination — like the branchless merge, its workload cannot shrink
+    with ε.
+    """
+    if lanes < 2:
+        raise ValueError("lanes must be >= 2")
+    la, lb = as_int_list(a), as_int_list(b)
+    na, nb = len(la), len(lb)
+    i = j = matches = 0
+    vec_ops = 0
+    scalar = 0
+    while i + lanes <= na and j + lanes <= nb:
+        block_a = la[i : i + lanes]
+        block_b = lb[j : j + lanes]
+        vec_ops += lanes  # one rotate+compare round per alignment
+        matches += len(set(block_a) & set(block_b))
+        last_a, last_b = block_a[-1], block_b[-1]
+        if last_a < last_b:
+            i += lanes
+        elif last_a > last_b:
+            j += lanes
+        else:
+            i += lanes
+            j += lanes
+    # Scalar tails (fewer than one block on a side).
+    while i < na and j < nb:
+        x, y = la[i], lb[j]
+        scalar += 1
+        if x < y:
+            i += 1
+        elif x > y:
+            j += 1
+        else:
+            matches += 1
+            i += 1
+            j += 1
+    if counter is not None:
+        counter.invocations += 1
+        counter.vector_ops += vec_ops
+        counter.scalar_cmp += scalar
+    return matches

@@ -1,0 +1,83 @@
+"""Operation counters feeding the cost model and the paper's figures.
+
+Every intersection kernel reports the work it did in hardware-independent
+units.  These counts drive three things:
+
+* Figure 4 (CompSim invocation counts),
+* Figure 5 (vector-vs-scalar core-checking speedup via the machine model),
+* the workload theorems (e.g. Theorem 3.4's ``2 * sum(d(v)^2)``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["OpCounter"]
+
+
+class OpCounter:
+    """Mutable tally of intersection work.
+
+    Attributes
+    ----------
+    invocations:
+        number of CompSim calls that actually ran a kernel.
+    scalar_cmp:
+        scalar element comparisons (the merge loop's unit of work; Theorem
+        3.4 charges ``d(u) + d(v)`` of these per exhaustive CompSim).
+    branchless_cmp:
+        branch-free merge steps (Inoue-style kernels: cheaper per step —
+        no mispredictions — but never early-terminating).
+    vector_ops:
+        vector block operations (one per load+compare+popcount block of
+        Algorithm 6, regardless of lane width).
+    bound_updates:
+        updates of the ``du``/``dv``/``cn`` intersection-count bounds.
+    early_exits:
+        kernel invocations that terminated before exhausting both arrays.
+    """
+
+    __slots__ = (
+        "invocations",
+        "scalar_cmp",
+        "branchless_cmp",
+        "vector_ops",
+        "bound_updates",
+        "early_exits",
+    )
+
+    def __init__(self) -> None:
+        self.invocations = 0
+        self.scalar_cmp = 0
+        self.branchless_cmp = 0
+        self.vector_ops = 0
+        self.bound_updates = 0
+        self.early_exits = 0
+
+    def add(self, other: "OpCounter") -> None:
+        """Accumulate another counter into this one."""
+        self.invocations += other.invocations
+        self.scalar_cmp += other.scalar_cmp
+        self.branchless_cmp += other.branchless_cmp
+        self.vector_ops += other.vector_ops
+        self.bound_updates += other.bound_updates
+        self.early_exits += other.early_exits
+
+    def copy(self) -> "OpCounter":
+        dup = OpCounter()
+        dup.add(self)
+        return dup
+
+    def reset(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"OpCounter({parts})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OpCounter):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()

@@ -1,0 +1,122 @@
+"""Galloping (exponential + binary search) set intersection.
+
+Included as the baseline the paper's §3.2.2 dismisses for pSCAN: galloping
+wins when one array is much shorter, but its irregular memory access and
+incompatibility with the early-termination bounds make it unsuitable for
+structural-similarity computation.  We keep it for the kernel comparison
+benches and to validate the other kernels against a third implementation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+from .counters import OpCounter
+from .merge import as_int_list
+
+__all__ = ["galloping_count", "galloping_compsim"]
+
+
+def _gallop(arr: list[int], start: int, target: int) -> tuple[int, int]:
+    """First index ``>= start`` whose value is ``>= target``.
+
+    Returns ``(index, probes)`` where probes counts comparisons performed
+    during the exponential phase plus the binary-search depth.
+    """
+    n = len(arr)
+    step = 1
+    probes = 0
+    hi = start
+    while hi < n and arr[hi] < target:
+        probes += 1
+        hi += step
+        step <<= 1
+    lo = max(start, hi - (step >> 1))
+    hi = min(hi, n)
+    idx = bisect_left(arr, target, lo, hi)
+    probes += max(1, (hi - lo).bit_length())
+    return idx, probes
+
+
+def galloping_count(
+    a: Sequence[int], b: Sequence[int], counter: OpCounter | None = None
+) -> int:
+    """``|a ∩ b|`` by galloping the shorter array through the longer one."""
+    la, lb = as_int_list(a), as_int_list(b)
+    if len(la) > len(lb):
+        la, lb = lb, la
+    matches = 0
+    probes_total = 0
+    pos = 0
+    nb = len(lb)
+    for x in la:
+        pos, probes = _gallop(lb, pos, x)
+        probes_total += probes
+        if pos < nb and lb[pos] == x:
+            matches += 1
+            pos += 1
+        probes_total += 1
+    if counter is not None:
+        counter.invocations += 1
+        counter.scalar_cmp += probes_total
+    return matches
+
+
+def galloping_compsim(
+    a: Sequence[int],
+    b: Sequence[int],
+    min_cn: int,
+    counter: OpCounter | None = None,
+) -> bool:
+    """Galloping CompSim with the Definition-3.9 bounds.
+
+    Galloping *can* maintain the intersection-count bounds (each skipped
+    run decrements the long side's upper bound by the run length), but
+    every probe is an irregular memory access — the reason §3.2.2 rejects
+    it for pSCAN.  Provided so the kernel bench can quantify that verdict.
+    """
+    la, lb = as_int_list(a), as_int_list(b)
+    # Gallop the shorter array through the longer one.
+    swapped = len(la) > len(lb)
+    if swapped:
+        la, lb = lb, la
+    na, nb = len(la), len(lb)
+    d_short = na + 2
+    d_long = nb + 2
+    cn = 2
+    probes_total = 0
+    early = False
+    result: bool | None = None
+
+    if cn >= min_cn:
+        result, early = True, True
+    elif d_short < min_cn or d_long < min_cn:
+        result, early = False, True
+    else:
+        pos = 0
+        for idx, x in enumerate(la):
+            new_pos, probes = _gallop(lb, pos, x)
+            probes_total += probes + 1
+            # Skipped long-side elements can no longer match.
+            d_long -= new_pos - pos
+            pos = new_pos
+            if pos < nb and lb[pos] == x:
+                cn += 1
+                pos += 1
+                if cn >= min_cn:
+                    result, early = True, True
+                    break
+            else:
+                d_short -= 1
+            if d_short < min_cn or d_long < min_cn:
+                result, early = False, True
+                break
+        if result is None:
+            result = cn >= min_cn
+
+    if counter is not None:
+        counter.invocations += 1
+        counter.scalar_cmp += probes_total
+        counter.early_exits += 1 if early else 0
+    return result

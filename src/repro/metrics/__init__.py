@@ -1,0 +1,5 @@
+"""Instrumentation: machine-independent work records."""
+
+from .records import RunRecord, StageRecord, TaskCost
+
+__all__ = ["TaskCost", "StageRecord", "RunRecord"]

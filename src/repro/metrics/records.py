@@ -1,0 +1,99 @@
+"""Machine-independent work records.
+
+A clustering run produces a :class:`RunRecord`: per stage, the list of
+per-task operation tallies the execution actually performed.  Records are
+priced *afterwards* by any :class:`~repro.parallel.machine.MachineSpec`
+at any thread count — one run yields the whole scalability curve, exactly
+as if the schedule had been replayed on that machine (the schedule itself
+is thread-count independent in ppSCAN's BSP phase structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TaskCost", "StageRecord", "RunRecord"]
+
+
+@dataclass
+class TaskCost:
+    """Work performed by one scheduled task (Algorithm 5 unit).
+
+    Attributes
+    ----------
+    scalar_cmp / vector_ops / bound_updates:
+        intersection-kernel work (see :class:`repro.intersect.OpCounter`).
+    arcs:
+        adjacency entries scanned outside the kernels (drives memory
+        traffic and the light per-arc bookkeeping cost).
+    atomics:
+        union-find CAS/find operations and cluster-id CAS attempts.
+    allocs:
+        dynamic memory allocations (anySCAN's super-node bookkeeping; zero
+        for the allocation-free ppSCAN phases).
+    compsims:
+        CompSim kernel invocations (Figure 4's unit).
+    """
+
+    scalar_cmp: int = 0
+    branchless_cmp: int = 0
+    vector_ops: int = 0
+    bound_updates: int = 0
+    arcs: int = 0
+    atomics: int = 0
+    allocs: int = 0
+    compsims: int = 0
+
+    def add(self, other: "TaskCost") -> None:
+        self.scalar_cmp += other.scalar_cmp
+        self.branchless_cmp += other.branchless_cmp
+        self.vector_ops += other.vector_ops
+        self.bound_updates += other.bound_updates
+        self.arcs += other.arcs
+        self.atomics += other.atomics
+        self.allocs += other.allocs
+        self.compsims += other.compsims
+
+
+@dataclass
+class StageRecord:
+    """One ppSCAN phase (or one section of a sequential algorithm)."""
+
+    name: str
+    tasks: list[TaskCost] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def total(self) -> TaskCost:
+        agg = TaskCost()
+        for task in self.tasks:
+            agg.add(task)
+        return agg
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+
+@dataclass
+class RunRecord:
+    """Full instrumented run of one algorithm on one graph."""
+
+    algorithm: str
+    stages: list[StageRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def stage(self, name: str) -> StageRecord:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage named {name!r} in {self.algorithm} run")
+
+    def total(self) -> TaskCost:
+        agg = TaskCost()
+        for stage in self.stages:
+            agg.add(stage.total())
+        return agg
+
+    @property
+    def compsim_invocations(self) -> int:
+        return self.total().compsims

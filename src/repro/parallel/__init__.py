@@ -1,0 +1,27 @@
+"""Parallel runtime: machine models, task scheduling, execution backends."""
+
+from .machine import CPU_SERVER, KNL_SERVER, MachineSpec
+from .scheduler import (
+    DEFAULT_DEGREE_THRESHOLD,
+    degree_based_tasks,
+    uniform_tasks,
+)
+from .simthread import assign_tasks, greedy_makespan
+from .backend import ExecutionBackend, ProcessBackend, SerialBackend
+from .trace import ScheduleTrace, trace_stage
+
+__all__ = [
+    "MachineSpec",
+    "CPU_SERVER",
+    "KNL_SERVER",
+    "DEFAULT_DEGREE_THRESHOLD",
+    "degree_based_tasks",
+    "uniform_tasks",
+    "assign_tasks",
+    "greedy_makespan",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "ScheduleTrace",
+    "trace_stage",
+]

@@ -1,0 +1,80 @@
+"""Schedule traces: per-worker timelines of a priced stage.
+
+Turns the greedy list schedule the machine model prices into a readable
+report — which worker ran which tasks, per-worker load, and the imbalance
+ratio — the tool behind the task-threshold ablation's narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.records import StageRecord
+from .machine import MachineSpec
+from .simthread import assign_tasks
+
+__all__ = ["ScheduleTrace", "trace_stage"]
+
+
+@dataclass(frozen=True)
+class ScheduleTrace:
+    """Summary of one stage's simulated schedule."""
+
+    stage_name: str
+    workers: int
+    loads: list[float]
+    assignment: list[int]
+    task_cycles: list[float]
+
+    @property
+    def makespan(self) -> float:
+        return max(self.loads) if self.loads else 0.0
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.task_cycles)
+
+    @property
+    def imbalance(self) -> float:
+        """Makespan / (total work / workers); 1.0 is a perfect balance."""
+        if not self.task_cycles or self.total_work == 0:
+            return 1.0
+        ideal = self.total_work / self.workers
+        return self.makespan / ideal if ideal else 1.0
+
+    def tasks_per_worker(self) -> list[int]:
+        counts = [0] * self.workers
+        for w in self.assignment:
+            counts[w] += 1
+        return counts
+
+    def report(self, max_workers: int = 8) -> str:
+        lines = [
+            f"schedule trace: {self.stage_name} on {self.workers} workers",
+            f"  tasks={len(self.task_cycles)}, makespan={self.makespan:.0f} "
+            f"cycles, imbalance={self.imbalance:.2f}x",
+        ]
+        counts = self.tasks_per_worker()
+        for w in range(min(self.workers, max_workers)):
+            lines.append(
+                f"  worker {w}: {counts[w]} tasks, load {self.loads[w]:.0f}"
+            )
+        if self.workers > max_workers:
+            lines.append(f"  ... {self.workers - max_workers} more workers")
+        return "\n".join(lines)
+
+
+def trace_stage(
+    stage: StageRecord, machine: MachineSpec, threads: int
+) -> ScheduleTrace:
+    """Simulate and capture the schedule of one stage at a thread count."""
+    cycles = [machine.task_cycles(t, threads) for t in stage.tasks]
+    workers = max(1, round(machine.throughput(threads)))
+    loads, assignment = assign_tasks(cycles, workers)
+    return ScheduleTrace(
+        stage_name=stage.name,
+        workers=workers,
+        loads=loads,
+        assignment=assignment,
+        task_cycles=cycles,
+    )

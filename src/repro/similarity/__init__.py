@@ -1,0 +1,14 @@
+"""Structural-similarity computation (thresholds, pruning, CompSim)."""
+
+from .threshold import ThresholdTable, min_cn_threshold
+from .engine import KERNELS, SimilarityEngine
+from .bulk import min_cn_arcs, predicate_prune_arcs
+
+__all__ = [
+    "min_cn_threshold",
+    "ThresholdTable",
+    "SimilarityEngine",
+    "KERNELS",
+    "min_cn_arcs",
+    "predicate_prune_arcs",
+]

@@ -1,0 +1,128 @@
+"""The structural-similarity engine shared by every SCAN-family algorithm.
+
+Wraps a graph, an ε threshold table and a pluggable intersection kernel,
+and exposes the three operations the paper's algorithms need:
+
+* ``predicate_prune(u, v)`` — the zero-intersection similarity-predicate
+  pruning of §3.2.2 (returns SIM/NSIM/UNKNOWN from degrees alone);
+* ``compsim(u, v)`` — CompSim with intersection-count bounds and early
+  termination (Definition 3.9);
+* ``compsim_exhaustive(u, v)`` — the full merge-count CompSim that SCAN and
+  SCAN-XP perform (Theorem 3.4's cost accounting).
+
+All kernels agree bit-for-bit on the similarity decision; they differ only
+in the work they report to the :class:`~repro.intersect.OpCounter`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..graph.csr import CSRGraph
+from ..intersect import (
+    OpCounter,
+    merge_compsim,
+    merge_count,
+    pivot_compsim,
+    pivot_vectorized_compsim,
+)
+from ..types import NSIM, SIM, UNKNOWN, ScanParams
+from .threshold import ThresholdTable
+
+__all__ = ["SimilarityEngine", "KERNELS"]
+
+#: Registered early-terminating CompSim kernels, by name.
+KERNELS: dict[str, str] = {
+    "merge": "scalar merge with min-max bounds (pSCAN / ppSCAN-NO)",
+    "pivot": "scalar pivot loop (Algorithm 6 fallback path)",
+    "vectorized": "pivot-based vectorized intersection (Algorithm 6)",
+}
+
+
+class SimilarityEngine:
+    """Similarity predicate evaluation for one ``(graph, ε)`` pair."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        params: ScanParams,
+        kernel: str = "vectorized",
+        lanes: int = 16,
+        counter: OpCounter | None = None,
+    ) -> None:
+        if kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; known: {sorted(KERNELS)}")
+        self.graph = graph
+        self.params = params
+        self.kernel_name = kernel
+        self.lanes = lanes
+        self.counter = counter if counter is not None else OpCounter()
+        self.threshold = ThresholdTable(params.eps_fraction)
+        self._compsim_kernel = self._bind_kernel(kernel, lanes)
+        # Plain-int degree list: hot-path lookups avoid ndarray scalar boxing.
+        self._deg: list[int] = graph.degrees.tolist()
+
+    def _bind_kernel(
+        self, kernel: str, lanes: int
+    ) -> Callable[[Sequence[int], Sequence[int], int, OpCounter], bool]:
+        if kernel == "merge":
+            return merge_compsim
+        if kernel == "pivot":
+            return pivot_compsim
+        return lambda a, b, min_cn, counter: pivot_vectorized_compsim(
+            a, b, min_cn, lanes=lanes, counter=counter
+        )
+
+    # -- threshold and pruning -------------------------------------------
+
+    def min_cn(self, u: int, v: int) -> int:
+        """Similarity threshold on the closed-neighborhood overlap of (u,v)."""
+        return self.threshold(self._deg[u], self._deg[v])
+
+    def predicate_prune(self, u: int, v: int) -> int:
+        """Similarity-predicate pruning from degrees alone (§3.2.2).
+
+        Returns ``SIM`` / ``NSIM`` when the initial intersection-count
+        bounds (``cn = 2``, ``min(d(u), d(v)) + 2``) already decide the
+        predicate, else ``UNKNOWN``.
+        """
+        c = self.min_cn(u, v)
+        if 2 >= c:
+            return SIM
+        if self._deg[u] + 2 < c or self._deg[v] + 2 < c:
+            return NSIM
+        return UNKNOWN
+
+    # -- CompSim variants ----------------------------------------------------
+
+    def kernel(self, a: Sequence[int], b: Sequence[int], min_cn: int) -> bool:
+        """Raw kernel call on pre-fetched neighbor lists (the ppSCAN hot
+        path, which caches adjacency lists and per-arc thresholds)."""
+        return self._compsim_kernel(a, b, min_cn, self.counter)
+
+    def compsim(self, u: int, v: int) -> bool:
+        """Early-terminating CompSim (Definition 3.1 + 3.9 bounds)."""
+        return self._compsim_kernel(
+            self.graph.neighbors(u),
+            self.graph.neighbors(v),
+            self.min_cn(u, v),
+            self.counter,
+        )
+
+    def compsim_state(self, u: int, v: int) -> int:
+        """CompSim returning a SIM/NSIM state instead of a bool."""
+        return SIM if self.compsim(u, v) else NSIM
+
+    def compsim_exhaustive(self, u: int, v: int) -> bool:
+        """Full-count CompSim — what SCAN / SCAN-XP run (no pruning)."""
+        common = merge_count(
+            self.graph.neighbors(u), self.graph.neighbors(v), self.counter
+        )
+        return common + 2 >= self.min_cn(u, v)
+
+    def similarity_value(self, u: int, v: int) -> float:
+        """The raw cosine similarity σ(u, v) of Definition 2.2 (for docs
+        and examples; the algorithms themselves never materialize it)."""
+        common = merge_count(self.graph.neighbors(u), self.graph.neighbors(v))
+        du, dv = self._deg[u] + 1, self._deg[v] + 1
+        return (common + 2) / (du * dv) ** 0.5

@@ -1,0 +1,67 @@
+"""Exact structural-similarity threshold arithmetic (Definition 2.2).
+
+Edge ``(u, v)`` is similar iff ``|Γ(u) ∩ Γ(v)| >= ⌈ε·√((d(u)+1)(d(v)+1))⌉``.
+Computing the ceiling through floating point invites off-by-one
+disagreements exactly at the similarity boundary, which would break the
+bit-for-bit agreement between algorithms that the exactness tests demand.
+We therefore compute the least integer ``k`` with
+``k² · q² >= p² · (d(u)+1)(d(v)+1)`` for ``ε = p/q`` in exact integer
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import isqrt
+
+__all__ = ["min_cn_threshold", "ThresholdTable"]
+
+
+def min_cn_threshold(eps: Fraction, deg_u: int, deg_v: int) -> int:
+    """Least ``k`` such that a closed-neighborhood overlap of ``k`` is similar.
+
+    Equals ``⌈ε·√((d(u)+1)(d(v)+1))⌉`` whenever that product is not an
+    exact integer square times ``ε²``; at exact boundaries it resolves the
+    ``>=`` of Definition 2.2 consistently (count == threshold is similar).
+
+    >>> from fractions import Fraction
+    >>> min_cn_threshold(Fraction(1, 2), 7, 7)   # ceil(0.5 * 8)
+    4
+    >>> min_cn_threshold(Fraction(1), 2, 4)      # ceil(sqrt(15))
+    4
+    """
+    p, q = eps.numerator, eps.denominator
+    target = p * p * (deg_u + 1) * (deg_v + 1)
+    qq = q * q
+    k = isqrt(target // qq)
+    while k * k * qq < target:
+        k += 1
+    while k > 0 and (k - 1) * (k - 1) * qq >= target:
+        k -= 1
+    return k
+
+
+class ThresholdTable:
+    """Memoized ``min_cn`` lookup for one ε over degree pairs.
+
+    Real graphs have far fewer distinct degree pairs than edges, so the
+    cache turns the big-int arithmetic into a dict hit on the hot path.
+    """
+
+    def __init__(self, eps: Fraction) -> None:
+        self._eps = eps
+        self._cache: dict[tuple[int, int], int] = {}
+
+    @property
+    def eps(self) -> Fraction:
+        return self._eps
+
+    def __call__(self, deg_u: int, deg_v: int) -> int:
+        if deg_u > deg_v:
+            deg_u, deg_v = deg_v, deg_u
+        key = (deg_u, deg_v)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = min_cn_threshold(self._eps, deg_u, deg_v)
+            self._cache[key] = cached
+        return cached

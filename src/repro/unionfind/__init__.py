@@ -1,0 +1,6 @@
+"""Disjoint-set forests: sequential and wait-free-structured variants."""
+
+from .sequential import UnionFind
+from .atomic import AtomicUnionFind
+
+__all__ = ["UnionFind", "AtomicUnionFind"]

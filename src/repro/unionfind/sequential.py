@@ -1,0 +1,55 @@
+"""Sequential disjoint-set forest (union by size, path halving)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Classic disjoint sets over ``0..n-1``.
+
+    Used by the sequential pSCAN implementation and as the reference the
+    wait-free variant is tested against.
+    """
+
+    __slots__ = ("_parent", "_size", "num_finds", "num_unions")
+
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self.num_finds = 0
+        self.num_unions = 0
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, x: int) -> int:
+        """Root of ``x``'s set, with path halving."""
+        parent = self._parent
+        self.num_finds += 1
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of ``x`` and ``y``; returns whether a merge happened."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        self.num_unions += 1
+        size = self._size
+        if size[rx] < size[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        size[rx] += size[ry]
+        return True
+
+    def same_set(self, x: int, y: int) -> bool:
+        return self.find(x) == self.find(y)
+
+    def component_labels(self) -> np.ndarray:
+        """``labels[v]`` = root of ``v``'s set (fully compressed)."""
+        return np.array([self.find(v) for v in range(len(self._parent))])

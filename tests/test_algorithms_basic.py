@@ -1,0 +1,133 @@
+"""Per-algorithm behaviour on canonical small graphs and parameter edges."""
+
+import numpy as np
+import pytest
+
+from repro.core import anyscan, brute_force_scan, ppscan, pscan, scan, scanxp
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_edges,
+    path_graph,
+    star_graph,
+)
+from repro.types import CORE, NONCORE, ScanParams
+
+ALGORITHMS = [scan, pscan, ppscan, scanxp, anyscan, brute_force_scan]
+ALGO_IDS = ["scan", "pscan", "ppscan", "scanxp", "anyscan", "brute"]
+
+
+@pytest.mark.parametrize("algo", ALGORITHMS, ids=ALGO_IDS)
+class TestCanonicalGraphs:
+    def test_empty_graph(self, algo):
+        r = algo(empty_graph(4), ScanParams(0.5, 1))
+        assert r.num_clusters == 0
+        assert np.all(r.roles == NONCORE)
+
+    def test_single_vertex(self, algo):
+        r = algo(empty_graph(1), ScanParams(0.5, 1))
+        assert r.num_clusters == 0
+
+    def test_triangle_all_cores(self, algo):
+        # Hand-computed: closed overlap 3 >= ceil(0.5*3) = 2; sd = 2 >= mu.
+        r = algo(complete_graph(3), ScanParams(0.5, 2))
+        assert np.all(r.roles == CORE)
+        assert r.num_clusters == 1
+        assert r.core_labels.tolist() == [0, 0, 0]
+
+    def test_complete_graph_one_cluster(self, algo):
+        r = algo(complete_graph(8), ScanParams(0.8, 3))
+        assert r.num_clusters == 1
+        assert r.num_cores == 8
+
+    def test_path_graph_mu2(self, algo):
+        # Interior path vertices: neighbors share no common neighbors;
+        # overlap = 2, thresholds > 2 for eps = 0.9 -> no cores.
+        r = algo(path_graph(6), ScanParams(0.9, 2))
+        assert r.num_cores == 0
+        assert r.num_clusters == 0
+
+    def test_cycle_eps_small_all_cores(self, algo):
+        # eps = 0.1: threshold ceil(0.1 * 3) = 1 <= 2 -> every edge similar.
+        r = algo(cycle_graph(6), ScanParams(0.1, 2))
+        assert np.all(r.roles == CORE)
+        assert r.num_clusters == 1
+
+    def test_star_hub_not_core(self, algo):
+        # Leaves share nothing with the hub beyond the pair itself.
+        r = algo(star_graph(8), ScanParams(0.9, 2))
+        assert r.roles[0] == NONCORE
+        assert r.num_clusters == 0
+
+    def test_mu_above_max_degree(self, algo):
+        r = algo(complete_graph(5), ScanParams(0.1, 10))
+        assert r.num_cores == 0
+
+    def test_eps_one(self, algo):
+        # eps = 1 demands full closed-neighborhood containment both ways.
+        r = algo(complete_graph(4), ScanParams(1.0, 2))
+        assert np.all(r.roles == CORE)  # K4: overlap 4 = threshold 4
+
+    def test_mu_one(self, algo):
+        # mu = 1: one similar neighbor suffices.
+        r = algo(from_edges([(0, 1)]), ScanParams(0.5, 1))
+        assert np.all(r.roles == CORE)
+        assert r.num_clusters == 1
+
+    def test_two_components_two_clusters(self, algo):
+        g = from_edges(
+            [(0, 1), (1, 2), (0, 2), (10, 11), (11, 12), (10, 12)],
+            num_vertices=13,
+        )
+        r = algo(g, ScanParams(0.5, 2))
+        assert r.num_clusters == 2
+        assert set(r.cluster_ids.tolist()) == {0, 10}
+
+    def test_cluster_id_is_min_core_id(self, algo):
+        g = from_edges([(3, 4), (4, 5), (3, 5)])
+        r = algo(g, ScanParams(0.5, 2))
+        assert r.cluster_ids.tolist() == [3]
+
+
+class TestNonCoreMembership:
+    def test_border_vertex_in_two_clusters(self):
+        # Two triangles sharing border vertex 6 via one edge each; with the
+        # right eps, 6 is similar to a core of each cluster but not a core.
+        g = from_edges(
+            [
+                (0, 1), (1, 2), (0, 2),
+                (3, 4), (4, 5), (3, 5),
+                (6, 0), (6, 3),
+                (6, 1), (6, 4),
+            ]
+        )
+        params = ScanParams(0.55, 2)
+        ref = brute_force_scan(g, params)
+        member = ref.membership()
+        if len(member[6]) == 2:  # the interesting configuration
+            for algo in (scan, pscan, ppscan, scanxp, anyscan):
+                assert algo(g, params).membership()[6] == member[6]
+
+    def test_isolated_vertices_ignored(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], num_vertices=6)
+        r = ppscan(g, ScanParams(0.5, 2))
+        assert np.all(r.roles[3:] == NONCORE)
+        assert r.clusters()[0].tolist() == [0, 1, 2]
+
+
+class TestRecords:
+    def test_all_parallel_algorithms_attach_records(self):
+        g = complete_graph(10)
+        params = ScanParams(0.5, 3)
+        for algo in (scan, pscan, ppscan, scanxp, anyscan):
+            record = algo(g, params).record
+            assert record is not None
+            assert record.wall_seconds > 0
+            assert len(record.stages) >= 2
+
+    def test_ppscan_stage_names(self):
+        from repro.core import PPSCAN_STAGES
+
+        r = ppscan(complete_graph(8), ScanParams(0.5, 2))
+        assert tuple(s.name for s in r.record.stages) == PPSCAN_STAGES

@@ -1,0 +1,110 @@
+"""Dataset analysis: similarity profiles, pruning profiles, core curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    core_ratio_curve,
+    edge_similarities,
+    pruning_profile,
+    similarity_histogram,
+)
+from repro.core import ppscan
+from repro.graph import complete_graph, empty_graph, from_edges, star_graph
+from repro.graph.generators import chung_lu, erdos_renyi, powerlaw_weights
+from repro.types import CORE, ScanParams
+
+
+class TestEdgeSimilarities:
+    def test_triangle_all_one(self):
+        sims = edge_similarities(complete_graph(3))
+        assert np.allclose(sims, 1.0)
+
+    def test_complete_graph_all_one(self):
+        sims = edge_similarities(complete_graph(7))
+        assert np.allclose(sims, 1.0)
+
+    def test_star_values(self):
+        # Hub (deg k) to leaf (deg 1): overlap 2, denom sqrt((k+1)*2).
+        k = 5
+        sims = edge_similarities(star_graph(k))
+        expected = 2 / np.sqrt((k + 1) * 2)
+        assert np.allclose(sims, expected)
+
+    def test_bounds(self):
+        g = erdos_renyi(60, 240, seed=1)
+        sims = edge_similarities(g)
+        assert np.all(sims > 0)
+        assert np.all(sims <= 1.0 + 1e-12)
+
+    def test_empty_graph(self):
+        assert edge_similarities(empty_graph(4)).size == 0
+
+    def test_consistent_with_predicate(self):
+        """sigma >= eps iff the exact integer predicate says similar."""
+        from repro.similarity import SimilarityEngine
+
+        g = erdos_renyi(40, 160, seed=2)
+        params = ScanParams(0.5, 2)
+        engine = SimilarityEngine(g, params)
+        sims = edge_similarities(g)
+        for (u, v), sigma in zip(g.edge_list(), sims):
+            expected = engine.compsim_exhaustive(int(u), int(v))
+            # Away from the exact boundary, float sigma agrees.
+            if abs(sigma - 0.5) > 1e-9:
+                assert (sigma >= 0.5) == expected
+
+
+class TestHistogram:
+    def test_sums_to_edges(self):
+        g = erdos_renyi(50, 200, seed=3)
+        counts, bins = similarity_histogram(g, bins=5)
+        assert counts.sum() == g.num_edges
+        assert bins[0] == 0.0 and bins[-1] == 1.0
+
+
+class TestPruningProfile:
+    def test_partition_of_arcs(self):
+        g = chung_lu(powerlaw_weights(150, 2.2), 900, seed=4)
+        profile = pruning_profile(g, ScanParams(0.5, 3))
+        assert (
+            profile.pruned_sim + profile.pruned_nsim + profile.unknown
+            == g.num_arcs
+        )
+        assert 0.0 <= profile.arcs_resolved_fraction <= 1.0
+
+    def test_more_pruning_at_extreme_eps(self):
+        g = chung_lu(powerlaw_weights(150, 2.2), 900, seed=4)
+        mid = pruning_profile(g, ScanParams(0.5, 3))
+        high = pruning_profile(g, ScanParams(0.95, 3))
+        assert high.arcs_resolved_fraction >= mid.arcs_resolved_fraction
+
+    def test_settled_roles_match_ppscan_prune_phase(self):
+        """Vertices the profile calls settled never enter CheckCore."""
+        g = erdos_renyi(60, 250, seed=5)
+        params = ScanParams(0.8, 2)
+        profile = pruning_profile(g, params)
+        record = ppscan(g, params).record
+        check_arcs = record.stage("core checking").total().arcs
+        # If everything were settled, checking would scan nothing.
+        if profile.roles_settled_fraction == 1.0:
+            assert check_arcs == 0
+
+    def test_empty_graph(self):
+        profile = pruning_profile(empty_graph(3), ScanParams(0.5, 1))
+        assert profile.arcs_resolved_fraction == 1.0
+
+
+class TestCoreRatioCurve:
+    def test_monotone_decreasing_in_eps(self):
+        g = chung_lu(powerlaw_weights(200, 2.3), 1200, seed=6)
+        curve = core_ratio_curve(g, (0.2, 0.5, 0.8), mu=3)
+        values = list(curve.values())
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_direct_count(self):
+        g = erdos_renyi(50, 220, seed=7)
+        curve = core_ratio_curve(g, (0.4,), mu=2)
+        result = ppscan(g, ScanParams(0.4, 2))
+        expected = np.count_nonzero(result.roles == CORE) / 50
+        assert curve[0.4] == pytest.approx(expected)

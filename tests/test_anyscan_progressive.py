@@ -1,0 +1,83 @@
+"""anySCAN's anytime mode: monotone snapshots, exact final result."""
+
+import numpy as np
+import pytest
+
+from repro.core import anyscan, anyscan_progressive
+from repro.graph.generators import chung_lu, erdos_renyi, powerlaw_weights
+from repro.types import CORE, ROLE_UNKNOWN, ScanParams
+
+
+@pytest.fixture(scope="module")
+def case():
+    g = chung_lu(powerlaw_weights(200, 2.3), 1100, seed=29)
+    return g, ScanParams(0.35, 3)
+
+
+class TestProgressive:
+    def test_final_snapshot_is_exact(self, case):
+        g, params = case
+        final = anyscan(g, params)
+        *_, last = anyscan_progressive(g, params, alpha=64)
+        assert np.array_equal(last.roles, final.roles)
+        assert np.array_equal(last.core_labels, final.core_labels)
+
+    def test_processed_roles_are_final(self, case):
+        g, params = case
+        final = anyscan(g, params)
+        for snap in anyscan_progressive(g, params, alpha=50):
+            prefix = snap.roles[: snap.processed]
+            assert np.all(prefix != ROLE_UNKNOWN)
+            assert np.array_equal(prefix, final.roles[: snap.processed])
+
+    def test_roles_monotone_across_snapshots(self, case):
+        g, params = case
+        prev = None
+        for snap in anyscan_progressive(g, params, alpha=40):
+            if prev is not None:
+                known = prev != ROLE_UNKNOWN
+                assert np.all(snap.roles[known] == prev[known])
+            prev = snap.roles
+
+    def test_clusters_only_merge(self, case):
+        """Provisional clusters refine by merging: once two cores share a
+        cluster they never separate."""
+        g, params = case
+        prev_labels = None
+        for snap in anyscan_progressive(g, params, alpha=40):
+            labels = snap.core_labels
+            if prev_labels is not None:
+                cores = np.flatnonzero(
+                    (prev_labels >= 0) & (labels >= 0)
+                )
+                seen: dict[int, int] = {}
+                for v in cores.tolist():
+                    old = int(prev_labels[v])
+                    new = int(labels[v])
+                    if old in seen:
+                        assert seen[old] == new, "cluster split detected"
+                    else:
+                        seen[old] = new
+            prev_labels = labels
+
+    def test_snapshot_count_and_fractions(self, case):
+        g, params = case
+        snaps = list(anyscan_progressive(g, params, alpha=64))
+        expected = -(-g.num_vertices // 64)
+        assert len(snaps) == expected
+        fractions = [s.fraction for s in snaps]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_alpha_validation(self, case):
+        g, params = case
+        with pytest.raises(ValueError):
+            next(anyscan_progressive(g, params, alpha=0))
+
+    def test_small_graph_single_block(self):
+        g = erdos_renyi(10, 20, seed=1)
+        params = ScanParams(0.5, 2)
+        snaps = list(anyscan_progressive(g, params, alpha=100))
+        assert len(snaps) == 1
+        final = anyscan(g, params)
+        assert np.array_equal(snaps[0].roles, final.roles)

@@ -1,0 +1,99 @@
+"""Execution backends: serial vs process, write/commit protocol."""
+
+import pytest
+
+from repro.metrics import TaskCost
+from repro.parallel import ProcessBackend, SerialBackend
+
+
+def make_square_task(results: list):
+    def run_task(beg, end):
+        writes = [(i, i * i) for i in range(beg, end)]
+        return writes, TaskCost(arcs=end - beg)
+
+    def commit(writes):
+        results.extend(writes)
+
+    return run_task, commit
+
+
+class TestSerialBackend:
+    def test_runs_in_order_and_commits(self):
+        results = []
+        run_task, commit = make_square_task(results)
+        records = SerialBackend().run_phase(
+            [(0, 3), (3, 5)], run_task, commit
+        )
+        assert results == [(i, i * i) for i in range(5)]
+        assert [r.arcs for r in records] == [3, 2]
+
+    def test_commit_interleaves_with_tasks(self):
+        """Serial backend commits task N before running task N+1."""
+        seen_at_start = []
+        state = []
+
+        def run_task(beg, end):
+            seen_at_start.append(len(state))
+            return list(range(beg, end)), TaskCost()
+
+        def commit(writes):
+            state.extend(writes)
+
+        SerialBackend().run_phase([(0, 2), (2, 4)], run_task, commit)
+        assert seen_at_start == [0, 2]
+
+    def test_empty_phase(self):
+        assert SerialBackend().run_phase([], lambda b, e: None, lambda w: None) == []
+
+
+class TestProcessBackend:
+    def test_same_results_as_serial(self):
+        serial_results, proc_results = [], []
+        run_s, commit_s = make_square_task(serial_results)
+        run_p, commit_p = make_square_task(proc_results)
+        tasks = [(0, 4), (4, 8), (8, 12)]
+        SerialBackend().run_phase(tasks, run_s, commit_s)
+        ProcessBackend(workers=2).run_phase(tasks, run_p, commit_p)
+        assert sorted(serial_results) == sorted(proc_results)
+
+    def test_bulk_synchronous_commits(self):
+        """Process backend defers all commits to the phase barrier: no task
+        observes another task's writes."""
+        state = []
+        observed = []
+
+        def run_task(beg, end):
+            observed.append(len(state))
+            return list(range(beg, end)), TaskCost()
+
+        def commit(writes):
+            state.extend(writes)
+
+        # workers=1 path still applies BSP semantics.
+        ProcessBackend(workers=1).run_phase(
+            [(0, 2), (2, 4), (4, 6)], run_task, commit
+        )
+        assert observed == [0, 0, 0]
+        assert len(state) == 6
+
+    def test_records_preserved_per_task(self):
+        def run_task(beg, end):
+            return None, TaskCost(scalar_cmp=end - beg)
+
+        records = ProcessBackend(workers=2).run_phase(
+            [(0, 5), (5, 7)], run_task, lambda w: None
+        )
+        assert [r.scalar_cmp for r in records] == [5, 2]
+
+    def test_single_task_runs_inline(self):
+        records = ProcessBackend(workers=4).run_phase(
+            [(0, 3)], lambda b, e: (None, TaskCost(arcs=e - b)), lambda w: None
+        )
+        assert records[0].arcs == 3
+
+    def test_default_workers_positive(self):
+        assert ProcessBackend().workers >= 1
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(workers=0)

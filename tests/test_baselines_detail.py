@@ -1,0 +1,129 @@
+"""Baseline-specific behaviour: pSCAN ordering, SCAN-XP exhaustiveness,
+anySCAN blocks and memory model."""
+
+import numpy as np
+import pytest
+
+from repro.core import anyscan, pscan, scanxp
+from repro.core.anyscan import (
+    BYTES_PER_EDGE,
+    BYTES_PER_VERTEX,
+    estimated_memory_bytes,
+)
+from repro.graph.generators import chung_lu, erdos_renyi, powerlaw_weights
+from repro.types import ScanParams
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu(powerlaw_weights(250, 2.4), 1500, seed=10)
+
+
+class TestPscan:
+    def test_ed_order_vs_static_same_result(self, graph):
+        params = ScanParams(0.4, 4)
+        a = pscan(graph, params)
+        b = pscan(graph, params, use_ed_order=False)
+        assert a.same_clustering(b)
+
+    def test_ed_order_effect_on_invocations_small(self, graph):
+        """The paper's §4.1 claim: dropping the ed priority queue has a
+        negligible effect on workload reduction."""
+        params = ScanParams(0.3, 5)
+        ordered = pscan(graph, params).record.compsim_invocations
+        static = pscan(
+            graph, params, use_ed_order=False
+        ).record.compsim_invocations
+        assert static <= ordered * 1.5 + 10
+        assert ordered <= static * 1.5 + 10
+
+    def test_breakdown_stages_present(self, graph):
+        record = pscan(graph, ScanParams(0.4, 4)).record
+        names = [s.name for s in record.stages]
+        assert "similarity evaluation" in names
+        assert "workload reduction computation" in names
+        assert "other computation" in names
+
+    def test_fewer_invocations_than_edges(self, graph):
+        record = pscan(graph, ScanParams(0.2, 5)).record
+        assert 0 < record.compsim_invocations <= graph.num_edges
+
+
+class TestScanXP:
+    def test_exhaustive_two_per_edge(self, graph):
+        """SCAN-XP computes each arc independently: 2|E| invocations."""
+        record = scanxp(graph, ScanParams(0.4, 4)).record
+        assert record.compsim_invocations == graph.num_arcs
+
+    def test_workload_independent_of_eps(self, graph):
+        r1 = scanxp(graph, ScanParams(0.2, 4)).record.total()
+        r2 = scanxp(graph, ScanParams(0.8, 4)).record.total()
+        assert r1.scalar_cmp == r2.scalar_cmp
+        assert r1.vector_ops == r2.vector_ops
+
+    def test_uses_vector_ops(self, graph):
+        assert scanxp(graph, ScanParams(0.4, 4)).record.total().vector_ops > 0
+
+
+class TestAnyScan:
+    def test_alpha_invariance(self, graph):
+        params = ScanParams(0.4, 4)
+        base = anyscan(graph, params, alpha=64)
+        for alpha in (1, 17, 512, 10**6):
+            assert base.same_clustering(anyscan(graph, params, alpha=alpha))
+
+    def test_alpha_validation(self, graph):
+        with pytest.raises(ValueError):
+            anyscan(graph, ScanParams(0.4, 4), alpha=0)
+
+    def test_block_count_follows_alpha(self, graph):
+        params = ScanParams(0.4, 4)
+        rec64 = anyscan(graph, params, alpha=64).record
+        rec256 = anyscan(graph, params, alpha=256).record
+        blocks64 = sum(1 for s in rec64.stages if s.name == "summarization")
+        blocks256 = sum(1 for s in rec256.stages if s.name == "summarization")
+        assert blocks64 > blocks256
+
+    def test_allocs_recorded(self, graph):
+        record = anyscan(graph, ScanParams(0.4, 4)).record
+        assert record.total().allocs > 0
+
+    def test_memory_model_paper_pattern(self):
+        """Calibration check: twitter fits in 64 GB, webbase and
+        friendster do not (the paper's RE pattern)."""
+        from repro.bench.datasets import PAPER_GRAPH_SIZES
+
+        limit = 64 * 10**9
+        fits = {
+            name: estimated_memory_bytes(v, e) <= limit
+            for name, (v, e) in PAPER_GRAPH_SIZES.items()
+        }
+        assert fits == {
+            "orkut": True,
+            "twitter": True,
+            "webbase": False,
+            "friendster": False,
+        }
+
+    def test_memory_limit_enforced(self, graph):
+        tiny_limit = (
+            BYTES_PER_VERTEX * graph.num_vertices
+            + BYTES_PER_EDGE * graph.num_edges
+        ) - 1
+        with pytest.raises(MemoryError):
+            anyscan(graph, ScanParams(0.4, 4), memory_limit_bytes=tiny_limit)
+
+    def test_memory_limit_pass(self, graph):
+        result = anyscan(
+            graph, ScanParams(0.4, 4), memory_limit_bytes=10**12
+        )
+        assert result.num_vertices == graph.num_vertices
+
+    def test_more_work_than_ppscan(self, graph):
+        """anySCAN lacks min-max pruning: it must run more CompSims."""
+        from repro.core import ppscan
+
+        params = ScanParams(0.4, 4)
+        any_rec = anyscan(graph, params).record
+        pp_rec = ppscan(graph, params).record
+        assert any_rec.compsim_invocations >= pp_rec.compsim_invocations

@@ -1,0 +1,120 @@
+"""Benchmark harness: datasets, reporting, experiment smoke at tiny scale."""
+
+import pytest
+
+from repro.bench import (
+    EXPERIMENTS,
+    EVAL_DATASETS,
+    ROLL_DEGREES,
+    clear_caches,
+    format_seconds,
+    format_series,
+    format_table,
+    roll,
+    run_algorithm,
+    standin,
+)
+from repro.types import ScanParams
+
+TINY = 0.05
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestDatasets:
+    def test_standin_cached(self):
+        a = standin("orkut", TINY)
+        b = standin("orkut", TINY)
+        assert a is b
+
+    def test_roll_cached_and_equal_edges(self):
+        graphs = {d: roll(d, TINY) for d in ROLL_DEGREES}
+        edges = [g.num_edges for g in graphs.values()]
+        # Equal edge budget within generator tolerance.
+        assert max(edges) < 1.3 * min(edges)
+        avg = [g.average_degree() for g in graphs.values()]
+        assert avg == sorted(avg)
+
+    def test_run_cached(self):
+        g = standin("orkut", TINY)
+        p = ScanParams(0.5, 2)
+        a = run_algorithm("ppSCAN", "orkut", g, p)
+        b = run_algorithm("ppSCAN", "orkut", g, p)
+        assert a is b
+
+    def test_run_cache_distinguishes_kwargs(self):
+        g = standin("orkut", TINY)
+        p = ScanParams(0.5, 2)
+        a = run_algorithm("ppSCAN", "orkut", g, p)
+        b = run_algorithm("ppSCAN", "orkut", g, p, kernel="merge")
+        assert a is not b
+
+
+class TestReporting:
+    def test_format_seconds_ranges(self):
+        assert format_seconds(None) == "RE"
+        assert format_seconds(float("inf")) == "TLE"
+        assert format_seconds(123.0) == "123s"
+        assert format_seconds(1.5) == "1.50s"
+        assert format_seconds(0.0042) == "4.20ms"
+        assert format_seconds(2e-5) == "20.0us"
+
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [["1", "2"], ["33", "44"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "--" in lines[2]
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_format_series(self):
+        text = format_series(
+            "S", "x", [1, 2], {"alg": [10, 20]}, fmt=lambda v: f"{v}!"
+        )
+        assert "10!" in text and "20!" in text
+
+
+class TestExperimentsSmoke:
+    """Every registered experiment runs end-to-end at tiny scale."""
+
+    @pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+    def test_runs_and_produces_text(self, exp_id):
+        if exp_id in ("fig2", "fig3"):
+            pytest.skip("covered by the dedicated shape test (slow: SCAN)")
+        result = EXPERIMENTS[exp_id](scale=TINY)
+        assert result.text.strip()
+        assert result.data
+
+    def test_fig2_fig3_share_runs(self):
+        # fig2 (CPU) then fig3 (KNL): the SCAN/pSCAN/anySCAN runs are
+        # reused from cache; only lane-width-specific runs differ.
+        fig2 = EXPERIMENTS["fig2"](
+            scale=TINY, eps_values=(0.4,), datasets=("orkut",)
+        )
+        fig3 = EXPERIMENTS["fig3"](
+            scale=TINY, eps_values=(0.4,), datasets=("orkut",)
+        )
+        assert "orkut" in fig2.data and "orkut" in fig3.data
+
+    def test_fig4_normalized_below_one(self):
+        result = EXPERIMENTS["fig4"](
+            scale=TINY, eps_values=(0.3, 0.6), datasets=("orkut",)
+        )
+        for series in result.data.values():
+            for values in series.values():
+                assert all(0 <= v <= 1.0 for v in values)
+
+    def test_fig6_contains_paper_stage_groups(self):
+        result = EXPERIMENTS["fig6"](
+            scale=TINY, datasets=("orkut",), threads=(1, 4)
+        )
+        series = result.data["orkut"]
+        assert "2. Core Checking and Consolidating" in series
+        assert "The Whole ppSCAN" in series
+
+    def test_datasets_constant(self):
+        assert EVAL_DATASETS == ("orkut", "webbase", "twitter", "friendster")

@@ -1,0 +1,184 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import write_edge_list
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    write_edge_list(erdos_renyi(40, 160, seed=1), path)
+    return str(path)
+
+
+class TestCluster:
+    def test_basic(self, graph_file, capsys):
+        assert main(["cluster", graph_file, "--eps", "0.4", "--mu", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ppSCAN" in out
+        assert "cores=" in out
+
+    @pytest.mark.parametrize(
+        "algo", ["scan", "pscan", "ppscan", "scanxp", "anyscan"]
+    )
+    def test_all_algorithms(self, graph_file, capsys, algo):
+        assert main(["cluster", graph_file, "--algorithm", algo]) == 0
+        assert "clusters" in capsys.readouterr().out
+
+    def test_show_clusters(self, graph_file, capsys):
+        main(["cluster", graph_file, "--eps", "0.2", "--show-clusters"])
+        out = capsys.readouterr().out
+        assert "cluster " in out
+
+    def test_workers_flag(self, graph_file, capsys):
+        assert main(["cluster", graph_file, "--workers", "2"]) == 0
+
+    def test_workers_ignored_for_sequential(self, graph_file, capsys):
+        assert (
+            main(["cluster", graph_file, "--algorithm", "pscan", "--workers", "2"])
+            == 0
+        )
+        assert "ignored" in capsys.readouterr().err
+
+
+class TestCompareAndSweep:
+    def test_compare_all_agree(self, graph_file, capsys):
+        assert main(["compare", graph_file, "--eps", "0.4", "--mu", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "all algorithms agree" in out
+        for name in ("SCAN", "pSCAN", "SCAN++", "anySCAN", "SCAN-XP", "ppSCAN"):
+            assert name in out
+
+    def test_sweep_grid(self, graph_file, capsys):
+        assert (
+            main(["sweep", graph_file, "--eps", "0.3,0.7", "--mu", "1,3"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 6  # header + separator + 4 rows
+
+    def test_sweep_csv_export(self, graph_file, tmp_path, capsys):
+        csv_path = str(tmp_path / "grid.csv")
+        assert (
+            main(
+                ["sweep", graph_file, "--eps", "0.5", "--mu", "2", "--csv", csv_path]
+            )
+            == 0
+        )
+        lines = open(csv_path).read().splitlines()
+        assert lines[0].startswith("eps,mu,clusters")
+        assert len(lines) == 2
+
+    def test_cluster_save(self, graph_file, tmp_path, capsys):
+        out_path = str(tmp_path / "result.npz")
+        assert main(["cluster", graph_file, "--save", out_path]) == 0
+        from repro.core import ClusteringResult
+
+        loaded = ClusteringResult.load(out_path)
+        assert loaded.num_vertices == 40
+
+
+class TestStats:
+    def test_stats(self, graph_file, capsys):
+        assert main(["stats", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "|V| = 40" in out
+        assert "|E| = 160" in out
+
+
+class TestGenerate:
+    def test_standin(self, tmp_path, capsys):
+        out_path = str(tmp_path / "o.txt")
+        assert main(["generate", "orkut", out_path, "--scale", "0.05"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["stats", out_path]) == 0
+
+    def test_roll(self, tmp_path, capsys):
+        out_path = str(tmp_path / "r.txt")
+        assert (
+            main(
+                [
+                    "generate",
+                    "roll",
+                    out_path,
+                    "--vertices",
+                    "300",
+                    "--avg-degree",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_table1(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        from repro.bench import clear_caches
+
+        clear_caches()
+        assert main(["bench", "table1", "--scale", "0.05"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "fig99"])
+
+
+class TestVerify:
+    def test_verify_ok(self, graph_file, tmp_path, capsys):
+        saved = str(tmp_path / "c.npz")
+        main(["cluster", graph_file, "--eps", "0.4", "--save", saved])
+        capsys.readouterr()
+        assert main(["verify", graph_file, saved]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_detects_wrong_graph(self, graph_file, tmp_path, capsys):
+        from repro.graph import write_edge_list
+        from repro.graph.generators import erdos_renyi
+
+        saved = str(tmp_path / "c.npz")
+        main(["cluster", graph_file, "--eps", "0.4", "--save", saved])
+        other = tmp_path / "other.txt"
+        write_edge_list(erdos_renyi(40, 200, seed=99), other)
+        capsys.readouterr()
+        assert main(["verify", str(other), saved]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestBenchOut:
+    def test_bench_out_writes_files(self, tmp_path, capsys, monkeypatch):
+        from repro.bench import clear_caches
+
+        clear_caches()
+        out = tmp_path / "results"
+        assert (
+            main(
+                ["bench", "table2", "--scale", "0.05", "--out", str(out)]
+            )
+            == 0
+        )
+        assert (out / "table2.txt").exists()
+
+
+class TestProfile:
+    def test_profile_output(self, graph_file, capsys):
+        assert main(["profile", graph_file, "--mu", "2", "--eps", "0.3,0.6"]) == 0
+        out = capsys.readouterr().out
+        assert "similarity distribution" in out
+        assert "core fraction" in out
+        assert "0.3" in out and "0.6" in out
+
+
+class TestParser:
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert capsys.readouterr().out.strip()

@@ -1,0 +1,70 @@
+"""RunContext: reverse-arc index, cached thresholds, state arrays."""
+
+import numpy as np
+
+from repro.core import RunContext, reverse_arc_index
+from repro.graph import complete_graph, from_edges
+from repro.graph.generators import erdos_renyi
+from repro.similarity import min_cn_threshold
+from repro.types import ROLE_UNKNOWN, UNKNOWN, ScanParams
+
+
+class TestReverseArcIndex:
+    def test_definition(self):
+        g = erdos_renyi(40, 150, seed=1)
+        rev = reverse_arc_index(g)
+        src = g.arc_source()
+        for i in range(g.num_arcs):
+            j = int(rev[i])
+            assert src[j] == g.dst[i]
+            assert g.dst[j] == src[i]
+
+    def test_involution(self):
+        g = complete_graph(7)
+        rev = reverse_arc_index(g)
+        assert np.array_equal(rev[rev], np.arange(g.num_arcs))
+
+    def test_empty_graph(self):
+        g = from_edges([], num_vertices=3)
+        assert reverse_arc_index(g).size == 0
+
+
+class TestRunContext:
+    def test_initial_state(self):
+        g = erdos_renyi(30, 100, seed=2)
+        ctx = RunContext(g, ScanParams(0.5, 2))
+        assert ctx.n == 30
+        assert all(s == UNKNOWN for s in ctx.sim)
+        assert all(r == ROLE_UNKNOWN for r in ctx.roles)
+        assert len(ctx.sim) == g.num_arcs
+
+    def test_adjacency_lists_match_graph(self):
+        g = erdos_renyi(25, 80, seed=3)
+        ctx = RunContext(g, ScanParams(0.5, 2))
+        for u in range(g.num_vertices):
+            assert ctx.adj[u] == g.neighbors(u).tolist()
+
+    def test_mcn_matches_scalar(self):
+        g = erdos_renyi(25, 80, seed=4)
+        params = ScanParams(0.37, 2)
+        ctx = RunContext(g, params)
+        src = g.arc_source()
+        frac = params.eps_fraction
+        for i in range(g.num_arcs):
+            assert ctx.mcn[i] == min_cn_threshold(
+                frac, g.degree(int(src[i])), g.degree(int(g.dst[i]))
+            )
+
+    def test_compsim_arc_matches_engine(self):
+        g = erdos_renyi(30, 120, seed=5)
+        ctx = RunContext(g, ScanParams(0.5, 2))
+        src = g.arc_source()
+        for arc in range(0, g.num_arcs, 7):
+            u, v = int(src[arc]), int(g.dst[arc])
+            assert ctx.compsim_arc(u, arc) == ctx.engine.compsim_exhaustive(u, v)
+
+    def test_arrays_export(self):
+        g = from_edges([(0, 1), (1, 2)])
+        ctx = RunContext(g, ScanParams(0.5, 1))
+        assert ctx.roles_array().dtype == np.int8
+        assert ctx.sim_array().shape == (4,)

@@ -1,0 +1,204 @@
+"""The central exactness property: every algorithm produces the identical
+clustering, across random graphs, parameters, kernels, and backends."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    anyscan,
+    assert_same_clustering,
+    brute_force_scan,
+    fast_structural_clustering,
+    ppscan,
+    pscan,
+    scan,
+    scanpp,
+    scanxp,
+)
+from repro.graph import from_edges, from_networkx
+from repro.graph.generators import (
+    chung_lu,
+    erdos_renyi,
+    planted_partition,
+    powerlaw_weights,
+)
+from repro.parallel import ProcessBackend
+from repro.types import ScanParams
+
+FAST_ALGOS = [
+    scan,
+    pscan,
+    ppscan,
+    scanxp,
+    anyscan,
+    scanpp,
+    fast_structural_clustering,
+]
+
+
+@st.composite
+def random_graph_and_params(draw):
+    n = draw(st.integers(min_value=2, max_value=45))
+    max_edges = n * (n - 1) // 2
+    m = draw(st.integers(min_value=0, max_value=min(max_edges, 4 * n)))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    eps = draw(
+        st.sampled_from([0.1, 0.25, 0.4, 0.5, 0.65, 0.8, 0.95, 1.0])
+    )
+    mu = draw(st.integers(min_value=1, max_value=6))
+    return erdos_renyi(n, m, seed=seed), ScanParams(eps, mu)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_graph_and_params())
+def test_all_algorithms_match_brute_force(case):
+    graph, params = case
+    reference = brute_force_scan(graph, params)
+    for algo in FAST_ALGOS:
+        assert_same_clustering(reference, algo(graph, params))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=35),
+    st.integers(min_value=0, max_value=120),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_ppscan_variants_agree(n, m, seed):
+    graph = erdos_renyi(n, min(m, n * (n - 1) // 2), seed=seed)
+    params = ScanParams(0.45, 2)
+    reference = ppscan(graph, params)
+    for kwargs in (
+        dict(kernel="merge"),
+        dict(kernel="pivot"),
+        dict(lanes=4),
+        dict(prune_phase=False),
+        dict(two_phase_clustering=False),
+        dict(task_threshold=1),
+    ):
+        assert_same_clustering(reference, ppscan(graph, params, **kwargs))
+
+
+class TestRealisticGraphs:
+    @pytest.mark.parametrize("eps", [0.2, 0.5, 0.8])
+    @pytest.mark.parametrize("mu", [2, 5])
+    def test_powerlaw_graph(self, eps, mu):
+        graph = chung_lu(powerlaw_weights(250, 2.2), 1500, seed=1)
+        params = ScanParams(eps, mu)
+        reference = brute_force_scan(graph, params)
+        for algo in FAST_ALGOS:
+            assert_same_clustering(reference, algo(graph, params))
+
+    def test_planted_partition(self):
+        graph, _ = planted_partition(4, 25, 0.5, 0.02, seed=9)
+        params = ScanParams(0.4, 3)
+        reference = brute_force_scan(graph, params)
+        for algo in FAST_ALGOS:
+            assert_same_clustering(reference, algo(graph, params))
+
+    def test_karate_club(self):
+        nx = pytest.importorskip("networkx")
+        graph = from_networkx(nx.karate_club_graph())
+        for eps in (0.3, 0.6):
+            params = ScanParams(eps, 2)
+            reference = brute_force_scan(graph, params)
+            for algo in FAST_ALGOS:
+                assert_same_clustering(reference, algo(graph, params))
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_ppscan_process_backend(self, workers):
+        graph = chung_lu(powerlaw_weights(150, 2.3), 800, seed=2)
+        params = ScanParams(0.4, 3)
+        reference = ppscan(graph, params)
+        parallel = ppscan(
+            graph, params, backend=ProcessBackend(workers=workers)
+        )
+        assert_same_clustering(reference, parallel)
+
+    def test_scanxp_process_backend(self):
+        graph = erdos_renyi(80, 350, seed=3)
+        params = ScanParams(0.5, 2)
+        assert_same_clustering(
+            scanxp(graph, params),
+            scanxp(graph, params, backend=ProcessBackend(workers=2)),
+        )
+
+    def test_anyscan_process_backend(self):
+        graph = erdos_renyi(80, 350, seed=4)
+        params = ScanParams(0.5, 2)
+        assert_same_clustering(
+            anyscan(graph, params),
+            anyscan(graph, params, backend=ProcessBackend(workers=2)),
+        )
+
+    def test_deterministic_across_runs(self):
+        graph = erdos_renyi(70, 300, seed=5)
+        params = ScanParams(0.45, 2)
+        assert_same_clustering(ppscan(graph, params), ppscan(graph, params))
+
+
+class TestMetamorphic:
+    """Metamorphic properties: structure-preserving transformations of
+    the input must transform the clustering predictably."""
+
+    def test_disjoint_union(self):
+        """cluster(G1 ⊔ G2) == cluster(G1) ⊔ cluster(G2) (shifted ids)."""
+        g1 = erdos_renyi(30, 120, seed=51)
+        g2 = erdos_renyi(25, 90, seed=52)
+        params = ScanParams(0.4, 2)
+        shift = g1.num_vertices
+        combined_edges = [tuple(e) for e in g1.edge_list().tolist()] + [
+            (u + shift, v + shift) for u, v in g2.edge_list().tolist()
+        ]
+        combined = from_edges(
+            combined_edges, num_vertices=shift + g2.num_vertices
+        )
+        r1 = ppscan(g1, params)
+        r2 = ppscan(g2, params)
+        rc = ppscan(combined, params)
+        import numpy as np
+
+        assert np.array_equal(rc.roles[:shift], r1.roles)
+        assert np.array_equal(rc.roles[shift:], r2.roles)
+        assert np.array_equal(rc.core_labels[:shift], r1.core_labels)
+        shifted = np.where(
+            r2.core_labels >= 0, r2.core_labels + shift, -1
+        )
+        assert np.array_equal(rc.core_labels[shift:], shifted)
+
+    def test_isolated_vertices_are_inert(self):
+        g = erdos_renyi(30, 120, seed=53)
+        padded = from_edges(
+            [tuple(e) for e in g.edge_list().tolist()], num_vertices=40
+        )
+        params = ScanParams(0.4, 2)
+        import numpy as np
+
+        a = ppscan(g, params)
+        b = ppscan(padded, params)
+        assert np.array_equal(b.roles[:30], a.roles)
+        assert np.array_equal(b.core_labels[:30], a.core_labels)
+        assert np.all(b.core_labels[30:] == -1)
+
+
+class TestEdgeListVariety:
+    def test_barbell(self):
+        # Two K5s joined by a path: clusters must not leak across the path.
+        edges = [
+            (u, v) for u in range(5) for v in range(u + 1, 5)
+        ] + [
+            (u + 7, v + 7) for u in range(5) for v in range(u + 1, 5)
+        ] + [(4, 5), (5, 6), (6, 7)]
+        graph = from_edges(edges)
+        params = ScanParams(0.7, 3)
+        reference = brute_force_scan(graph, params)
+        assert reference.num_clusters == 2
+        for algo in FAST_ALGOS:
+            assert_same_clustering(reference, algo(graph, params))

@@ -1,0 +1,31 @@
+"""Run the executable examples embedded in key public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.graph.builders
+import repro.graph.dynamic
+import repro.intersect.merge
+import repro.parallel.scheduler
+import repro.parallel.simthread
+import repro.quality
+import repro.similarity.threshold
+
+MODULES = [
+    repro.graph.builders,
+    repro.graph.dynamic,
+    repro.intersect.merge,
+    repro.parallel.scheduler,
+    repro.parallel.simthread,
+    repro.quality,
+    repro.similarity.threshold,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tests = doctest.testmod(module, verbose=False).failed, None
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

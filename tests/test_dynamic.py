@@ -1,0 +1,164 @@
+"""Dynamic graph and incrementally-maintained GS*-Index."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicGSIndex, GSIndex, ppscan
+from repro.graph import DynamicGraph, from_edges
+from repro.graph.generators import erdos_renyi
+from repro.types import ScanParams
+
+
+class TestDynamicGraph:
+    def test_insert_and_query(self):
+        g = DynamicGraph(4)
+        assert g.insert_edge(0, 1)
+        assert not g.insert_edge(1, 0)  # duplicate
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.num_edges == 1
+        assert g.degree(0) == 1
+
+    def test_remove(self):
+        g = DynamicGraph(3)
+        g.insert_edge(0, 1)
+        assert g.remove_edge(1, 0)
+        assert not g.remove_edge(0, 1)
+        assert g.num_edges == 0
+
+    def test_self_loop_rejected(self):
+        g = DynamicGraph(3)
+        with pytest.raises(ValueError):
+            g.insert_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        g = DynamicGraph(3)
+        with pytest.raises(IndexError):
+            g.insert_edge(0, 7)
+
+    def test_add_vertex(self):
+        g = DynamicGraph(2)
+        vid = g.add_vertex()
+        assert vid == 2
+        g.insert_edge(0, 2)
+        assert g.degree(2) == 1
+
+    def test_neighbors_stay_sorted(self):
+        g = DynamicGraph(6)
+        for v in (4, 1, 5, 2):
+            g.insert_edge(0, v)
+        assert g.neighbors(0) == [1, 2, 4, 5]
+
+    def test_snapshot_roundtrip(self):
+        csr = erdos_renyi(30, 90, seed=4)
+        dyn = DynamicGraph.from_csr(csr)
+        snap = dyn.snapshot()
+        assert np.array_equal(snap.offsets, csr.offsets)
+        assert np.array_equal(snap.dst, csr.dst)
+
+    def test_snapshot_after_mutation(self):
+        dyn = DynamicGraph(4)
+        dyn.insert_edge(0, 1)
+        dyn.insert_edge(2, 3)
+        dyn.remove_edge(0, 1)
+        snap = dyn.snapshot()
+        assert snap.num_edges == 1
+        snap.validate()
+
+
+class TestDynamicIndex:
+    def test_fresh_index_matches_static(self):
+        csr = erdos_renyi(40, 150, seed=5)
+        dyn_idx = DynamicGSIndex(DynamicGraph.from_csr(csr))
+        static_idx = GSIndex(csr)
+        for eps in (0.3, 0.6):
+            params = ScanParams(eps, 2)
+            assert dyn_idx.query(params).same_clustering(
+                static_idx.query(params)
+            )
+
+    def test_insertion_updates_exactly(self):
+        csr = erdos_renyi(30, 80, seed=6)
+        dyn = DynamicGraph.from_csr(csr)
+        idx = DynamicGSIndex(dyn)
+        inserted = 0
+        for u in range(0, 30, 3):
+            v = (u + 7) % 30
+            if u != v and idx.insert_edge(u, v):
+                inserted += 1
+        assert inserted > 0
+        params = ScanParams(0.4, 2)
+        assert idx.query(params).same_clustering(
+            ppscan(dyn.snapshot(), params)
+        )
+
+    def test_deletion_updates_exactly(self):
+        csr = erdos_renyi(30, 120, seed=7)
+        dyn = DynamicGraph.from_csr(csr)
+        idx = DynamicGSIndex(dyn)
+        removed = 0
+        for u, v in csr.edge_list()[::4]:
+            if idx.remove_edge(int(u), int(v)):
+                removed += 1
+        assert removed > 0
+        params = ScanParams(0.4, 2)
+        assert idx.query(params).same_clustering(
+            ppscan(dyn.snapshot(), params)
+        )
+
+    def test_insert_then_remove_is_identity(self):
+        csr = erdos_renyi(25, 70, seed=8)
+        dyn = DynamicGraph.from_csr(csr)
+        idx = DynamicGSIndex(dyn)
+        params = ScanParams(0.5, 2)
+        before = idx.query(params)
+        assert idx.insert_edge(0, 24) or True
+        idx.remove_edge(0, 24)
+        assert idx.query(params).same_clustering(before)
+
+    def test_maintenance_is_local(self):
+        """Updating one edge costs O(d(u) + d(v)), not O(m)."""
+        csr = erdos_renyi(400, 1600, seed=9)
+        dyn = DynamicGraph.from_csr(csr)
+        idx = DynamicGSIndex(dyn)
+        idx.maintenance_ops = 0
+        u, v = 0, 399
+        if dyn.has_edge(u, v):
+            idx.remove_edge(u, v)
+            idx.maintenance_ops = 0
+        idx.insert_edge(u, v)
+        local = dyn.degree(u) + dyn.degree(v)
+        assert idx.maintenance_ops <= 4 * local + 8
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.integers(0, 19),
+                st.integers(0, 19),
+            ),
+            max_size=30,
+        ),
+    )
+    def test_random_update_sequences(self, seed, updates):
+        csr = erdos_renyi(20, 40, seed=seed)
+        dyn = DynamicGraph.from_csr(csr)
+        idx = DynamicGSIndex(dyn)
+        for insert, u, v in updates:
+            if u == v:
+                continue
+            if insert:
+                idx.insert_edge(u, v)
+            else:
+                idx.remove_edge(u, v)
+        params = ScanParams(0.5, 2)
+        assert idx.query(params).same_clustering(
+            ppscan(dyn.snapshot(), params)
+        )

@@ -1,0 +1,81 @@
+"""Fast vectorized exact clustering mode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import brute_force_scan, fast_structural_clustering, ppscan
+from repro.graph import complete_graph, empty_graph, from_edges, star_graph
+from repro.graph.generators import (
+    chung_lu,
+    erdos_renyi,
+    planted_partition,
+    powerlaw_weights,
+)
+from repro.types import ScanParams
+
+
+class TestExactness:
+    @pytest.mark.parametrize("eps", [0.1, 0.3, 0.5, 0.7, 0.9, 1.0])
+    @pytest.mark.parametrize("mu", [1, 2, 5])
+    def test_vs_brute_force(self, eps, mu):
+        g = erdos_renyi(60, 250, seed=31)
+        params = ScanParams(eps, mu)
+        assert fast_structural_clustering(g, params).same_clustering(
+            brute_force_scan(g, params)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=0, max_value=140),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_property_vs_ppscan(self, n, m, seed):
+        g = erdos_renyi(n, min(m, n * (n - 1) // 2), seed=seed)
+        params = ScanParams(0.45, 2)
+        assert fast_structural_clustering(g, params).same_clustering(
+            ppscan(g, params)
+        )
+
+    def test_powerlaw(self):
+        g = chung_lu(powerlaw_weights(300, 2.2), 1800, seed=9)
+        params = ScanParams(0.35, 4)
+        assert fast_structural_clustering(g, params).same_clustering(
+            ppscan(g, params)
+        )
+
+    def test_planted_partition(self):
+        g, _ = planted_partition(4, 25, 0.5, 0.02, seed=10)
+        params = ScanParams(0.4, 3)
+        assert fast_structural_clustering(g, params).same_clustering(
+            ppscan(g, params)
+        )
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        result = fast_structural_clustering(empty_graph(5), ScanParams(0.5, 1))
+        assert result.num_clusters == 0
+
+    def test_complete_graph(self):
+        result = fast_structural_clustering(
+            complete_graph(8), ScanParams(0.5, 2)
+        )
+        assert result.num_clusters == 1
+
+    def test_star(self):
+        result = fast_structural_clustering(star_graph(6), ScanParams(0.9, 2))
+        assert result.num_clusters == 0
+
+    def test_one_intersection_per_edge(self):
+        g = erdos_renyi(50, 200, seed=1)
+        record = fast_structural_clustering(g, ScanParams(0.5, 2)).record
+        assert record.compsim_invocations <= g.num_edges
+
+    def test_record_attached(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        record = fast_structural_clustering(g, ScanParams(0.5, 2)).record
+        assert record.algorithm == "fast-exact"
+        assert record.wall_seconds > 0

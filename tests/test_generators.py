@@ -1,0 +1,184 @@
+"""Synthetic graph generators: determinism, shape control, validity."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    REAL_WORLD_STANDINS,
+    chung_lu,
+    erdos_renyi,
+    planted_partition,
+    powerlaw_weights,
+    real_world_standin,
+    rmat,
+    roll_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(100, 500, seed=1)
+        assert g.num_edges == 500
+        assert g.num_vertices == 100
+        g.validate()
+
+    def test_deterministic(self):
+        a = erdos_renyi(60, 200, seed=5)
+        b = erdos_renyi(60, 200, seed=5)
+        assert np.array_equal(a.dst, b.dst)
+
+    def test_seed_changes_graph(self):
+        a = erdos_renyi(60, 200, seed=5)
+        b = erdos_renyi(60, 200, seed=6)
+        assert not np.array_equal(a.dst, b.dst)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 11)
+
+    def test_complete_possible(self):
+        g = erdos_renyi(6, 15, seed=0)
+        assert g.num_edges == 15
+
+
+class TestPowerlaw:
+    def test_weights_monotone_decreasing(self):
+        w = powerlaw_weights(100, gamma=2.5)
+        assert np.all(np.diff(w) <= 0)
+
+    def test_weights_cap(self):
+        w = powerlaw_weights(100, gamma=2.0, max_weight=10.0)
+        assert w.max() <= 10.0
+
+    def test_gamma_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            powerlaw_weights(10, gamma=1.0)
+
+    def test_heavier_tail_with_smaller_gamma(self):
+        n, m = 800, 4000
+        heavy = chung_lu(powerlaw_weights(n, 2.0), m, seed=2)
+        light = chung_lu(powerlaw_weights(n, 3.5), m, seed=2)
+        assert heavy.max_degree() > light.max_degree()
+
+    def test_valid_and_deterministic(self):
+        a = chung_lu(powerlaw_weights(200, 2.4), 1000, seed=9)
+        b = chung_lu(powerlaw_weights(200, 2.4), 1000, seed=9)
+        a.validate()
+        assert np.array_equal(a.dst, b.dst)
+
+    def test_edge_count_close_to_target(self):
+        g = chung_lu(powerlaw_weights(500, 2.5), 3000, seed=4)
+        assert g.num_edges == pytest.approx(3000, rel=0.05)
+
+
+class TestRmat:
+    def test_shape(self):
+        g = rmat(scale=9, edge_factor=4, seed=1)
+        assert g.num_vertices == 512
+        g.validate()
+
+    def test_skew(self):
+        g = rmat(scale=11, edge_factor=6, a=0.7, b=0.15, c=0.1, seed=1)
+        # R-MAT with skewed quadrants produces hub-heavy graphs.
+        assert g.max_degree() > 8 * g.average_degree()
+
+    def test_bad_quadrants_rejected(self):
+        with pytest.raises(ValueError):
+            rmat(scale=5, edge_factor=2, a=0.6, b=0.3, c=0.2)
+
+    def test_deterministic(self):
+        a = rmat(scale=8, edge_factor=3, seed=7)
+        b = rmat(scale=8, edge_factor=3, seed=7)
+        assert np.array_equal(a.dst, b.dst)
+
+
+class TestRoll:
+    def test_average_degree_close(self):
+        g = roll_graph(4000, 40, seed=1)
+        # Dedup trims a little; the target should be close.
+        assert g.average_degree() == pytest.approx(40, rel=0.15)
+
+    def test_scale_free_tail(self):
+        g = roll_graph(3000, 20, seed=2)
+        assert g.max_degree() > 5 * g.average_degree()
+
+    def test_odd_degree_rejected(self):
+        with pytest.raises(ValueError):
+            roll_graph(100, 7)
+
+    def test_n_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            roll_graph(10, 40)
+
+    def test_valid_and_deterministic(self):
+        a = roll_graph(500, 8, seed=3)
+        b = roll_graph(500, 8, seed=3)
+        a.validate()
+        assert np.array_equal(a.dst, b.dst)
+
+
+class TestPlantedPartition:
+    def test_labels_shape(self):
+        g, labels = planted_partition(4, 25, 0.5, 0.01, seed=1)
+        assert g.num_vertices == 100
+        assert labels.shape == (100,)
+        assert set(labels.tolist()) == {0, 1, 2, 3}
+
+    def test_intra_denser_than_inter(self):
+        g, labels = planted_partition(4, 30, 0.5, 0.02, seed=2)
+        intra = inter = 0
+        for u, v in g.edge_list():
+            if labels[u] == labels[v]:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > 3 * inter
+
+    def test_p_out_zero(self):
+        g, labels = planted_partition(3, 20, 0.6, 0.0, seed=3)
+        for u, v in g.edge_list():
+            assert labels[u] == labels[v]
+
+    def test_invalid_probs(self):
+        with pytest.raises(ValueError):
+            planted_partition(2, 10, 0.1, 0.5)
+
+    def test_valid(self):
+        g, _ = planted_partition(3, 30, 0.4, 0.05, seed=4)
+        g.validate()
+
+
+class TestRealWorldStandins:
+    def test_all_names_build(self):
+        for name in REAL_WORLD_STANDINS:
+            g = real_world_standin(name, scale=0.05)
+            assert g.num_edges > 0
+            g.validate()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown stand-in"):
+            real_world_standin("facebook")
+
+    def test_degree_character_ordering(self):
+        # Table 1: orkut densest, webbase sparsest of the four.
+        graphs = {
+            name: real_world_standin(name, scale=0.2)
+            for name in ("orkut", "webbase", "twitter", "friendster")
+        }
+        avg = {k: g.average_degree() for k, g in graphs.items()}
+        assert avg["orkut"] > avg["twitter"] > avg["webbase"]
+        assert avg["friendster"] > avg["webbase"]
+
+    def test_friendster_homogeneous_vs_twitter(self):
+        tw = real_world_standin("twitter", scale=0.2)
+        fr = real_world_standin("friendster", scale=0.2)
+        # Relative hub size: twitter's heavy tail vs friendster's cap.
+        assert (
+            tw.max_degree() / tw.average_degree()
+            > fr.max_degree() / fr.average_degree()
+        )
+
+    def test_scale_grows_graph(self):
+        small = real_world_standin("orkut", scale=0.1)
+        big = real_world_standin("orkut", scale=0.3)
+        assert big.num_vertices > small.num_vertices

@@ -1,0 +1,108 @@
+"""Builders: normalization, dedup, canonical small graphs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_adjacency,
+    from_edge_array,
+    from_edges,
+    from_networkx,
+    path_graph,
+    star_graph,
+)
+
+
+class TestFromEdges:
+    def test_dedup_and_reverse_dedup(self):
+        g = from_edges([(0, 1), (1, 0), (0, 1), (1, 2)])
+        assert g.num_edges == 2
+
+    def test_drops_self_loops(self):
+        g = from_edges([(0, 0), (0, 1), (1, 1)])
+        assert g.num_edges == 1
+        g.validate()
+
+    def test_num_vertices_extension(self):
+        g = from_edges([(0, 1)], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_num_vertices_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges([(0, 5)], num_vertices=3)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges([(-1, 2)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_array(np.array([[1, 2, 3]]))
+
+    def test_empty_input(self):
+        g = from_edges([])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_result_is_normalized(self):
+        rng = np.random.default_rng(0)
+        edges = rng.integers(0, 40, size=(300, 2))
+        g = from_edge_array(edges)
+        g.validate()
+
+
+class TestOtherBuilders:
+    def test_from_adjacency(self):
+        g = from_adjacency([[1, 2], [0], [0], []])
+        assert g.num_vertices == 4
+        assert g.neighbors(0).tolist() == [1, 2]
+
+    def test_from_networkx(self):
+        nx = pytest.importorskip("networkx")
+        nx_g = nx.karate_club_graph()
+        g = from_networkx(nx_g)
+        assert g.num_vertices == nx_g.number_of_nodes()
+        assert g.num_edges == nx_g.number_of_edges()
+        g.validate()
+
+    def test_from_networkx_relabels(self):
+        nx = pytest.importorskip("networkx")
+        nx_g = nx.Graph([("c", "a"), ("a", "b")])
+        g = from_networkx(nx_g)
+        # sorted labels: a=0, b=1, c=2
+        assert g.has_edge(0, 2) and g.has_edge(0, 1)
+
+
+class TestCanonicalGraphs:
+    def test_empty(self):
+        g = empty_graph(4)
+        assert g.num_vertices == 4 and g.num_edges == 0
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(u) == 4 for u in range(5))
+
+    def test_path(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+        assert g.degree(0) == 1 and g.degree(1) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(u) == 2 for u in range(5))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.num_vertices == 7
+        assert g.degree(0) == 6
+        assert all(g.degree(u) == 1 for u in range(1, 7))

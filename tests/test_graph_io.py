@@ -1,0 +1,166 @@
+"""Edge-list and binary CSR IO round trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    from_edges,
+    load_graph,
+    read_csr_binary,
+    read_edge_list,
+    write_csr_binary,
+    write_edge_list,
+)
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture
+def sample():
+    return erdos_renyi(50, 180, seed=3)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(sample, path)
+        loaded = read_edge_list(path)
+        assert np.array_equal(loaded.offsets, sample.offsets)
+        assert np.array_equal(loaded.dst, sample.dst)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n# mid\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_edge_list(path)
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        # SNAP files sometimes carry weights/timestamps in extra columns.
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 17\n1 2 42\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_compact_ids(self, tmp_path):
+        path = tmp_path / "sparse.txt"
+        path.write_text("1000000 2000000\n2000000 3000000\n")
+        g = read_edge_list(path, compact_ids=True)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_compact_ids_preserves_order(self, tmp_path):
+        path = tmp_path / "sparse.txt"
+        path.write_text("50 10\n10 99\n")
+        g = read_edge_list(path, compact_ids=True)
+        # ascending original ids: 10 -> 0, 50 -> 1, 99 -> 2
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+        assert not g.has_edge(1, 2)
+
+    def test_gzip_edge_list(self, sample, tmp_path):
+        import gzip
+
+        plain = tmp_path / "g.txt"
+        write_edge_list(sample, plain)
+        gz = tmp_path / "g.txt.gz"
+        gz.write_bytes(gzip.compress(plain.read_bytes()))
+        loaded = read_edge_list(gz)
+        assert np.array_equal(loaded.dst, sample.dst)
+        assert load_graph(gz).num_edges == sample.num_edges
+
+
+class TestBinary:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "g.bin"
+        write_csr_binary(sample, path)
+        loaded = read_csr_binary(path)
+        assert np.array_equal(loaded.offsets, sample.offsets)
+        assert np.array_equal(loaded.dst, sample.dst)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "g.bin"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 32)
+        with pytest.raises(ValueError, match="magic"):
+            read_csr_binary(path)
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        g = from_edges([], num_vertices=3)
+        path = tmp_path / "e.bin"
+        write_csr_binary(g, path)
+        loaded = read_csr_binary(path)
+        assert loaded.num_vertices == 3 and loaded.num_edges == 0
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, sample, tmp_path):
+        from repro.graph import read_matrix_market, write_matrix_market
+
+        path = tmp_path / "g.mtx"
+        write_matrix_market(sample, path)
+        loaded = read_matrix_market(path)
+        assert np.array_equal(loaded.offsets, sample.offsets)
+        assert np.array_equal(loaded.dst, sample.dst)
+
+    def test_one_based_indices(self, tmp_path):
+        from repro.graph import read_matrix_market
+
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n2 1\n3 2\n"
+        )
+        g = read_matrix_market(path)
+        assert g.num_vertices == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_values_ignored(self, tmp_path):
+        from repro.graph import read_matrix_market
+
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% comment\n"
+            "2 2 2\n1 2 0.5\n2 1 0.5\n"
+        )
+        g = read_matrix_market(path)
+        assert g.num_edges == 1
+
+    def test_bad_header_rejected(self, tmp_path):
+        from repro.graph import read_matrix_market
+
+        path = tmp_path / "g.mtx"
+        path.write_text("not a matrix market file\n1 1\n")
+        with pytest.raises(ValueError, match="header"):
+            read_matrix_market(path)
+
+    def test_dense_format_rejected(self, tmp_path):
+        from repro.graph import read_matrix_market
+
+        path = tmp_path / "g.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n")
+        with pytest.raises(ValueError, match="coordinate"):
+            read_matrix_market(path)
+
+
+class TestLoadDispatch:
+    def test_load_text(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(sample, path)
+        assert load_graph(path).num_edges == sample.num_edges
+
+    def test_load_binary(self, sample, tmp_path):
+        path = tmp_path / "g.bin"
+        write_csr_binary(sample, path)
+        assert load_graph(path).num_edges == sample.num_edges
+
+    def test_load_matrix_market(self, sample, tmp_path):
+        from repro.graph import write_matrix_market
+
+        path = tmp_path / "g.mtx"
+        write_matrix_market(sample, path)
+        assert load_graph(path).num_edges == sample.num_edges

@@ -1,0 +1,61 @@
+"""Graph statistics (Table 1/2 rows) and degree histograms."""
+
+import numpy as np
+
+from repro.graph import (
+    complete_graph,
+    degree_histogram,
+    format_stats_table,
+    from_edges,
+    graph_stats,
+    star_graph,
+)
+
+
+class TestGraphStats:
+    def test_row_values(self):
+        stats = graph_stats("k5", complete_graph(5))
+        assert stats.num_vertices == 5
+        assert stats.num_edges == 10
+        assert stats.average_degree == 4.0
+        assert stats.max_degree == 4
+
+    def test_average_degree_matches_paper_convention(self):
+        # d = 2|E| / |V| (orkut: 117M edges over 3M vertices -> 76.3).
+        g = from_edges([(0, 1), (1, 2)])
+        stats = graph_stats("path", g)
+        assert stats.average_degree == 2 * 2 / 3
+
+    def test_row_formatting(self):
+        stats = graph_stats("big", star_graph(1500))
+        name, v, e, avg, mx = stats.row()
+        assert v == "1,501"
+        assert e == "1,500"
+        assert mx == "1,500"
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        hist = degree_histogram(star_graph(4))
+        assert hist[1] == 4
+        assert hist[4] == 1
+
+    def test_sums_to_n(self):
+        g = complete_graph(6)
+        assert degree_histogram(g).sum() == 6
+
+    def test_isolated_counted(self):
+        g = from_edges([(0, 1)], num_vertices=4)
+        assert degree_histogram(g)[0] == 2
+
+
+class TestFormatting:
+    def test_table_contains_all_rows(self):
+        rows = [
+            graph_stats("a", complete_graph(4)),
+            graph_stats("b", star_graph(3)),
+        ]
+        text = format_stats_table(rows, "Title")
+        assert text.startswith("Title")
+        assert "a" in text and "b" in text
+        assert "avg d" in text

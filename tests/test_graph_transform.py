@@ -1,0 +1,110 @@
+"""Graph preprocessing transforms: relabeling, components, subgraphs."""
+
+import numpy as np
+import pytest
+
+from repro.core import assert_same_clustering, ppscan
+from repro.graph import (
+    complete_graph,
+    connected_component_labels,
+    from_edges,
+    largest_connected_component,
+    relabel_by_degree,
+    subgraph,
+)
+from repro.graph.generators import erdos_renyi
+from repro.types import ScanParams
+
+
+class TestRelabelByDegree:
+    def test_degrees_descending(self):
+        g = erdos_renyi(50, 200, seed=1)
+        relabelled, _ = relabel_by_degree(g)
+        degrees = relabelled.degrees
+        assert np.all(np.diff(degrees) <= 0)
+
+    def test_ascending_option(self):
+        g = erdos_renyi(50, 200, seed=1)
+        relabelled, _ = relabel_by_degree(g, descending=False)
+        assert np.all(np.diff(relabelled.degrees) >= 0)
+
+    def test_mapping_is_isomorphism(self):
+        g = erdos_renyi(40, 150, seed=2)
+        relabelled, old_of_new = relabel_by_degree(g)
+        for new_u in range(relabelled.num_vertices):
+            old_u = int(old_of_new[new_u])
+            old_nbrs = sorted(g.neighbors(old_u).tolist())
+            new_nbrs = sorted(
+                int(old_of_new[v]) for v in relabelled.neighbors(new_u)
+            )
+            assert new_nbrs == old_nbrs
+
+    def test_clustering_invariant_under_relabeling(self):
+        """Structural clustering commutes with isomorphism."""
+        g = erdos_renyi(60, 260, seed=3)
+        relabelled, old_of_new = relabel_by_degree(g)
+        params = ScanParams(0.4, 2)
+        original = ppscan(g, params)
+        remapped = ppscan(relabelled, params)
+        # Map the relabelled roles back and compare.
+        roles_back = np.empty_like(original.roles)
+        roles_back[old_of_new] = remapped.roles
+        assert np.array_equal(roles_back, original.roles)
+        # Cluster structure: same multiset of cluster sizes.
+        orig_sizes = sorted(len(m) for m in original.clusters().values())
+        new_sizes = sorted(len(m) for m in remapped.clusters().values())
+        assert orig_sizes == new_sizes
+
+
+class TestComponents:
+    def test_labels_single_component(self):
+        labels = connected_component_labels(complete_graph(5))
+        assert set(labels.tolist()) == {0}
+
+    def test_labels_two_components(self):
+        g = from_edges([(0, 1), (2, 3)], num_vertices=5)
+        labels = connected_component_labels(g)
+        assert labels[0] == labels[1] == 0
+        assert labels[2] == labels[3] == 2
+        assert labels[4] == 4  # isolated vertex: its own component
+
+    def test_largest_component(self):
+        g = from_edges(
+            [(0, 1), (1, 2), (0, 2), (5, 6)], num_vertices=8
+        )
+        lcc, old_ids = largest_connected_component(g)
+        assert lcc.num_vertices == 3
+        assert sorted(old_ids.tolist()) == [0, 1, 2]
+        lcc.validate()
+
+    def test_clustering_on_lcc_matches_full_graph(self):
+        g = from_edges(
+            [(0, 1), (1, 2), (0, 2), (2, 3), (7, 8)], num_vertices=9
+        )
+        params = ScanParams(0.5, 2)
+        full = ppscan(g, params)
+        lcc, old_ids = largest_connected_component(g)
+        sub = ppscan(lcc, params)
+        for new_v in range(lcc.num_vertices):
+            assert sub.roles[new_v] == full.roles[int(old_ids[new_v])]
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self):
+        g = complete_graph(6)
+        sub, old_ids = subgraph(g, np.array([0, 2, 4]))
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # triangle among the kept vertices
+        assert old_ids.tolist() == [0, 2, 4]
+
+    def test_duplicate_vertices_collapsed(self):
+        g = complete_graph(4)
+        sub, old_ids = subgraph(g, np.array([1, 1, 3]))
+        assert sub.num_vertices == 2
+        assert old_ids.tolist() == [1, 3]
+
+    def test_empty_selection(self):
+        g = complete_graph(4)
+        sub, old_ids = subgraph(g, np.array([], dtype=np.int64))
+        assert sub.num_vertices == 0
+        assert old_ids.size == 0

@@ -1,0 +1,158 @@
+"""GS*-Index: construction, exact queries, similarity ordering."""
+
+import numpy as np
+import pytest
+
+from repro.core import GSIndex, brute_force_scan, ppscan
+from repro.types import CORE as CORE_ROLE
+from repro.graph import complete_graph, from_edges, star_graph
+from repro.graph.generators import chung_lu, erdos_renyi, powerlaw_weights
+from repro.types import ScanParams
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(70, 320, seed=13)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return GSIndex(graph)
+
+
+class TestConstruction:
+    def test_one_intersection_per_edge(self, graph, index):
+        assert (
+            index.construction_record.compsim_invocations == graph.num_edges
+        )
+
+    def test_construction_record_shape(self, index):
+        record = index.construction_record
+        assert record.stages[0].name == "index construction"
+        assert record.wall_seconds > 0
+
+    def test_neighbor_order_descending(self, graph, index):
+        for u in range(graph.num_vertices):
+            order = index._neighbor_order[u]
+            sims = [
+                index._sim_num[a] / index._sim_den[a] for a in order
+            ]
+            assert sims == sorted(sims, reverse=True)
+
+    def test_edge_similarity_value(self):
+        g = complete_graph(3)
+        index = GSIndex(g)
+        # Triangle: sigma = 3 / 3 = 1.
+        assert index.edge_similarity(0, 1) == pytest.approx(1.0)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("eps", [0.2, 0.45, 0.7, 1.0])
+    @pytest.mark.parametrize("mu", [1, 2, 4])
+    def test_exact_vs_brute_force(self, graph, index, eps, mu):
+        params = ScanParams(eps, mu)
+        reference = brute_force_scan(graph, params)
+        result = index.query(params)
+        assert reference.same_clustering(result)
+
+    def test_one_index_many_params(self, index, graph):
+        """The index answers arbitrary (eps, mu) without rebuilding."""
+        for eps in (0.3, 0.6, 0.9):
+            for mu in (1, 3):
+                params = ScanParams(eps, mu)
+                assert index.query(params).same_clustering(
+                    ppscan(graph, params)
+                )
+
+    def test_is_core_predicate(self, graph, index):
+        params = ScanParams(0.4, 2)
+        result = ppscan(graph, params)
+        from repro.types import CORE
+
+        for u in range(graph.num_vertices):
+            assert index.is_core(u, params) == (result.roles[u] == CORE)
+
+    def test_boundary_exactness(self):
+        """Query at an exact similarity boundary matches the online
+        algorithms (the reason similarities are stored as rationals)."""
+        # Triangle + pendant: sigma values hit exact rational boundaries.
+        g = from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        index = GSIndex(g)
+        for eps in (0.5, 0.75, 1.0):
+            for mu in (1, 2):
+                params = ScanParams(eps, mu)
+                assert index.query(params).same_clustering(
+                    brute_force_scan(g, params)
+                )
+
+    def test_star_graph(self):
+        g = star_graph(6)
+        index = GSIndex(g)
+        params = ScanParams(0.9, 2)
+        assert index.query(params).num_clusters == 0
+
+    def test_query_record(self, index):
+        result = index.query(ScanParams(0.4, 2))
+        assert result.record.stages[0].name == "index query"
+        assert result.record.total().arcs > 0
+
+    def test_powerlaw_graph(self):
+        g = chung_lu(powerlaw_weights(150, 2.3), 900, seed=3)
+        index = GSIndex(g)
+        params = ScanParams(0.35, 3)
+        assert index.query(params).same_clustering(ppscan(g, params))
+
+
+class TestPersistence:
+    def test_roundtrip_queries(self, graph, index, tmp_path):
+        path = tmp_path / "index.npz"
+        index.save(path)
+        loaded = GSIndex.load(path, graph)
+        for eps in (0.3, 0.7):
+            params = ScanParams(eps, 2)
+            assert loaded.query(params).same_clustering(index.query(params))
+            assert loaded.cores(params) == index.cores(params)
+
+    def test_fingerprint_mismatch_rejected(self, graph, index, tmp_path):
+        path = tmp_path / "index.npz"
+        index.save(path)
+        other = erdos_renyi(graph.num_vertices, graph.num_edges, seed=999)
+        with pytest.raises(ValueError, match="fingerprint"):
+            GSIndex.load(path, other)
+
+    def test_loaded_index_has_empty_construction_record(
+        self, graph, index, tmp_path
+    ):
+        path = tmp_path / "index.npz"
+        index.save(path)
+        loaded = GSIndex.load(path, graph)
+        assert loaded.construction_record.stages == []
+
+
+class TestCoreOrders:
+    @pytest.mark.parametrize("eps", [0.2, 0.5, 0.8])
+    @pytest.mark.parametrize("mu", [1, 2, 4])
+    def test_cores_match_roles(self, graph, index, eps, mu):
+        params = ScanParams(eps, mu)
+        expected = sorted(
+            np.flatnonzero(ppscan(graph, params).roles == CORE_ROLE).tolist()
+        )
+        assert index.cores(params) == expected
+
+    def test_large_mu_fallback_path(self, graph, index):
+        """µ beyond the materialized core orders uses the per-vertex
+        neighbor-order check and still agrees."""
+        params = ScanParams(0.2, 100)
+        expected = sorted(
+            np.flatnonzero(ppscan(graph, params).roles == CORE_ROLE).tolist()
+        )
+        assert index.cores(params) == expected
+
+    def test_core_orders_descending(self, index):
+        for k in range(1, len(index._core_orders)):
+            order = index._core_orders[k]
+            keys = []
+            for u in order:
+                arc = index._neighbor_order[u][k - 1]
+                keys.append(index._sim_num[arc] / index._sim_den[arc])
+            assert keys == sorted(keys, reverse=True)

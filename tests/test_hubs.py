@@ -1,0 +1,67 @@
+"""Parallel hub/outlier classification phase."""
+
+import numpy as np
+import pytest
+
+from repro.core import classify_peripherals, ppscan
+from repro.graph import from_edges
+from repro.graph.generators import chung_lu, erdos_renyi, powerlaw_weights
+from repro.parallel import ProcessBackend
+from repro.types import CORE, HUB, NONCORE, OUTLIER, ScanParams
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    g = chung_lu(powerlaw_weights(250, 2.3), 1500, seed=19)
+    result = ppscan(g, ScanParams(0.4, 3))
+    return g, result
+
+
+class TestClassifyPeripherals:
+    def test_matches_sequential_classify(self, clustered):
+        g, result = clustered
+        parallel, _ = classify_peripherals(g, result)
+        assert np.array_equal(parallel, result.classify(g))
+
+    def test_process_backend_identical(self, clustered):
+        g, result = clustered
+        serial, _ = classify_peripherals(g, result)
+        parallel, _ = classify_peripherals(
+            g, result, backend=ProcessBackend(workers=2)
+        )
+        assert np.array_equal(serial, parallel)
+
+    def test_record_has_tasks(self, clustered):
+        g, result = clustered
+        _, record = classify_peripherals(g, result)
+        stage = record.stages[0]
+        assert stage.name == "peripheral classification"
+        assert stage.num_tasks >= 1
+        assert stage.total().arcs >= 0
+
+    def test_work_linear_in_arcs(self, clustered):
+        """O(|E| + |V|): arcs scanned never exceed the arc count."""
+        g, result = clustered
+        _, record = classify_peripherals(g, result)
+        assert record.total().arcs <= g.num_arcs
+
+    def test_known_hub(self):
+        g = from_edges(
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (6, 0), (6, 3)]
+        )
+        params = ScanParams(0.6, 2)
+        result = ppscan(g, params)
+        out, _ = classify_peripherals(g, result)
+        if result.num_clusters == 2 and not result.membership()[6]:
+            assert out[6] == HUB
+
+    def test_graph_mismatch_rejected(self, clustered):
+        g, result = clustered
+        other = erdos_renyi(10, 20, seed=0)
+        with pytest.raises(ValueError):
+            classify_peripherals(other, result)
+
+    def test_all_labels_valid(self, clustered):
+        g, result = clustered
+        out, _ = classify_peripherals(g, result)
+        assert set(np.unique(out)).issubset({CORE, NONCORE, HUB, OUTLIER})

@@ -1,0 +1,88 @@
+"""Branchless merge and galloping CompSim — the §3.2.2 alternatives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.intersect import (
+    OpCounter,
+    branchless_merge_count,
+    galloping_compsim,
+    merge_compsim,
+    merge_count,
+)
+
+sorted_arrays = st.lists(
+    st.integers(min_value=0, max_value=300), max_size=100
+).map(lambda xs: sorted(set(xs)))
+
+
+class TestBranchless:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ([], []),
+            ([1, 2, 3], [2, 3, 4]),
+            (list(range(0, 60, 2)), list(range(0, 60, 3))),
+            ([5], list(range(10))),
+        ],
+    )
+    def test_matches_merge(self, a, b):
+        assert branchless_merge_count(a, b) == merge_count(a, b)
+
+    @given(sorted_arrays, sorted_arrays)
+    def test_property_matches_set_semantics(self, a, b):
+        assert branchless_merge_count(a, b) == len(set(a) & set(b))
+
+    def test_counts_branchless_not_scalar(self):
+        counter = OpCounter()
+        branchless_merge_count([1, 2, 3], [2, 3, 4], counter)
+        assert counter.branchless_cmp > 0
+        assert counter.scalar_cmp == 0
+
+    def test_never_early_terminates(self):
+        """The §3.2.2 limitation: cost is the full merge regardless of
+        how quickly the predicate could have been decided."""
+        a = list(range(100))
+        b = list(range(100))
+        full = OpCounter()
+        branchless_merge_count(a, b, full)
+        again = OpCounter()
+        branchless_merge_count(a, b, again)
+        assert full.branchless_cmp == again.branchless_cmp == 100
+
+
+class TestGallopingCompsim:
+    @given(sorted_arrays, sorted_arrays, st.integers(min_value=1, max_value=200))
+    def test_matches_merge_compsim(self, a, b, min_cn):
+        assert galloping_compsim(a, b, min_cn) == merge_compsim(a, b, min_cn)
+
+    def test_skewed_pair_few_probes(self):
+        """Galloping's win case: tiny array against a huge one."""
+        small = [5000, 5001]
+        huge = list(range(10000))
+        counter = OpCounter()
+        galloping_compsim(small, huge, 4, counter)
+        merge_counter = OpCounter()
+        merge_compsim(small, huge, 4, merge_counter)
+        assert counter.scalar_cmp < merge_counter.scalar_cmp / 10
+
+    def test_interleaved_pair_not_better(self):
+        """The paper's rejection case: similar-length interleaved arrays
+        give galloping no skips to exploit."""
+        a = list(range(0, 400, 2))
+        b = list(range(1, 401, 2))
+        g = OpCounter()
+        galloping_compsim(a, b, 150, g)
+        m = OpCounter()
+        merge_compsim(a, b, 150, m)
+        assert g.scalar_cmp >= m.scalar_cmp * 0.5  # no order-of-magnitude win
+
+    def test_early_exit_counted(self):
+        counter = OpCounter()
+        galloping_compsim([1, 2], [3, 4, 5, 6, 7], 9, counter)
+        assert counter.early_exits == 1
+        assert counter.scalar_cmp == 0
+
+    def test_trivial_sim(self):
+        assert galloping_compsim([1], [2], 2)

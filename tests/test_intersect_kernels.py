@@ -1,0 +1,167 @@
+"""Set-intersection kernels: correctness and operation accounting."""
+
+import numpy as np
+import pytest
+
+from repro.intersect import (
+    OpCounter,
+    galloping_count,
+    merge_compsim,
+    merge_count,
+    pivot_compsim,
+    pivot_vectorized_compsim,
+    pivot_vectorized_count,
+)
+
+
+def ref_count(a, b):
+    return len(set(a) & set(b))
+
+
+CASES = [
+    ([], []),
+    ([1], []),
+    ([], [2]),
+    ([1, 2, 3], [1, 2, 3]),
+    ([1, 3, 5], [2, 4, 6]),
+    ([1, 2, 3, 4, 5], [3]),
+    (list(range(0, 100, 2)), list(range(0, 100, 3))),
+    (list(range(50)), list(range(25, 75))),
+    ([5], list(range(100))),
+    (list(range(0, 1000, 7)), list(range(0, 1000, 11))),
+]
+
+
+class TestFullCounts:
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_merge_count(self, a, b):
+        assert merge_count(a, b) == ref_count(a, b)
+
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_galloping_count(self, a, b):
+        assert galloping_count(a, b) == ref_count(a, b)
+
+    @pytest.mark.parametrize("a,b", CASES)
+    @pytest.mark.parametrize("lanes", [2, 4, 8, 16])
+    def test_pivot_vectorized_count(self, a, b, lanes):
+        assert pivot_vectorized_count(a, b, lanes=lanes) == ref_count(a, b)
+
+    def test_accepts_ndarray(self):
+        a = np.array([1, 4, 9])
+        b = np.array([4, 9, 16])
+        assert merge_count(a, b) == 2
+        assert galloping_count(a, b) == 2
+        assert pivot_vectorized_count(a, b) == 2
+
+    def test_merge_count_cost_accounting(self):
+        # Theorem 3.4's unit: len(a) + len(b) comparisons per call.
+        counter = OpCounter()
+        merge_count([1, 2, 3], [2, 3, 4, 5], counter)
+        assert counter.scalar_cmp == 7
+        assert counter.invocations == 1
+
+
+class TestCompSimDecisions:
+    @pytest.mark.parametrize("a,b", CASES)
+    @pytest.mark.parametrize("min_cn", [1, 2, 3, 5, 10, 100])
+    def test_all_kernels_agree_with_reference(self, a, b, min_cn):
+        expected = ref_count(a, b) + 2 >= min_cn
+        assert merge_compsim(a, b, min_cn) == expected
+        assert pivot_compsim(a, b, min_cn) == expected
+        for lanes in (2, 8, 16):
+            assert (
+                pivot_vectorized_compsim(a, b, min_cn, lanes=lanes) == expected
+            )
+
+    def test_trivial_sim_short_circuit(self):
+        counter = OpCounter()
+        assert merge_compsim([1, 2], [3, 4], 2, counter)
+        assert counter.scalar_cmp == 0
+        assert counter.early_exits == 1
+
+    def test_trivial_nsim_short_circuit(self):
+        counter = OpCounter()
+        assert not merge_compsim([1], [2, 3, 4], 9, counter)
+        assert counter.scalar_cmp == 0
+
+    def test_early_termination_saves_comparisons(self):
+        a = list(range(100))
+        b = list(range(100))
+        full = OpCounter()
+        merge_count(a, b, full)
+        early = OpCounter()
+        assert merge_compsim(a, b, 5, early)  # Sim after 3 matches
+        assert early.scalar_cmp < full.scalar_cmp / 10
+
+    def test_nsim_early_exit_on_disjoint(self):
+        a = list(range(0, 40, 2))
+        b = list(range(1, 41, 2))
+        counter = OpCounter()
+        # Needs 22 overlap, du=dv=22 -> every advance shrinks a bound.
+        assert not merge_compsim(a, b, 22, counter)
+        assert counter.early_exits == 1
+        assert counter.scalar_cmp < 40
+
+
+class TestVectorizedAccounting:
+    def test_vector_ops_counted(self):
+        a = list(range(200))
+        b = list(range(100, 300))
+        counter = OpCounter()
+        pivot_vectorized_count(a, b, lanes=16, counter=counter)
+        assert counter.vector_ops > 0
+
+    def test_long_skips_use_few_vector_ops(self):
+        # One small array against a long run: each block op advances 16.
+        a = list(range(320))
+        b = [318, 319]
+        counter = OpCounter()
+        pivot_vectorized_compsim(a, b, 3, lanes=16, counter=counter)
+        # ~320/16 = 20 blocks, far fewer than 320 scalar advances.
+        assert counter.vector_ops <= 25
+
+    def test_more_lanes_fewer_vector_ops_on_runs(self):
+        a = list(range(1000))
+        b = [998, 999]
+        c8, c16 = OpCounter(), OpCounter()
+        pivot_vectorized_count(a, b, lanes=8, counter=c8)
+        pivot_vectorized_count(a, b, lanes=16, counter=c16)
+        assert c16.vector_ops < c8.vector_ops
+
+    def test_lanes_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            pivot_vectorized_compsim([1], [1], 1, lanes=1)
+        with pytest.raises(ValueError):
+            pivot_vectorized_count([1], [1], lanes=1)
+
+    def test_short_arrays_fall_back_to_scalar(self):
+        counter = OpCounter()
+        pivot_vectorized_compsim([1, 2, 3], [2, 3, 4], 4, lanes=16, counter=counter)
+        assert counter.vector_ops == 0
+        assert counter.scalar_cmp > 0
+
+
+class TestCounter:
+    def test_add_and_reset(self):
+        a, b = OpCounter(), OpCounter()
+        a.scalar_cmp = 3
+        b.scalar_cmp = 4
+        b.vector_ops = 2
+        a.add(b)
+        assert a.scalar_cmp == 7 and a.vector_ops == 2
+        a.reset()
+        assert a.scalar_cmp == 0
+
+    def test_copy_independent(self):
+        a = OpCounter()
+        a.invocations = 5
+        c = a.copy()
+        c.invocations += 1
+        assert a.invocations == 5
+
+    def test_equality_and_dict(self):
+        a, b = OpCounter(), OpCounter()
+        assert a == b
+        a.bound_updates = 1
+        assert a != b
+        assert a.as_dict()["bound_updates"] == 1

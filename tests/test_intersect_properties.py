@@ -1,0 +1,78 @@
+"""Property-based tests: every kernel agrees with set semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intersect import (
+    OpCounter,
+    galloping_count,
+    merge_compsim,
+    merge_count,
+    pivot_compsim,
+    pivot_vectorized_compsim,
+    pivot_vectorized_count,
+)
+
+sorted_arrays = st.lists(
+    st.integers(min_value=0, max_value=400), max_size=120
+).map(lambda xs: sorted(set(xs)))
+
+lanes_strategy = st.sampled_from([2, 3, 4, 8, 16, 32])
+
+
+@given(sorted_arrays, sorted_arrays)
+def test_full_count_kernels_agree(a, b):
+    expected = len(set(a) & set(b))
+    assert merge_count(a, b) == expected
+    assert galloping_count(a, b) == expected
+    assert pivot_vectorized_count(a, b, lanes=16) == expected
+
+
+@given(sorted_arrays, sorted_arrays, lanes_strategy)
+def test_vectorized_count_lane_invariant(a, b, lanes):
+    assert pivot_vectorized_count(a, b, lanes=lanes) == len(set(a) & set(b))
+
+
+@given(sorted_arrays, sorted_arrays, st.integers(min_value=1, max_value=300))
+def test_compsim_kernels_match_reference_predicate(a, b, min_cn):
+    expected = len(set(a) & set(b)) + 2 >= min_cn
+    assert merge_compsim(a, b, min_cn) == expected
+    assert pivot_compsim(a, b, min_cn) == expected
+
+
+@given(
+    sorted_arrays,
+    sorted_arrays,
+    st.integers(min_value=1, max_value=300),
+    lanes_strategy,
+)
+def test_vectorized_compsim_matches_reference(a, b, min_cn, lanes):
+    expected = len(set(a) & set(b)) + 2 >= min_cn
+    assert pivot_vectorized_compsim(a, b, min_cn, lanes=lanes) == expected
+
+
+@given(sorted_arrays, sorted_arrays, st.integers(min_value=1, max_value=300))
+def test_kernels_symmetric(a, b, min_cn):
+    assert merge_compsim(a, b, min_cn) == merge_compsim(b, a, min_cn)
+    assert pivot_vectorized_compsim(
+        a, b, min_cn, lanes=8
+    ) == pivot_vectorized_compsim(b, a, min_cn, lanes=8)
+
+
+@given(sorted_arrays, sorted_arrays)
+def test_early_termination_never_exceeds_full_cost(a, b):
+    """The bounded kernel never does more comparisons than a full merge."""
+    full = OpCounter()
+    merge_count(a, b, full)
+    for min_cn in (1, 3, 8, 50):
+        bounded = OpCounter()
+        merge_compsim(a, b, min_cn, bounded)
+        assert bounded.scalar_cmp <= full.scalar_cmp
+
+
+@settings(max_examples=50)
+@given(sorted_arrays, sorted_arrays, st.integers(min_value=1, max_value=50))
+def test_compsim_monotone_in_threshold(a, b, min_cn):
+    """If similar at threshold k, then similar at every threshold < k."""
+    if merge_compsim(a, b, min_cn + 1):
+        assert merge_compsim(a, b, min_cn)

@@ -1,0 +1,105 @@
+"""Machine-model pricing: throughput curve, roofline, presets."""
+
+import pytest
+
+from repro.metrics import RunRecord, StageRecord, TaskCost
+from repro.parallel import CPU_SERVER, KNL_SERVER
+
+
+def make_record(num_tasks=32, scalar=10_000, arcs=2_000, atomics=0):
+    tasks = [
+        TaskCost(scalar_cmp=scalar, arcs=arcs, atomics=atomics)
+        for _ in range(num_tasks)
+    ]
+    return RunRecord("test", [StageRecord("stage", tasks)])
+
+
+class TestThroughput:
+    @pytest.mark.parametrize("machine", [CPU_SERVER, KNL_SERVER])
+    def test_linear_up_to_cores(self, machine):
+        cores = machine.physical_cores
+        assert machine.throughput(1) == 1
+        assert machine.throughput(cores) == cores
+
+    @pytest.mark.parametrize("machine", [CPU_SERVER, KNL_SERVER])
+    def test_smt_partial_gain(self, machine):
+        cores = machine.physical_cores
+        t_max = machine.max_threads()
+        assert cores < machine.throughput(t_max) < t_max
+
+    @pytest.mark.parametrize("machine", [CPU_SERVER, KNL_SERVER])
+    def test_saturates_past_max_threads(self, machine):
+        t_max = machine.max_threads()
+        assert machine.throughput(t_max) == machine.throughput(t_max * 4)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            KNL_SERVER.throughput(0)
+
+    def test_preset_identities(self):
+        assert CPU_SERVER.max_threads() == 40
+        assert KNL_SERVER.max_threads() == 256
+        assert CPU_SERVER.lanes == 8
+        assert KNL_SERVER.lanes == 16
+
+
+class TestPricing:
+    def test_task_cycles_positive(self):
+        cost = TaskCost(scalar_cmp=100, vector_ops=10, arcs=50)
+        assert KNL_SERVER.task_cycles(cost) > 0
+
+    def test_atomics_pay_contention(self):
+        cost = TaskCost(atomics=100)
+        assert KNL_SERVER.task_cycles(cost, threads=256) > (
+            KNL_SERVER.task_cycles(cost, threads=1)
+        )
+
+    def test_pure_compute_contention_free(self):
+        cost = TaskCost(scalar_cmp=100)
+        assert KNL_SERVER.task_cycles(cost, 256) == KNL_SERVER.task_cycles(cost, 1)
+
+    def test_run_seconds_decreases_with_threads(self):
+        record = make_record()
+        times = [KNL_SERVER.run_seconds(record, t) for t in (1, 4, 16, 64)]
+        assert times == sorted(times, reverse=True)
+
+    def test_speedup_bounded_by_throughput(self):
+        record = make_record(num_tasks=512)
+        t1 = KNL_SERVER.run_seconds(record, 1)
+        t256 = KNL_SERVER.run_seconds(record, 256)
+        assert t1 / t256 <= KNL_SERVER.throughput(256) + 1e-6
+
+    def test_empty_stage_free(self):
+        record = RunRecord("t", [StageRecord("empty", [])])
+        assert KNL_SERVER.run_seconds(record, 8) == 0.0
+
+    def test_stage_breakdown_keys(self):
+        record = RunRecord(
+            "t", [StageRecord("a", [TaskCost(arcs=1)]), StageRecord("b", [])]
+        )
+        breakdown = CPU_SERVER.stage_breakdown(record, 2)
+        assert set(breakdown) == {"a", "b"}
+
+    def test_memory_bound_stage_flat_in_threads(self):
+        # Arc-heavy, compute-light tasks hit the bandwidth roof.
+        tasks = [TaskCost(arcs=10_000_000) for _ in range(64)]
+        record = RunRecord("t", [StageRecord("mem", tasks)])
+        t64 = CPU_SERVER.run_seconds(record, 64)
+        t32 = CPU_SERVER.run_seconds(record, 32)
+        assert t64 == pytest.approx(t32, rel=0.25)
+
+    def test_vector_ops_cheaper_than_scalar(self):
+        # A vector block op is always cheaper than the branchy scalar
+        # comparisons it replaces; KNL's width advantage comes from the
+        # wider lanes (fewer block ops for the same walk), not the per-op
+        # price.
+        vec = TaskCost(vector_ops=1000)
+        scal = TaskCost(scalar_cmp=1000)
+        for machine in (CPU_SERVER, KNL_SERVER):
+            assert machine.task_cycles(vec) < machine.task_cycles(scal)
+        assert KNL_SERVER.lanes == 2 * CPU_SERVER.lanes
+
+    def test_allocs_expensive(self):
+        assert KNL_SERVER.task_cycles(TaskCost(allocs=10)) > (
+            KNL_SERVER.task_cycles(TaskCost(arcs=10))
+        )

@@ -1,0 +1,124 @@
+"""ppSCAN internals: phases, pruning effectiveness, scheduling knobs."""
+
+import numpy as np
+import pytest
+
+from repro.core import PPSCAN_STAGES, auto_task_threshold, ppscan
+from repro.graph import complete_graph
+from repro.graph.generators import chung_lu, powerlaw_weights, real_world_standin
+from repro.types import ScanParams
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu(powerlaw_weights(300, 2.3), 2000, seed=8)
+
+
+class TestStages:
+    def test_stage_order(self, graph):
+        record = ppscan(graph, ScanParams(0.4, 4)).record
+        assert tuple(s.name for s in record.stages) == PPSCAN_STAGES
+
+    def test_prune_phase_off_leaves_empty_prune_costs(self, graph):
+        record = ppscan(graph, ScanParams(0.4, 4), prune_phase=False).record
+        # Stage exists (synthesized ranges) but roles were not pre-set, so
+        # core checking sees every vertex.
+        check = record.stage("core checking").total()
+        assert check.arcs > 0
+
+    def test_single_phase_clustering_empty_stage(self, graph):
+        record = ppscan(
+            graph, ScanParams(0.4, 4), two_phase_clustering=False
+        ).record
+        assert record.stage("core clustering (no compsim)").num_tasks == 0
+
+    def test_wall_times_recorded(self, graph):
+        record = ppscan(graph, ScanParams(0.4, 4)).record
+        assert all(s.wall_seconds >= 0 for s in record.stages)
+        assert record.wall_seconds >= sum(s.wall_seconds for s in record.stages) * 0.5
+
+
+class TestPruningEffectiveness:
+    def test_prune_phase_reduces_invocations(self, graph):
+        params = ScanParams(0.7, 4)
+        with_prune = ppscan(graph, params).record.compsim_invocations
+        without = ppscan(
+            graph, params, prune_phase=False
+        ).record.compsim_invocations
+        assert with_prune <= without
+
+    def test_two_phase_reduces_clustering_compsims(self):
+        # On a dense clusterable graph, phase-1 unions make phase-2 skip.
+        g = complete_graph(40)
+        params = ScanParams(0.3, 3)
+        two = ppscan(g, params).record
+        one = ppscan(g, params, two_phase_clustering=False).record
+        assert (
+            two.stage("core clustering (compsim)").total().compsims
+            <= one.stage("core clustering (compsim)").total().compsims
+        )
+
+    def test_invocations_decrease_with_eps_extremes(self, graph):
+        """Predicate pruning kills most work at extreme eps."""
+        mid = ppscan(graph, ScanParams(0.5, 4)).record.compsim_invocations
+        high = ppscan(graph, ScanParams(0.95, 4)).record.compsim_invocations
+        assert high <= mid
+
+    def test_invocations_bounded_by_edges(self, graph):
+        for eps in (0.2, 0.5, 0.8):
+            rec = ppscan(graph, ScanParams(eps, 4)).record
+            assert rec.compsim_invocations <= graph.num_edges
+
+
+class TestTaskThreshold:
+    def test_auto_threshold_bounds(self):
+        assert auto_task_threshold(100) == 64
+        assert auto_task_threshold(10**9) == 32768
+        assert auto_task_threshold(1024 * 500) == 500
+
+    def test_smaller_threshold_more_tasks(self, graph):
+        params = ScanParams(0.4, 4)
+        fine = ppscan(graph, params, task_threshold=16).record
+        coarse = ppscan(graph, params, task_threshold=10**8).record
+        assert sum(s.num_tasks for s in fine.stages) > sum(
+            s.num_tasks for s in coarse.stages
+        )
+
+    def test_work_nearly_independent_of_threshold(self, graph):
+        """Task granularity only shifts intra-task similarity reuse: the
+        serial backend commits per task, so coarser tasks see slightly
+        fewer already-computed values.  Totals stay within a few percent
+        of |E| and never exceed Theorem 4.1's bound."""
+        params = ScanParams(0.4, 4)
+        a = ppscan(graph, params, task_threshold=16).record
+        b = ppscan(graph, params, task_threshold=10**8).record
+        assert a.compsim_invocations <= graph.num_edges
+        assert b.compsim_invocations <= graph.num_edges
+        assert (
+            abs(a.compsim_invocations - b.compsim_invocations)
+            <= 0.1 * graph.num_edges
+        )
+
+
+class TestKernelChoice:
+    def test_algorithm_name_reflects_kernel(self, graph):
+        params = ScanParams(0.4, 4)
+        assert ppscan(graph, params).algorithm == "ppSCAN"
+        assert ppscan(graph, params, kernel="merge").algorithm == "ppSCAN-NO"
+        named = ppscan(graph, params, algorithm_name="custom")
+        assert named.algorithm == "custom"
+
+    def test_vectorized_kernel_reports_vector_ops(self, graph):
+        record = ppscan(graph, ScanParams(0.4, 4)).record
+        assert record.total().vector_ops > 0
+
+    def test_merge_kernel_no_vector_ops(self, graph):
+        record = ppscan(graph, ScanParams(0.4, 4), kernel="merge").record
+        assert record.total().vector_ops == 0
+
+    def test_lane_width_changes_vector_counts(self):
+        g = real_world_standin("orkut", scale=0.15)
+        params = ScanParams(0.3, 5)
+        v8 = ppscan(g, params, lanes=8).record.total().vector_ops
+        v16 = ppscan(g, params, lanes=16).record.total().vector_ops
+        assert v8 != v16

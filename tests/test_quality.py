@@ -1,0 +1,100 @@
+"""External clustering-quality indices."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ppscan
+from repro.graph.generators import planted_partition
+from repro.quality import (
+    adjusted_rand_index,
+    contingency,
+    normalized_mutual_information,
+    primary_labels,
+)
+from repro.types import ScanParams
+
+labels_strategy = st.lists(
+    st.integers(min_value=0, max_value=5), min_size=1, max_size=60
+)
+
+
+class TestContingency:
+    def test_counts(self):
+        table = contingency([0, 0, 1], [1, 1, 0])
+        assert table == {(0, 1): 2, (1, 0): 1}
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            contingency([0], [0, 1])
+
+
+class TestARI:
+    def test_identical_is_one(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [5, 5, 9, 9]) == 1.0
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 400).tolist()
+        b = rng.integers(0, 4, 400).tolist()
+        assert abs(adjusted_rand_index(a, b)) < 0.1
+
+    def test_empty(self):
+        assert adjusted_rand_index([], []) == 1.0
+
+    def test_single_cluster_both(self):
+        assert adjusted_rand_index([0, 0, 0], [1, 1, 1]) == 1.0
+
+    @given(labels_strategy)
+    def test_self_ari_one(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @given(labels_strategy, labels_strategy)
+    def test_symmetric(self, a, b):
+        n = min(len(a), len(b))
+        assert adjusted_rand_index(a[:n], b[:n]) == pytest.approx(
+            adjusted_rand_index(b[:n], a[:n])
+        )
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        assert normalized_mutual_information(
+            [0, 0, 1, 1], [3, 3, 7, 7]
+        ) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, 200).tolist()
+        b = rng.integers(0, 3, 200).tolist()
+        nmi = normalized_mutual_information(a, b)
+        assert -1e-9 <= nmi <= 1.0
+
+    @given(labels_strategy)
+    def test_self_nmi_one(self, labels):
+        assert normalized_mutual_information(labels, labels) == pytest.approx(
+            1.0
+        )
+
+    def test_constant_labels(self):
+        assert normalized_mutual_information([0, 0], [0, 0]) == 1.0
+
+
+class TestPrimaryLabels:
+    def test_recovers_planted_partition(self):
+        graph, truth = planted_partition(5, 30, 0.5, 0.005, seed=21)
+        result = ppscan(graph, ScanParams(0.4, 4))
+        labels = primary_labels(result)
+        mask = labels >= 0
+        assert mask.sum() > 0.5 * graph.num_vertices
+        ari = adjusted_rand_index(
+            truth[mask].tolist(), labels[mask].tolist()
+        )
+        assert ari > 0.9
+
+    def test_noise_label(self):
+        graph, _ = planted_partition(2, 15, 0.6, 0.0, seed=3)
+        result = ppscan(graph, ScanParams(0.99, 14))
+        labels = primary_labels(result, noise_label=-7)
+        assert np.all(labels == -7)  # nothing clusters at eps ~ 1, mu 14

@@ -1,0 +1,73 @@
+"""Work records: aggregation and lookup."""
+
+import pytest
+
+from repro.metrics import RunRecord, StageRecord, TaskCost
+
+
+class TestTaskCost:
+    def test_add(self):
+        a = TaskCost(scalar_cmp=1, arcs=2, compsims=3)
+        a.add(TaskCost(scalar_cmp=10, vector_ops=5, allocs=7))
+        assert a.scalar_cmp == 11
+        assert a.vector_ops == 5
+        assert a.arcs == 2
+        assert a.allocs == 7
+        assert a.compsims == 3
+
+    def test_defaults_zero(self):
+        t = TaskCost()
+        assert (
+            t.scalar_cmp
+            == t.vector_ops
+            == t.bound_updates
+            == t.arcs
+            == t.atomics
+            == t.allocs
+            == t.compsims
+            == 0
+        )
+
+
+class TestStageRecord:
+    def test_total(self):
+        stage = StageRecord(
+            "s", [TaskCost(arcs=1), TaskCost(arcs=2, atomics=3)]
+        )
+        total = stage.total()
+        assert total.arcs == 3
+        assert total.atomics == 3
+        assert stage.num_tasks == 2
+
+    def test_empty_total(self):
+        assert StageRecord("s").total().arcs == 0
+
+
+class TestRunRecord:
+    def test_stage_lookup(self):
+        record = RunRecord("x", [StageRecord("a"), StageRecord("b")])
+        assert record.stage("b").name == "b"
+        with pytest.raises(KeyError):
+            record.stage("zzz")
+
+    def test_total_and_invocations(self):
+        record = RunRecord(
+            "x",
+            [
+                StageRecord("a", [TaskCost(compsims=4)]),
+                StageRecord("b", [TaskCost(compsims=6, scalar_cmp=9)]),
+            ],
+        )
+        assert record.compsim_invocations == 10
+        assert record.total().scalar_cmp == 9
+
+    def test_duplicate_stage_names_first_wins(self):
+        record = RunRecord(
+            "x",
+            [
+                StageRecord("s", [TaskCost(arcs=1)]),
+                StageRecord("s", [TaskCost(arcs=2)]),
+            ],
+        )
+        assert record.stage("s").total().arcs == 1
+        assert record.total().arcs == 3

@@ -1,0 +1,46 @@
+"""ClusteringResult save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusteringResult, ppscan
+from repro.graph.generators import erdos_renyi
+from repro.types import ScanParams
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        g = erdos_renyi(50, 220, seed=5)
+        result = ppscan(g, ScanParams(0.4, 2))
+        path = tmp_path / "clustering.npz"
+        result.save(path)
+        loaded = ClusteringResult.load(path)
+        assert loaded.same_clustering(result)
+        assert loaded.algorithm == result.algorithm
+        assert loaded.params == result.params
+
+    def test_record_not_persisted(self, tmp_path):
+        g = erdos_renyi(30, 100, seed=6)
+        result = ppscan(g, ScanParams(0.5, 2))
+        path = tmp_path / "c.npz"
+        result.save(path)
+        loaded = ClusteringResult.load(path)
+        assert loaded.record is None
+
+    def test_empty_clustering_roundtrip(self, tmp_path):
+        g = erdos_renyi(20, 30, seed=7)
+        result = ppscan(g, ScanParams(0.99, 10))
+        assert result.num_clusters == 0
+        path = tmp_path / "empty.npz"
+        result.save(path)
+        loaded = ClusteringResult.load(path)
+        assert loaded.same_clustering(result)
+
+    def test_loaded_supports_queries(self, tmp_path):
+        g = erdos_renyi(40, 180, seed=8)
+        result = ppscan(g, ScanParams(0.35, 2))
+        path = tmp_path / "q.npz"
+        result.save(path)
+        loaded = ClusteringResult.load(path)
+        assert loaded.clusters().keys() == result.clusters().keys()
+        assert np.array_equal(loaded.classify(g), result.classify(g))

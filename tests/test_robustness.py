@@ -1,0 +1,105 @@
+"""Failure injection and robustness: error propagation, odd inputs."""
+
+import numpy as np
+import pytest
+
+from repro.core import ppscan
+from repro.graph import from_edges
+from repro.graph.generators import erdos_renyi
+from repro.metrics import TaskCost
+from repro.parallel import ProcessBackend, SerialBackend
+from repro.types import ScanParams
+
+
+class TestBackendFailurePropagation:
+    def test_serial_task_exception_propagates(self):
+        def bad_task(beg, end):
+            raise RuntimeError("injected task failure")
+
+        with pytest.raises(RuntimeError, match="injected"):
+            SerialBackend().run_phase([(0, 1)], bad_task, lambda w: None)
+
+    def test_process_task_exception_propagates(self):
+        def bad_task(beg, end):
+            if beg == 2:
+                raise RuntimeError("injected worker failure")
+            return None, TaskCost()
+
+        with pytest.raises(RuntimeError, match="injected"):
+            ProcessBackend(workers=2).run_phase(
+                [(0, 1), (2, 3), (4, 5)], bad_task, lambda w: None
+            )
+
+    def test_commit_exception_propagates(self):
+        def commit(writes):
+            raise ValueError("injected commit failure")
+
+        with pytest.raises(ValueError, match="commit"):
+            SerialBackend().run_phase(
+                [(0, 1)], lambda b, e: (None, TaskCost()), commit
+            )
+
+
+class TestOddInputs:
+    def test_isolated_only_graph(self):
+        g = from_edges([], num_vertices=100)
+        result = ppscan(g, ScanParams(0.5, 1))
+        assert result.num_clusters == 0
+
+    def test_two_vertices_one_edge_every_param(self):
+        g = from_edges([(0, 1)])
+        for eps in (0.01, 0.5, 0.99, 1.0):
+            for mu in (1, 2, 3):
+                result = ppscan(g, ScanParams(eps, mu))
+                # sigma(0,1) = 2/2 = 1 >= eps always; core iff mu == 1.
+                expected_clusters = 1 if mu == 1 else 0
+                assert result.num_clusters == expected_clusters, (eps, mu)
+
+    def test_very_small_eps(self):
+        g = erdos_renyi(40, 160, seed=1)
+        result = ppscan(g, ScanParams(1e-3, 1))
+        # Everything is similar at eps ~ 0: each component one cluster.
+        assert result.num_cores == 40
+
+    def test_eps_snapping_consistency(self):
+        """Float eps that isn't exactly representable snaps to the same
+        rational everywhere — results identical for 0.3 vs 0.29999999999."""
+        g = erdos_renyi(50, 220, seed=2)
+        a = ppscan(g, ScanParams(0.3, 2))
+        b = ppscan(g, ScanParams(0.29999999999999993, 2))
+        assert a.same_clustering(b)
+
+    def test_duplicate_heavy_input_normalized(self):
+        edges = [(0, 1)] * 50 + [(1, 0)] * 50 + [(1, 2)]
+        g = from_edges(edges)
+        assert g.num_edges == 2
+        ppscan(g, ScanParams(0.5, 1))  # must not crash
+
+    def test_self_loop_heavy_input(self):
+        g = from_edges([(i, i) for i in range(10)] + [(0, 1)])
+        assert g.num_edges == 1
+
+
+class TestDeterminism:
+    def test_ppscan_record_deterministic(self):
+        g = erdos_renyi(60, 250, seed=3)
+        params = ScanParams(0.4, 2)
+        a = ppscan(g, params).record
+        b = ppscan(g, params).record
+        assert a.compsim_invocations == b.compsim_invocations
+        for sa, sb in zip(a.stages, b.stages):
+            assert sa.total().__dict__ == sb.total().__dict__
+
+    def test_experiment_data_deterministic(self):
+        from repro.bench import clear_caches
+        from repro.bench.experiments import fig4_invocations
+
+        clear_caches()
+        first = fig4_invocations(
+            scale=0.05, eps_values=(0.4,), datasets=("orkut",)
+        ).data
+        clear_caches()
+        second = fig4_invocations(
+            scale=0.05, eps_values=(0.4,), datasets=("orkut",)
+        ).data
+        assert first == second

@@ -1,0 +1,81 @@
+"""SCAN++: exactness, pivot/DTAR structure, cost profile."""
+
+import pytest
+
+from repro.core import brute_force_scan, ppscan, pscan, scanpp
+from repro.graph import complete_graph, path_graph
+from repro.graph.generators import chung_lu, erdos_renyi, powerlaw_weights
+from repro.types import ScanParams
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu(powerlaw_weights(200, 2.3), 1100, seed=17)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("eps", [0.2, 0.5, 0.8])
+    @pytest.mark.parametrize("mu", [1, 2, 5])
+    def test_vs_brute_force(self, eps, mu):
+        g = erdos_renyi(50, 200, seed=23)
+        params = ScanParams(eps, mu)
+        assert scanpp(g, params).same_clustering(brute_force_scan(g, params))
+
+    def test_vs_ppscan_on_powerlaw(self, graph):
+        params = ScanParams(0.4, 3)
+        assert scanpp(graph, params).same_clustering(ppscan(graph, params))
+
+    def test_complete_graph(self):
+        g = complete_graph(10)
+        result = scanpp(g, ScanParams(0.5, 3))
+        assert result.num_clusters == 1
+
+    def test_path_graph(self):
+        result = scanpp(path_graph(8), ScanParams(0.9, 2))
+        assert result.num_clusters == 0
+
+
+class TestStructure:
+    def test_pivots_form_dominating_set(self, graph):
+        """Every vertex is a pivot or adjacent to one."""
+        result = scanpp(graph, ScanParams(0.4, 3))
+        record = result.record
+        assert 0 < record.num_pivots <= graph.num_vertices
+        # A dominating set cannot be smaller than n / (max_d + 1).
+        assert record.num_pivots >= graph.num_vertices / (
+            graph.max_degree() + 1
+        )
+
+    def test_dtar_sizes_recorded(self, graph):
+        record = scanpp(graph, ScanParams(0.4, 3)).record
+        assert len(record.dtar_sizes) == record.num_pivots
+        assert all(s >= 0 for s in record.dtar_sizes)
+
+    def test_stage_names(self, graph):
+        record = scanpp(graph, ScanParams(0.4, 3)).record
+        assert [s.name for s in record.stages] == [
+            "pivot expansion",
+            "consolidation",
+            "clustering",
+        ]
+
+    def test_each_edge_computed_at_most_once(self, graph):
+        record = scanpp(graph, ScanParams(0.3, 3)).record
+        assert record.compsim_invocations <= graph.num_edges
+
+
+class TestCostProfile:
+    def test_dtar_maintenance_dominates(self, graph):
+        """The paper's verdict: DTAR allocations dwarf the intersection
+        savings — SCAN++'s pivot stage carries heavy alloc counts."""
+        record = scanpp(graph, ScanParams(0.4, 3)).record
+        pivot_stage = record.stage("pivot expansion").total()
+        assert pivot_stage.allocs > graph.num_edges  # two-hop blowup
+
+    def test_slower_than_pscan_on_knl_model(self, graph):
+        from repro.parallel import KNL_SERVER
+
+        params = ScanParams(0.4, 3)
+        sp = KNL_SERVER.run_seconds(scanpp(graph, params).record, 1)
+        ps = KNL_SERVER.run_seconds(pscan(graph, params).record, 1)
+        assert sp > ps

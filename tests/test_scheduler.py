@@ -1,0 +1,82 @@
+"""Degree-based dynamic task scheduling (Algorithm 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel import degree_based_tasks, uniform_tasks
+
+
+class TestDegreeBasedTasks:
+    def test_covers_all_vertices_contiguously(self):
+        degrees = [5, 1, 9, 3, 7, 2]
+        tasks = degree_based_tasks(degrees, None, threshold=8)
+        assert tasks[0][0] == 0
+        assert tasks[-1][1] == len(degrees)
+        for (_, e1), (b2, _) in zip(tasks, tasks[1:]):
+            assert e1 == b2
+
+    def test_threshold_cuts(self):
+        # Accumulate 5, 6 -> >4 cut; then 9 -> cut; remainder.
+        tasks = degree_based_tasks([5, 1, 9, 3], None, threshold=4)
+        assert tasks == [(0, 1), (1, 3), (3, 4)]
+
+    def test_skips_vertices_without_work(self):
+        degrees = [100, 100, 100, 100]
+        needs = [False, True, False, False]
+        tasks = degree_based_tasks(degrees, needs, threshold=50)
+        # Only vertex 1 contributes degree: one cut after it + remainder.
+        assert tasks == [(0, 2), (2, 4)]
+
+    def test_no_work_single_remainder_task(self):
+        tasks = degree_based_tasks([5, 5, 5], [False] * 3, threshold=1)
+        assert tasks == [(0, 3)]
+
+    def test_empty_graph(self):
+        assert degree_based_tasks([], None, threshold=10) == []
+
+    def test_huge_threshold_single_task(self):
+        tasks = degree_based_tasks([3, 3, 3], None, threshold=10**9)
+        assert tasks == [(0, 3)]
+
+    def test_threshold_one_fine_tasks(self):
+        tasks = degree_based_tasks([2, 2, 2], None, threshold=1)
+        assert tasks == [(0, 1), (1, 2), (2, 3)]
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            degree_based_tasks([1], None, threshold=0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), max_size=60),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_partition_property(self, degrees, threshold):
+        tasks = degree_based_tasks(degrees, None, threshold)
+        covered = [v for beg, end in tasks for v in range(beg, end)]
+        assert covered == list(range(len(degrees)))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_interior_tasks_exceed_threshold(self, degrees, threshold):
+        """Every task except the remainder carries > threshold degree sum."""
+        tasks = degree_based_tasks(degrees, None, threshold)
+        for beg, end in tasks[:-1]:
+            assert sum(degrees[beg:end]) > threshold
+
+
+class TestUniformTasks:
+    def test_chunks(self):
+        assert uniform_tasks(7, 3) == [(0, 3), (3, 6), (6, 7)]
+
+    def test_exact_division(self):
+        assert uniform_tasks(6, 3) == [(0, 3), (3, 6)]
+
+    def test_empty(self):
+        assert uniform_tasks(0, 4) == []
+
+    def test_bad_chunk(self):
+        with pytest.raises(ValueError):
+            uniform_tasks(5, 0)

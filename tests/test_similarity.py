@@ -1,0 +1,155 @@
+"""Threshold arithmetic, the similarity engine, and predicate pruning."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import complete_graph, from_edges, star_graph
+from repro.graph.generators import chung_lu, erdos_renyi, powerlaw_weights
+from repro.similarity import (
+    SimilarityEngine,
+    ThresholdTable,
+    min_cn_arcs,
+    min_cn_threshold,
+    predicate_prune_arcs,
+)
+from repro.types import NSIM, SIM, UNKNOWN, ScanParams
+
+
+class TestMinCnThreshold:
+    def test_matches_ceiling_formula(self):
+        # Definition 2.2: threshold = ceil(eps * sqrt((du+1)(dv+1))).
+        eps = Fraction(1, 2)
+        for du in range(0, 30):
+            for dv in range(0, 30):
+                exact = min_cn_threshold(eps, du, dv)
+                float_ceil = math.ceil(0.5 * math.sqrt((du + 1) * (dv + 1)))
+                assert abs(exact - float_ceil) <= 1  # float may straddle ties
+                # Exact definition: smallest k with k^2 >= eps^2 * D.
+                target = Fraction(1, 4) * (du + 1) * (dv + 1)
+                assert exact * exact >= target
+                assert exact == 0 or (exact - 1) ** 2 < target
+
+    def test_eps_one(self):
+        # eps = 1: threshold is ceil(sqrt((du+1)(dv+1))).
+        assert min_cn_threshold(Fraction(1), 3, 3) == 4
+        assert min_cn_threshold(Fraction(1), 2, 4) == 4  # sqrt(15) -> 4
+
+    def test_exact_boundary_is_similar(self):
+        # eps=1/2, du=dv=7: threshold = ceil(0.5*8) = 4 exactly; count==4
+        # must be similar (the >= of Definition 2.2).
+        assert min_cn_threshold(Fraction(1, 2), 7, 7) == 4
+
+    @given(
+        st.fractions(min_value=Fraction(1, 100), max_value=1),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_least_k_property(self, eps, du, dv):
+        k = min_cn_threshold(eps, du, dv)
+        target = eps * eps * (du + 1) * (dv + 1)
+        assert k * k >= target
+        assert k == 0 or (k - 1) * (k - 1) < target
+
+    def test_threshold_table_caches_and_symmetric(self):
+        table = ThresholdTable(Fraction(3, 10))
+        assert table(5, 9) == table(9, 5)
+        assert table(5, 9) == min_cn_threshold(Fraction(3, 10), 5, 9)
+
+
+class TestVectorizedThresholds:
+    @pytest.mark.parametrize("eps", [0.1, 0.2, 0.35, 0.5, 0.77, 0.9, 1.0])
+    def test_matches_scalar_for_all_arcs(self, eps):
+        g = chung_lu(powerlaw_weights(150, 2.2), 900, seed=1)
+        frac = ScanParams(eps, 2).eps_fraction
+        vec = min_cn_arcs(g, frac)
+        src = g.arc_source()
+        for i in range(g.num_arcs):
+            assert vec[i] == min_cn_threshold(
+                frac, g.degree(int(src[i])), g.degree(int(g.dst[i]))
+            )
+
+    def test_prune_states(self):
+        g = star_graph(30)  # hub deg 30, leaves deg 1
+        frac = ScanParams(0.8, 2).eps_fraction
+        mcn = min_cn_arcs(g, frac)
+        states = predicate_prune_arcs(g, mcn)
+        # hub-leaf: c = ceil(.8*sqrt(31*2)) = ceil(6.3) = 7 > 1+2 -> NSIM
+        assert np.all(states == NSIM)
+
+    def test_prune_sim_state(self):
+        g = from_edges([(0, 1)])  # two deg-1 endpoints
+        frac = ScanParams(0.5, 1).eps_fraction
+        states = predicate_prune_arcs(g, min_cn_arcs(g, frac))
+        # c = ceil(0.5 * 2) = 1 <= 2 -> SIM without intersection
+        assert np.all(states == SIM)
+
+    def test_prune_unknown_in_between(self):
+        g = complete_graph(6)
+        frac = ScanParams(0.9, 2).eps_fraction
+        states = predicate_prune_arcs(g, min_cn_arcs(g, frac))
+        # c = ceil(.9*6) = 6, du+2 = 7 >= 6 and 2 < 6 -> undecided
+        assert np.all(states == UNKNOWN)
+
+
+class TestSimilarityEngine:
+    @pytest.fixture
+    def graph(self):
+        return erdos_renyi(60, 260, seed=7)
+
+    @pytest.mark.parametrize("kernel", ["merge", "pivot", "vectorized"])
+    def test_kernels_agree_with_exhaustive(self, graph, kernel):
+        params = ScanParams(0.5, 2)
+        engine = SimilarityEngine(graph, params, kernel=kernel)
+        oracle = SimilarityEngine(graph, params, kernel="merge")
+        for u, v in graph.edge_list()[:150]:
+            assert engine.compsim(int(u), int(v)) == oracle.compsim_exhaustive(
+                int(u), int(v)
+            )
+
+    def test_predicate_prune_sound(self, graph):
+        """Pruned decisions must equal the computed decisions."""
+        params = ScanParams(0.6, 2)
+        engine = SimilarityEngine(graph, params)
+        for u, v in graph.edge_list():
+            pruned = engine.predicate_prune(int(u), int(v))
+            if pruned != UNKNOWN:
+                computed = SIM if engine.compsim_exhaustive(int(u), int(v)) else NSIM
+                assert pruned == computed
+
+    def test_similarity_value_matches_definition(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        engine = SimilarityEngine(g, ScanParams(0.5, 1))
+        # triangle: |closed(u) ^ closed(v)| = 3, degrees 2 each.
+        assert engine.similarity_value(0, 1) == pytest.approx(3 / 3)
+
+    def test_unknown_kernel_rejected(self, graph):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            SimilarityEngine(graph, ScanParams(0.5, 2), kernel="avx1024")
+
+    def test_counter_accumulates(self, graph):
+        engine = SimilarityEngine(graph, ScanParams(0.5, 2))
+        u, v = map(int, graph.edge_list()[0])
+        engine.compsim(u, v)
+        assert engine.counter.invocations == 1
+
+
+class TestScanParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScanParams(0.0, 1)
+        with pytest.raises(ValueError):
+            ScanParams(1.1, 1)
+        with pytest.raises(ValueError):
+            ScanParams(0.5, 0)
+
+    def test_eps_fraction_snaps_decimal(self):
+        assert ScanParams(0.2, 1).eps_fraction == Fraction(1, 5)
+        assert ScanParams(0.35, 1).eps_fraction == Fraction(7, 20)
+
+    def test_mu_coerced_to_int(self):
+        assert ScanParams(0.5, 3.0).mu == 3

@@ -1,0 +1,73 @@
+"""Greedy list-scheduling simulation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel import assign_tasks, greedy_makespan
+
+costs_strategy = st.lists(
+    st.floats(min_value=0, max_value=100, allow_nan=False), max_size=50
+)
+
+
+class TestAssignTasks:
+    def test_single_worker_serializes(self):
+        loads, assignment = assign_tasks([3, 4, 5], 1)
+        assert loads == [12]
+        assert assignment == [0, 0, 0]
+
+    def test_round_robin_when_equal(self):
+        loads, assignment = assign_tasks([1, 1, 1, 1], 2)
+        assert sorted(loads) == [2, 2]
+        assert assignment[0] != assignment[1]
+
+    def test_greedy_prefers_idle_worker(self):
+        # First task is huge: everything else lands on the other worker.
+        loads, assignment = assign_tasks([100, 1, 1, 1], 2)
+        assert sorted(loads) == [3, 100]
+        assert assignment[1:] == [assignment[1]] * 3
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            assign_tasks([1, -2], 2)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            greedy_makespan([1], 0)
+
+    def test_empty_tasks(self):
+        assert greedy_makespan([], 4) == 0.0
+
+
+class TestMakespanBounds:
+    @given(costs_strategy, st.integers(min_value=1, max_value=16))
+    def test_classic_list_scheduling_bounds(self, costs, workers):
+        """total/W <= makespan <= total/W + max (Graham's bound)."""
+        makespan = greedy_makespan(costs, workers)
+        total = sum(costs)
+        biggest = max(costs, default=0.0)
+        assert makespan >= total / workers - 1e-9
+        assert makespan >= biggest - 1e-9
+        assert makespan <= total / workers + biggest + 1e-9
+
+    @given(costs_strategy)
+    def test_one_worker_equals_total(self, costs):
+        assert greedy_makespan(costs, 1) == pytest.approx(sum(costs))
+
+    @given(costs_strategy, st.integers(min_value=1, max_value=8))
+    def test_more_workers_never_slower(self, costs, workers):
+        assert (
+            greedy_makespan(costs, workers + 1)
+            <= greedy_makespan(costs, workers) + 1e-9
+        )
+
+    def test_loads_sum_to_total(self):
+        costs = [3.0, 1.0, 4.0, 1.0, 5.0]
+        loads, _ = assign_tasks(costs, 3)
+        # loads are completion times; per-worker work sums to total.
+        _, assignment = assign_tasks(costs, 3)
+        per_worker = [0.0] * 3
+        for c, w in zip(costs, assignment):
+            per_worker[w] += c
+        assert sum(per_worker) == pytest.approx(sum(costs))

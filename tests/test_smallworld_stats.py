@@ -1,0 +1,102 @@
+"""Watts-Strogatz generator and the extended graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import brute_force_scan, ppscan
+from repro.graph import (
+    clustering_coefficient,
+    complete_graph,
+    degree_percentiles,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators import erdos_renyi, watts_strogatz
+from repro.types import ScanParams
+
+
+class TestWattsStrogatz:
+    def test_lattice_at_zero_rewiring(self):
+        g = watts_strogatz(20, k=4, rewire_p=0.0, seed=0)
+        assert g.num_edges == 40
+        assert all(g.degree(u) == 4 for u in range(20))
+
+    def test_rewiring_preserves_edge_count_roughly(self):
+        g = watts_strogatz(200, k=6, rewire_p=0.3, seed=1)
+        assert g.num_edges == pytest.approx(600, rel=0.02)
+        g.validate()
+
+    def test_deterministic(self):
+        a = watts_strogatz(100, k=4, rewire_p=0.1, seed=2)
+        b = watts_strogatz(100, k=4, rewire_p=0.1, seed=2)
+        assert np.array_equal(a.dst, b.dst)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, k=3)
+        with pytest.raises(ValueError):
+            watts_strogatz(4, k=4)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, k=4, rewire_p=2.0)
+
+    def test_high_clustering_vs_random(self):
+        ws = watts_strogatz(300, k=6, rewire_p=0.05, seed=3)
+        er = erdos_renyi(300, ws.num_edges, seed=3)
+        assert clustering_coefficient(ws) > 3 * clustering_coefficient(er)
+
+    def test_scan_clusters_the_lattice(self):
+        """The unrewired ring lattice is SCAN-clusterable: adjacent ring
+        vertices share k/2 - 1 neighbors."""
+        g = watts_strogatz(40, k=6, rewire_p=0.0, seed=0)
+        params = ScanParams(0.5, 2)
+        result = ppscan(g, params)
+        assert result.same_clustering(brute_force_scan(g, params))
+        assert result.num_clusters >= 1
+
+
+class TestClusteringCoefficient:
+    def test_complete(self):
+        assert clustering_coefficient(complete_graph(8)) == 1.0
+
+    def test_triangle_free(self):
+        assert clustering_coefficient(path_graph(10)) == 0.0
+        assert clustering_coefficient(star_graph(6)) == 0.0
+
+    def test_empty(self):
+        assert clustering_coefficient(empty_graph(0)) == 0.0
+        assert clustering_coefficient(empty_graph(5)) == 0.0
+
+    def test_sampled_close_to_exact(self):
+        g = watts_strogatz(400, k=6, rewire_p=0.1, seed=4)
+        exact = clustering_coefficient(g)
+        sampled = clustering_coefficient(g, sample=200, seed=1)
+        assert sampled == pytest.approx(exact, abs=0.1)
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = erdos_renyi(80, 320, seed=5)
+        nx_g = nx.Graph(g.edge_list().tolist())
+        nx_g.add_nodes_from(range(g.num_vertices))
+        assert clustering_coefficient(g) == pytest.approx(
+            nx.average_clustering(nx_g)
+        )
+
+
+class TestDegreePercentiles:
+    def test_uniform_degrees(self):
+        g = complete_graph(6)
+        pct = degree_percentiles(g)
+        assert pct[50] == 5 and pct[100] == 5
+
+    def test_star(self):
+        pct = degree_percentiles(star_graph(9), percentiles=(50, 100))
+        assert pct[50] == 1 and pct[100] == 9
+
+    def test_empty(self):
+        assert degree_percentiles(empty_graph(0)) == {
+            50: 0,
+            90: 0,
+            99: 0,
+            100: 0,
+        }

@@ -1,0 +1,50 @@
+"""Schedule-trace reporting."""
+
+import pytest
+
+from repro.metrics import StageRecord, TaskCost
+from repro.parallel import CPU_SERVER, KNL_SERVER, trace_stage
+
+
+def make_stage(costs):
+    return StageRecord("s", [TaskCost(scalar_cmp=c) for c in costs])
+
+
+class TestTrace:
+    def test_workers_follow_throughput(self):
+        stage = make_stage([100] * 20)
+        trace = trace_stage(stage, KNL_SERVER, 256)
+        assert trace.workers == round(KNL_SERVER.throughput(256))
+
+    def test_total_work_and_makespan(self):
+        stage = make_stage([10, 20, 30])
+        trace = trace_stage(stage, CPU_SERVER, 1)
+        assert trace.total_work == pytest.approx(60 * CPU_SERVER.scalar_cpi)
+        assert trace.makespan == pytest.approx(trace.total_work)
+        assert trace.imbalance == pytest.approx(1.0)
+
+    def test_imbalance_detects_straggler(self):
+        stage = make_stage([1000] + [1] * 10)
+        trace = trace_stage(stage, CPU_SERVER, 4)
+        assert trace.imbalance > 2.0
+
+    def test_tasks_per_worker_sum(self):
+        stage = make_stage([5] * 13)
+        trace = trace_stage(stage, CPU_SERVER, 4)
+        assert sum(trace.tasks_per_worker()) == 13
+
+    def test_report_text(self):
+        stage = make_stage([5, 6, 7])
+        text = trace_stage(stage, CPU_SERVER, 2).report()
+        assert "schedule trace" in text
+        assert "worker 0" in text
+
+    def test_report_truncates_many_workers(self):
+        stage = make_stage([5] * 100)
+        text = trace_stage(stage, KNL_SERVER, 256).report(max_workers=4)
+        assert "more workers" in text
+
+    def test_empty_stage(self):
+        trace = trace_stage(StageRecord("empty"), CPU_SERVER, 2)
+        assert trace.makespan == 0.0
+        assert trace.imbalance == 1.0

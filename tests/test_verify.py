@@ -1,0 +1,113 @@
+"""Post-hoc clustering verification API."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClusteringResult,
+    ClusteringVerificationError,
+    fast_structural_clustering,
+    ppscan,
+    verify_clustering,
+)
+from repro.graph.generators import chung_lu, erdos_renyi, powerlaw_weights
+from repro.types import CORE, NONCORE, ScanParams
+
+
+@pytest.fixture(scope="module")
+def case():
+    g = erdos_renyi(60, 260, seed=41)
+    params = ScanParams(0.4, 2)
+    return g, params, ppscan(g, params)
+
+
+class TestAcceptsCorrect:
+    def test_ppscan_output(self, case):
+        g, params, result = case
+        verify_clustering(g, result)
+
+    def test_fast_mode_output(self, case):
+        g, params, _ = case
+        verify_clustering(g, fast_structural_clustering(g, params))
+
+    def test_explicit_params(self, case):
+        g, params, result = case
+        verify_clustering(g, result, params)
+
+    def test_powerlaw(self):
+        g = chung_lu(powerlaw_weights(150, 2.3), 800, seed=1)
+        params = ScanParams(0.3, 3)
+        verify_clustering(g, ppscan(g, params))
+
+
+def _tampered(result, **overrides) -> ClusteringResult:
+    fields = dict(
+        algorithm=result.algorithm,
+        params=result.params,
+        roles=result.roles.copy(),
+        core_labels=result.core_labels.copy(),
+        noncore_pairs=result.noncore_pairs.copy(),
+    )
+    fields.update(overrides)
+    return ClusteringResult(**fields)
+
+
+class TestRejectsTampered:
+    def test_flipped_role(self, case):
+        g, params, result = case
+        roles = result.roles.copy()
+        roles[0] = NONCORE if roles[0] == CORE else CORE
+        with pytest.raises(ClusteringVerificationError, match="role"):
+            verify_clustering(g, _tampered(result, roles=roles))
+
+    def test_core_without_label(self, case):
+        g, params, result = case
+        cores = np.flatnonzero(result.roles == CORE)
+        if cores.size == 0:
+            pytest.skip("no cores at these params")
+        labels = result.core_labels.copy()
+        labels[cores[0]] = -1
+        with pytest.raises(ClusteringVerificationError):
+            verify_clustering(g, _tampered(result, core_labels=labels))
+
+    def test_merged_clusters(self, case):
+        g, params, result = case
+        ids = result.cluster_ids
+        if ids.size < 2:
+            pytest.skip("needs two clusters")
+        labels = result.core_labels.copy()
+        labels[labels == ids[1]] = ids[0]
+        with pytest.raises(ClusteringVerificationError):
+            verify_clustering(g, _tampered(result, core_labels=labels))
+
+    def test_phantom_membership(self, case):
+        g, params, result = case
+        cores = np.flatnonzero(result.roles == CORE)
+        noncores = np.flatnonzero(result.roles == NONCORE)
+        if cores.size == 0 or noncores.size == 0:
+            pytest.skip("needs both roles")
+        extra = np.vstack(
+            [
+                result.noncore_pairs,
+                [[int(result.core_labels[cores[0]]), int(noncores[0])]],
+            ]
+        )
+        tampered = _tampered(result, noncore_pairs=extra)
+        if tampered.same_clustering(result):
+            pytest.skip("added pair already present")
+        with pytest.raises(ClusteringVerificationError):
+            verify_clustering(g, tampered)
+
+    def test_size_mismatch(self, case):
+        g, params, result = case
+        other = erdos_renyi(10, 15, seed=0)
+        with pytest.raises(ClusteringVerificationError, match="vertices"):
+            verify_clustering(other, result)
+
+    def test_wrong_params(self, case):
+        g, params, result = case
+        strict = ScanParams(0.95, 5)
+        if ppscan(g, strict).same_clustering(result):
+            pytest.skip("degenerate agreement")
+        with pytest.raises(ClusteringVerificationError):
+            verify_clustering(g, result, strict)
