@@ -1,0 +1,113 @@
+"""Scalar vs batched execution mode: per-stage ppSCAN wall-time speedup.
+
+Times the seven ppSCAN stages under both execution modes on the largest
+bundled evaluation graph (the friendster stand-in) and records the
+breakdown into ``bench_results/batch_speedup.json``.  The headline claim —
+the batched mode's end-to-end speedup — is asserted, not just reported:
+the vectorized resolution path must beat the scalar kernels by at least
+3x at the default scale.
+
+Runs are interleaved (scalar, batched, scalar, ...) and the best of
+``ROUNDS`` kept per mode, so allocator warm-up and host noise cancel
+instead of biasing one mode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.core import assert_same_clustering, ppscan
+from repro.core.ppscan import PPSCAN_STAGES
+from repro.graph.generators import real_world_standin
+from repro.types import ScanParams
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+GRAPH_NAME = "friendster"
+PARAMS = ScanParams(0.4, 5)
+ROUNDS = 3
+MIN_SPEEDUP = 3.0
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", 0.4))
+
+
+def _time_mode(graph, exec_mode: str):
+    """Best-of-one run: (end-to-end wall, per-stage walls, result)."""
+    t0 = time.perf_counter()
+    result = ppscan(graph, PARAMS, exec_mode=exec_mode)
+    wall = time.perf_counter() - t0
+    stages = {s.name: s.wall_seconds for s in result.record.stages}
+    return wall, stages, result
+
+
+def run_speedup(scale: float | None = None) -> dict:
+    scale = _scale() if scale is None else scale
+    graph = real_world_standin(GRAPH_NAME, scale=scale)
+    best: dict[str, dict] = {}
+    results: dict[str, object] = {}
+    for _ in range(ROUNDS):
+        for mode in ("scalar", "batched"):
+            wall, stages, result = _time_mode(graph, mode)
+            if mode not in best or wall < best[mode]["wall_seconds"]:
+                best[mode] = {"wall_seconds": wall, "stages": stages}
+            results[mode] = result
+    assert_same_clustering(results["scalar"], results["batched"])
+
+    scalar, batched = best["scalar"], best["batched"]
+    per_stage = {}
+    for name in PPSCAN_STAGES:
+        s, b = scalar["stages"][name], batched["stages"][name]
+        per_stage[name] = {
+            "scalar_seconds": s,
+            "batched_seconds": b,
+            "speedup": (s / b) if b > 0 else None,
+        }
+    data = {
+        "graph": GRAPH_NAME,
+        "scale": scale,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "params": {"eps": PARAMS.eps, "mu": PARAMS.mu},
+        "rounds": ROUNDS,
+        "scalar_seconds": scalar["wall_seconds"],
+        "batched_seconds": batched["wall_seconds"],
+        "end_to_end_speedup": scalar["wall_seconds"] / batched["wall_seconds"],
+        "stages": per_stage,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "batch_speedup.json"
+    out.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    return data
+
+
+def test_batched_speedup():
+    data = run_speedup()
+    lines = [
+        f"{GRAPH_NAME} standin (scale {data['scale']}): "
+        f"scalar {data['scalar_seconds']:.3f}s, "
+        f"batched {data['batched_seconds']:.3f}s, "
+        f"{data['end_to_end_speedup']:.2f}x"
+    ]
+    for name, row in data["stages"].items():
+        speedup = row["speedup"]
+        lines.append(
+            f"  {name:<30} {row['scalar_seconds'] * 1e3:8.1f}ms -> "
+            f"{row['batched_seconds'] * 1e3:8.1f}ms  "
+            f"({speedup:.2f}x)" if speedup is not None else f"  {name}"
+        )
+    print("\n".join(lines), file=sys.stderr)
+    assert data["end_to_end_speedup"] >= MIN_SPEEDUP, (
+        f"batched mode only {data['end_to_end_speedup']:.2f}x faster than "
+        f"scalar (required: {MIN_SPEEDUP}x); see bench_results/batch_speedup.json"
+    )
+
+
+if __name__ == "__main__":
+    test_batched_speedup()
+    print(json.dumps(json.loads((RESULTS_DIR / "batch_speedup.json").read_text()),
+                     indent=1))

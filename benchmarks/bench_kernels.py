@@ -2,11 +2,21 @@
 
 These complement the figure benches: absolute Python-substrate timings
 for the set-intersection kernels and one end-to-end ppSCAN clustering.
+
+Running this file directly with ``--smoke`` executes the CI smoke check
+instead: scalar-merge vs batched ppSCAN on the medium bundled graph (the
+livejournal stand-in), merged into ``bench_results/kernels.json`` under a
+``"smoke"`` key.  Exits non-zero if the batched path is slower.
 """
+
+import json
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
-from repro.core import ppscan, pscan
+from repro.core import assert_same_clustering, ppscan, pscan
 from repro.graph.generators import real_world_standin
 from repro.intersect import (
     merge_compsim,
@@ -61,3 +71,60 @@ def test_ppscan_end_to_end(benchmark, small_graph):
 def test_pscan_end_to_end(benchmark, small_graph):
     params = ScanParams(0.4, 5)
     benchmark.pedantic(pscan, args=(small_graph, params), rounds=3, iterations=1)
+
+
+# -- CI smoke check (python benchmarks/bench_kernels.py --smoke) -------------
+
+SMOKE_ROUNDS = 3
+
+
+def run_smoke() -> int:
+    """Batched-vs-scalar-merge smoke benchmark on the livejournal stand-in.
+
+    Interleaved best-of-``SMOKE_ROUNDS`` timings; the result is merged
+    into ``bench_results/kernels.json`` (the design-space content stays
+    untouched).  Returns a process exit code: non-zero when the batched
+    path fails to beat the scalar merge kernel.
+    """
+    graph = real_world_standin("livejournal", scale=0.4)
+    params = ScanParams(0.4, 5)
+    best = {"scalar": float("inf"), "batched": float("inf")}
+    results = {}
+    for _ in range(SMOKE_ROUNDS):
+        for mode, kwargs in (
+            ("scalar", dict(kernel="merge")),
+            ("batched", dict(exec_mode="batched")),
+        ):
+            t0 = time.perf_counter()
+            results[mode] = ppscan(graph, params, **kwargs)
+            best[mode] = min(best[mode], time.perf_counter() - t0)
+    assert_same_clustering(results["scalar"], results["batched"])
+
+    path = Path(__file__).resolve().parent.parent / "bench_results" / "kernels.json"
+    path.parent.mkdir(exist_ok=True)
+    data = json.loads(path.read_text()) if path.exists() else {}
+    speedup = best["scalar"] / best["batched"]
+    data["smoke"] = {
+        "graph": "livejournal",
+        "scale": 0.4,
+        "num_edges": graph.num_edges,
+        "params": {"eps": params.eps, "mu": params.mu},
+        "scalar_merge_seconds": best["scalar"],
+        "batched_seconds": best["batched"],
+        "speedup": speedup,
+    }
+    path.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    print(
+        f"smoke: livejournal standin scalar-merge {best['scalar']:.3f}s, "
+        f"batched {best['batched']:.3f}s ({speedup:.2f}x) -> {path}"
+    )
+    if speedup <= 1.0:
+        print("FAIL: batched mode is slower than the scalar merge path")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        sys.exit(run_smoke())
+    sys.exit(pytest.main([__file__, *sys.argv[1:]]))

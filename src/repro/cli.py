@@ -35,6 +35,7 @@ from .graph.generators import (
     roll_graph,
 )
 from .parallel import ProcessBackend
+from .similarity import EXEC_MODES
 from .types import CORE, HUB, OUTLIER, ScanParams
 
 _ALGORITHMS = {
@@ -66,6 +67,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="process-backend workers (0 = serial; ppscan/scanxp/anyscan only)",
+    )
+    p_cluster.add_argument(
+        "--exec-mode",
+        choices=list(EXEC_MODES),
+        default="scalar",
+        help="arc-resolution strategy: per-arc scalar kernels or batched "
+        "vectorized resolution (ppscan/pscan/scanxp)",
     )
     p_cluster.add_argument(
         "--show-clusters", action="store_true", help="print cluster members"
@@ -146,6 +154,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         else:
             print(
                 f"note: {args.algorithm} is sequential; --workers ignored",
+                file=sys.stderr,
+            )
+    if args.exec_mode != "scalar":
+        if args.algorithm in ("ppscan", "pscan", "scanxp"):
+            kwargs["exec_mode"] = args.exec_mode
+        else:
+            print(
+                f"note: {args.algorithm} has no batched mode; "
+                "--exec-mode ignored",
                 file=sys.stderr,
             )
     result = algo(graph, params, **kwargs)

@@ -3,13 +3,20 @@
 Materializes the graph's CSR arrays, the reverse-arc index (pSCAN's
 similarity-reuse target, computed for the whole graph in one pass instead
 of per-edge binary searches), the per-arc similarity thresholds, and the
-mutable ``sim`` / ``role`` arrays, all as plain Python lists — the fastest
+mutable ``sim`` / ``role`` arrays.
+
+The scalar algorithms consume plain Python lists — the fastest
 representation for the data-dependent early-terminating inner loops on
 this substrate (see the optimization guide: ndarray scalar access in tight
-loops is several times slower than list access).
+loops is several times slower than list access).  The batched execution
+mode works on the NumPy forms exclusively, so every list view is a
+``cached_property``: a batched run never pays the O(n + m) ``tolist``
+materialization cost.
 """
 
 from __future__ import annotations
+
+from functools import cached_property
 
 import numpy as np
 
@@ -23,16 +30,15 @@ __all__ = ["RunContext", "reverse_arc_index"]
 def reverse_arc_index(graph: CSRGraph) -> np.ndarray:
     """``rev[i]`` = arc index of the reverse of arc ``i``.
 
-    Arcs in natural order are sorted by ``(src, dst)``; re-sorting them by
-    ``(dst, src)`` enumerates exactly the reverse arcs in natural order,
-    so one lexsort yields the whole mapping (each pair is unique in a
-    simple graph).
+    Arcs in natural order are sorted by ``(src, dst)``, so the combined
+    key ``src * n + dst`` is a sorted array and the position of arc
+    ``(dst, src)`` — which always exists in an undirected graph — is one
+    vectorized binary search (cheaper than the lexsort this replaces).
     """
-    src = graph.arc_source()
-    order = np.lexsort((src, graph.dst))
-    rev = np.empty(graph.num_arcs, dtype=np.int64)
-    rev[order] = np.arange(graph.num_arcs, dtype=np.int64)
-    return rev
+    src = graph.arc_source().astype(np.int64)
+    dst = graph.dst.astype(np.int64)
+    n = np.int64(graph.num_vertices)
+    return np.searchsorted(src * n + dst, dst * n + src).astype(np.int64)
 
 
 class RunContext:
@@ -51,22 +57,49 @@ class RunContext:
 
         self.n = graph.num_vertices
         self.num_arcs = graph.num_arcs
-        self.off: list[int] = graph.offsets.tolist()
-        self.dst: list[int] = graph.dst.tolist()
-        self.deg: list[int] = graph.degrees.tolist()
+        #: NumPy forms, shared by both execution modes.
+        self.rev_np: np.ndarray = reverse_arc_index(graph)
+        self.src_np: np.ndarray = graph.arc_source()
+        self.mcn_np: np.ndarray = min_cn_arcs(graph, params.eps_fraction)
+
+    # -- lazily-materialized list views (scalar-mode hot-path state) --------
+
+    @cached_property
+    def off(self) -> list[int]:
+        return self.graph.offsets.tolist()
+
+    @cached_property
+    def dst(self) -> list[int]:
+        return self.graph.dst.tolist()
+
+    @cached_property
+    def deg(self) -> list[int]:
+        return self.graph.degrees.tolist()
+
+    @cached_property
+    def adj(self) -> list[list[int]]:
+        """Per-vertex adjacency lists (list slices; zero-copy kernel input)."""
         off = self.off
         dst = self.dst
-        #: per-vertex adjacency lists (list slices; zero-copy kernel input).
-        self.adj: list[list[int]] = [
-            dst[off[u] : off[u + 1]] for u in range(self.n)
-        ]
-        self.rev: list[int] = reverse_arc_index(graph).tolist()
-        self.mcn_np: np.ndarray = min_cn_arcs(graph, params.eps_fraction)
-        self.mcn: list[int] = self.mcn_np.tolist()
-        #: per-arc similarity states (Definition 2.12).
-        self.sim: list[int] = [UNKNOWN] * self.num_arcs
-        #: per-vertex roles (Definition 2.5).
-        self.roles: list[int] = [ROLE_UNKNOWN] * self.n
+        return [dst[off[u] : off[u + 1]] for u in range(self.n)]
+
+    @cached_property
+    def rev(self) -> list[int]:
+        return self.rev_np.tolist()
+
+    @cached_property
+    def mcn(self) -> list[int]:
+        return self.mcn_np.tolist()
+
+    @cached_property
+    def sim(self) -> list[int]:
+        """Per-arc similarity states (Definition 2.12)."""
+        return [UNKNOWN] * self.num_arcs
+
+    @cached_property
+    def roles(self) -> list[int]:
+        """Per-vertex roles (Definition 2.5)."""
+        return [ROLE_UNKNOWN] * self.n
 
     # -- convenience --------------------------------------------------------
 

@@ -23,6 +23,21 @@ phase barrier (process backend: bulk-synchronous, the weakest visibility
 the paper's Theorems 4.1–4.5 admit).  Either way every similarity value is
 computed at most once (Theorem 4.1) and the final roles/clusters are
 exact (Theorems 4.2, 4.5).
+
+Two execution modes share the phase structure:
+
+* ``exec_mode="scalar"`` — the counted reference: one early-terminating
+  kernel call per UNKNOWN arc, per-vertex early exit, exactly the paper's
+  control flow.
+* ``exec_mode="batched"`` — the throughput path: each task body folds the
+  known similarity states with vectorized segment reductions, *collects*
+  its unresolved frontier arcs, and resolves them through
+  :meth:`~repro.similarity.engine.SimilarityEngine.resolve_arcs`, whose
+  adaptive dispatcher routes each arc between the mark-and-count bulk
+  kernel and the early-terminating scalar kernels.  Roles, labels and
+  non-core memberships are identical to the scalar mode (enforced by the
+  batched-mode test suite); only *which* arcs get resolved may differ,
+  because batching trades per-vertex early exit for vector throughput.
 """
 
 from __future__ import annotations
@@ -33,16 +48,23 @@ from typing import Callable
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..intersect.batch import concat_ranges
 from ..metrics.records import RunRecord, StageRecord, TaskCost
-from ..parallel.backend import ExecutionBackend, SerialBackend
+from ..parallel.backend import ExecutionBackend, SerialBackend, commit_arc_states
 from ..parallel.scheduler import degree_based_tasks
 from ..similarity.bulk import predicate_prune_arcs
+from ..similarity.engine import EXEC_MODES
 from ..types import CORE, NONCORE, NSIM, ROLE_UNKNOWN, SIM, UNKNOWN, ScanParams
 from ..unionfind import AtomicUnionFind
 from .context import RunContext
 from .result import ClusteringResult
 
-__all__ = ["ppscan", "auto_task_threshold", "PPSCAN_STAGES"]
+__all__ = [
+    "ppscan",
+    "auto_task_threshold",
+    "auto_batch_task_threshold",
+    "PPSCAN_STAGES",
+]
 
 #: Stage names in execution order (benchmarks group them into the paper's
 #: four Figure-6 stages).
@@ -56,6 +78,9 @@ PPSCAN_STAGES = (
     "non-core clustering",
 )
 
+_EMPTY_ARCS = np.empty(0, dtype=np.int64)
+_EMPTY_STATES = np.empty(0, dtype=np.int8)
+
 
 def auto_task_threshold(num_arcs: int) -> int:
     """Scale the paper's 32768 degree-sum threshold to the graph size.
@@ -65,6 +90,18 @@ def auto_task_threshold(num_arcs: int) -> int:
     the laptop-scale graphs this reproduction runs.
     """
     return max(64, min(32768, num_arcs // 1024))
+
+
+def auto_batch_task_threshold(num_arcs: int) -> int:
+    """Default degree-sum threshold for the batched execution mode.
+
+    Batched task bodies pay a fixed NumPy dispatch cost per task, so the
+    throughput sweet spot is far coarser than the scalar mode's cut: the
+    batch must amortize the call overhead, but tasks past ~32k arcs start
+    losing intra-phase similarity reuse (later tasks inherit mirror
+    writes from earlier commits under the serial backend).
+    """
+    return max(auto_task_threshold(num_arcs), min(32768, num_arcs // 16))
 
 
 def ppscan(
@@ -78,6 +115,7 @@ def ppscan(
     prune_phase: bool = True,
     two_phase_clustering: bool = True,
     algorithm_name: str | None = None,
+    exec_mode: str = "scalar",
 ) -> ClusteringResult:
     """Run ppSCAN and return the canonical clustering result.
 
@@ -85,25 +123,46 @@ def ppscan(
     can switch them off: ``prune_phase`` (the PruneSim pre-processing),
     ``two_phase_clustering`` (core clustering split into no-compsim /
     compsim passes), ``kernel``/``lanes`` (``"merge"`` gives ppSCAN-NO,
-    ``"vectorized"`` with 8 or 16 lanes models AVX2/AVX512), and
+    ``"vectorized"`` with 8 or 16 lanes models AVX2/AVX512),
     ``task_threshold`` (Algorithm 5's degree-sum cut, auto-scaled by
-    default).
+    default), and ``exec_mode`` (``"scalar"`` per-arc kernels vs
+    ``"batched"`` whole-frontier resolution — see the module docstring).
     """
+    if exec_mode not in EXEC_MODES:
+        raise ValueError(
+            f"unknown exec_mode {exec_mode!r}; known: {list(EXEC_MODES)}"
+        )
     t0 = time.perf_counter()
     ctx = RunContext(graph, params, kernel=kernel, lanes=lanes)
     backend = backend if backend is not None else SerialBackend()
-    threshold = (
-        task_threshold
-        if task_threshold is not None
-        else auto_task_threshold(ctx.num_arcs)
-    )
+    batched = exec_mode == "batched"
+    if task_threshold is not None:
+        threshold = task_threshold
+    elif batched:
+        threshold = auto_batch_task_threshold(ctx.num_arcs)
+    else:
+        threshold = auto_task_threshold(ctx.num_arcs)
 
     counter = ctx.engine.counter
-    off, dst, adj, deg = ctx.off, ctx.dst, ctx.adj, ctx.deg
-    sim, roles, mcn, rev = ctx.sim, ctx.roles, ctx.mcn, ctx.rev
+    engine = ctx.engine
     kernel_fn = ctx.engine.kernel
     mu = ctx.mu
     n = ctx.n
+    deg_np = graph.degrees
+    off_np, dst_np = graph.offsets, graph.dst
+    src_np, rev_np, mcn_np = ctx.src_np, ctx.rev_np, ctx.mcn_np
+    if not batched:
+        # The scalar mode's tight loops run on plain lists (materialized
+        # lazily by the context; the batched mode never builds them).
+        off, dst, adj, deg = ctx.off, ctx.dst, ctx.adj, ctx.deg
+        sim, mcn, rev = ctx.sim, ctx.mcn, ctx.rev
+    #: roles stay a NumPy int8 array end-to-end; the per-stage "needs
+    #: work" mask is a single vectorized comparison instead of an O(n)
+    #: Python list comprehension per phase.
+    roles = np.full(n, ROLE_UNKNOWN, dtype=np.int8)
+    #: batched mode keeps similarity states in int8 as well (the scalar
+    #: mode's data-dependent inner loops stay on the faster plain list).
+    sim_np = np.full(ctx.num_arcs, UNKNOWN, dtype=np.int8)
     uf = AtomicUnionFind(n)
     stages: list[StageRecord] = []
 
@@ -135,11 +194,8 @@ def ppscan(
     ) -> None:
         """Schedule (Algorithm 5), execute, commit, and record one phase."""
         t_stage = time.perf_counter()
-        if needs_role is None:
-            needs = None
-        else:
-            needs = [r == needs_role for r in roles]
-        tasks = degree_based_tasks(deg, needs, threshold)
+        needs = None if needs_role is None else roles == needs_role
+        tasks = degree_based_tasks(deg_np, needs, threshold)
         records = backend.run_phase(tasks, run_task, commit)
         stages.append(
             StageRecord(name, records, time.perf_counter() - t_stage)
@@ -150,24 +206,23 @@ def ppscan(
     # -- Phase 1: similarity pruning --------------------------------------
     t_stage = time.perf_counter()
     if prune_phase:
-        prune_state = predicate_prune_arcs(graph, ctx.mcn_np)
-        ctx.sim[:] = prune_state.tolist()
-        sim = ctx.sim
-        src = graph.arc_source()
-        sd0 = np.bincount(src[prune_state == SIM], minlength=n)
-        nsim0 = np.bincount(src[prune_state == NSIM], minlength=n)
+        prune_state = predicate_prune_arcs(graph, mcn_np)
+        if batched:
+            sim_np = prune_state
+        else:
+            ctx.sim[:] = prune_state.tolist()
+            sim = ctx.sim
+        sd0 = np.bincount(src_np[prune_state == SIM], minlength=n)
+        nsim0 = np.bincount(src_np[prune_state == NSIM], minlength=n)
         ed0 = graph.degrees - nsim0
-        roles_np = np.full(n, ROLE_UNKNOWN, dtype=np.int8)
-        roles_np[ed0 < mu] = NONCORE
-        roles_np[sd0 >= mu] = CORE
-        ctx.roles[:] = roles_np.tolist()
-        roles = ctx.roles
+        roles[ed0 < mu] = NONCORE
+        roles[sd0 >= mu] = CORE
     # The phase is pure per-arc arithmetic executed as one data-parallel
     # kernel; its per-task costs are synthesized from the same ranges the
     # scheduler would cut (1 arc scan + 1 bound update per arc).
     prune_tasks: list[TaskCost] = []
-    for beg, end in degree_based_tasks(deg, None, threshold):
-        arcs_in_range = off[end] - off[beg]
+    for beg, end in degree_based_tasks(deg_np, None, threshold):
+        arcs_in_range = int(off_np[end] - off_np[beg])
         prune_tasks.append(
             TaskCost(arcs=arcs_in_range, bound_updates=arcs_in_range)
         )
@@ -249,12 +304,129 @@ def ppscan(
         for u, role in role_writes:
             roles[u] = role
 
-    _run_stage("core checking", ROLE_UNKNOWN, make_role_task(True), commit_role)
-    _run_stage(
-        "core consolidating", ROLE_UNKNOWN, make_role_task(False), commit_role
-    )
+    def make_role_task_batched(ordered: bool):
+        def run_task(beg: int, end: int):
+            snap = _snap()
+            a0, a1 = int(off_np[beg]), int(off_np[end])
+            active = np.flatnonzero(roles[beg:end] == ROLE_UNKNOWN) + beg
+            f_arcs, f_states = _EMPTY_ARCS, _EMPTY_STATES
+            det_v, det_r = _EMPTY_ARCS, _EMPTY_STATES
+            if active.size == 0:
+                return (f_arcs, f_states, det_v, det_r), _cost(snap)
+            # Pass 1: fold known states — per-vertex SIM/NSIM tallies via
+            # bincount over the task's arc slice (cost scales with the
+            # number of *known* arcs, which early phases keep small).
+            width = end - beg
+            seg = sim_np[a0:a1]
+            s_rel = src_np[a0:a1] - beg
+            sim_known = np.bincount(s_rel[seg == SIM], minlength=width)
+            nsim_known = np.bincount(s_rel[seg == NSIM], minlength=width)
+            rel_active = active - beg
+            sd = sim_known[rel_active]
+            ed = deg_np[active] - nsim_known[rel_active]
+            arcs = int(deg_np[active].sum())
+            is_core = sd >= mu
+            settled = is_core | (ed < mu)
+            det_v = active[settled]
+            det_r = np.where(is_core[settled], CORE, NONCORE).astype(np.int8)
+            undetermined = active[~settled]
+            if undetermined.size:
+                # Pass 2: collect the unresolved frontier and resolve it
+                # through the adaptive batch API.
+                frontier = concat_ranges(
+                    off_np[undetermined], off_np[undetermined + 1]
+                )
+                mask = sim_np[frontier] == UNKNOWN
+                if ordered:
+                    mask &= dst_np[frontier] > src_np[frontier]
+                frontier = frontier[mask]
+                if not ordered and frontier.size:
+                    # Resolve each undirected edge once per task: drop the
+                    # (v, u) direction when (u, v) is also in the frontier
+                    # (the mirror write restores it at commit).  The
+                    # frontier is ascending (concatenated ascending
+                    # ranges), so membership is a binary search.
+                    mirrors = rev_np[frontier]
+                    pos = np.searchsorted(frontier, mirrors)
+                    pos_clamped = np.minimum(pos, frontier.size - 1)
+                    mirror_present = frontier[pos_clamped] == mirrors
+                    keep = (src_np[frontier] < dst_np[frontier]) | ~mirror_present
+                    frontier = frontier[keep]
+                if frontier.size:
+                    f_states = engine.resolve_arcs(frontier, mcn=mcn_np[frontier])
+                    f_arcs = frontier
+                arcs += int(frontier.size)
+                # Recount by folding the resolved states as per-vertex
+                # bincount deltas: a resolved arc (u, v) updates u's tally
+                # directly and v's through its mirror when v is in-range.
+                sim_f = f_states == SIM
+                own = src_np[f_arcs] - beg
+                sim_add = np.bincount(own[sim_f], minlength=width)
+                nsim_add = np.bincount(own[~sim_f], minlength=width)
+                mirror_v = dst_np[f_arcs]
+                in_range = (mirror_v >= beg) & (mirror_v < end)
+                if in_range.any():
+                    sim_add += np.bincount(
+                        mirror_v[in_range & sim_f] - beg, minlength=width
+                    )
+                    nsim_add += np.bincount(
+                        mirror_v[in_range & ~sim_f] - beg, minlength=width
+                    )
+                rel_un = undetermined - beg
+                sd2 = sd[~settled] + sim_add[rel_un]
+                ed2 = ed[~settled] - nsim_add[rel_un]
+                core2 = sd2 >= mu
+                if ordered:
+                    settled2 = core2 | (ed2 < mu)
+                else:
+                    # Consolidation saw every similarity: sd2 is exact.
+                    settled2 = np.ones(undetermined.size, dtype=bool)
+                det_v = np.concatenate([det_v, undetermined[settled2]])
+                det_r = np.concatenate(
+                    [
+                        det_r,
+                        np.where(core2[settled2], CORE, NONCORE).astype(np.int8),
+                    ]
+                )
+            return (f_arcs, f_states, det_v, det_r), _cost(snap, arcs=arcs)
+
+        return run_task
+
+    def commit_role_batched(writes) -> None:
+        arcs, states, det_v, det_r = writes
+        commit_arc_states(sim_np, rev_np, arcs, states)
+        roles[det_v] = det_r
+
+    if batched:
+        _run_stage(
+            "core checking",
+            ROLE_UNKNOWN,
+            make_role_task_batched(True),
+            commit_role_batched,
+        )
+        _run_stage(
+            "core consolidating",
+            ROLE_UNKNOWN,
+            make_role_task_batched(False),
+            commit_role_batched,
+        )
+    else:
+        _run_stage(
+            "core checking", ROLE_UNKNOWN, make_role_task(True), commit_role
+        )
+        _run_stage(
+            "core consolidating",
+            ROLE_UNKNOWN,
+            make_role_task(False),
+            commit_role,
+        )
 
     # ==== Step 2: core and non-core clustering (Algorithm 4) ============
+
+    def _core_arc_budget(beg: int, end: int) -> int:
+        """Adjacency entries belonging to core vertices of the range (the
+        scalar mode's per-arc scan count, computed vectorized)."""
+        return int(deg_np[beg:end][roles[beg:end] == CORE].sum())
 
     def cluster_no_compsim_task(beg: int, end: int):
         unions: list[tuple[int, int]] = []
@@ -273,6 +445,29 @@ def ppscan(
                     unions.append((u, v))
                     atomics += 1  # the union's CAS
         return (unions, []), TaskCost(arcs=arcs, atomics=atomics)
+
+    def cluster_no_compsim_task_batched(beg: int, end: int):
+        a0, a1 = int(off_np[beg]), int(off_np[end])
+        s_src, s_dst = src_np[a0:a1], dst_np[a0:a1]
+        mask = (
+            (s_dst > s_src)
+            & (roles[s_src] == CORE)
+            & (roles[s_dst] == CORE)
+            & (sim_np[a0:a1] == SIM)
+        )
+        unions: list[tuple[int, int]] = []
+        atomics = 0
+        edges_u = s_src[mask].tolist()
+        edges_v = s_dst[mask].tolist()
+        arcs = _core_arc_budget(beg, end) + 2 * len(edges_u)
+        for u, v in zip(edges_u, edges_v):
+            if not uf.same_set(u, v):
+                unions.append((u, v))
+                atomics += 1
+        return (
+            (unions, (_EMPTY_ARCS, _EMPTY_STATES)),
+            TaskCost(arcs=arcs, atomics=atomics),
+        )
 
     def cluster_compsim_task(beg: int, end: int):
         snap = _snap()
@@ -311,6 +506,44 @@ def ppscan(
                     atomics += 1
         return (unions, sim_writes), _cost(snap, arcs=arcs, atomics=atomics)
 
+    def cluster_compsim_task_batched(beg: int, end: int):
+        snap = _snap()
+        a0, a1 = int(off_np[beg]), int(off_np[end])
+        s_src, s_dst = src_np[a0:a1], dst_np[a0:a1]
+        seg = sim_np[a0:a1]
+        pair = (s_dst > s_src) & (roles[s_src] == CORE) & (roles[s_dst] == CORE)
+        unions: list[tuple[int, int]] = []
+        atomics = 0
+        arcs = _core_arc_budget(beg, end)
+        if not two_phase_clustering:
+            # Single-phase ablation: handle known-SIM edges here.
+            known = np.flatnonzero(pair & (seg == SIM))
+            for u, v in zip(s_src[known].tolist(), s_dst[known].tolist()):
+                arcs += 2
+                if not uf.same_set(u, v):
+                    unions.append((u, v))
+                    atomics += 1
+        unknown = np.flatnonzero(pair & (seg == UNKNOWN)) + a0
+        survivors: list[int] = []
+        for arc, u, v in zip(
+            unknown.tolist(),
+            src_np[unknown].tolist(),
+            dst_np[unknown].tolist(),
+        ):
+            arcs += 2
+            if not uf.same_set(u, v):  # union-find pruning
+                survivors.append(arc)
+        f_arcs = np.asarray(survivors, dtype=np.int64)
+        f_states = engine.resolve_arcs(f_arcs, mcn=mcn_np[f_arcs])
+        similar = f_arcs[f_states == SIM]
+        for u, v in zip(src_np[similar].tolist(), dst_np[similar].tolist()):
+            unions.append((u, v))
+            atomics += 1
+        return (
+            (unions, (f_arcs, f_states)),
+            _cost(snap, arcs=arcs, atomics=atomics),
+        )
+
     def commit_cluster(writes) -> None:
         unions, sim_writes = writes
         for arc, state in sim_writes:
@@ -318,17 +551,31 @@ def ppscan(
         for u, v in unions:
             uf.union(u, v)
 
+    def commit_cluster_batched(writes) -> None:
+        unions, (arcs, states) = writes
+        commit_arc_states(sim_np, rev_np, arcs, states)
+        for u, v in unions:
+            uf.union(u, v)
+
+    no_compsim_task = (
+        cluster_no_compsim_task_batched if batched else cluster_no_compsim_task
+    )
+    compsim_task = (
+        cluster_compsim_task_batched if batched else cluster_compsim_task
+    )
+    cluster_commit = commit_cluster_batched if batched else commit_cluster
+
     if two_phase_clustering:
         _run_stage(
             "core clustering (no compsim)",
             CORE,
-            cluster_no_compsim_task,
-            commit_cluster,
+            no_compsim_task,
+            cluster_commit,
         )
     else:
         stages.append(StageRecord("core clustering (no compsim)", []))
     _run_stage(
-        "core clustering (compsim)", CORE, cluster_compsim_task, commit_cluster
+        "core clustering (compsim)", CORE, compsim_task, cluster_commit
     )
 
     # -- Phase 6: cluster id initialization (CAS-min per root) ------------
@@ -339,9 +586,8 @@ def ppscan(
         mins: dict[int, int] = {}
         atomics = 0
         arcs = 0
-        for u in range(beg, end):
-            if roles[u] != CORE:
-                continue
+        cores = np.flatnonzero(roles[beg:end] == CORE) + beg
+        for u in cores.tolist():
             arcs += 2  # find = pointer chases
             root = uf.find(u)
             cur = mins.get(root)
@@ -389,20 +635,59 @@ def ppscan(
                     local_pairs.append((cid, v))
         return (local_pairs, sim_writes), _cost(snap, arcs=arcs, atomics=atomics)
 
+    def noncore_task_batched(beg: int, end: int):
+        snap = _snap()
+        a0, a1 = int(off_np[beg]), int(off_np[end])
+        s_src, s_dst = src_np[a0:a1], dst_np[a0:a1]
+        candidates = np.flatnonzero(
+            (roles[s_src] == CORE) & (roles[s_dst] == NONCORE)
+        )
+        local_pairs: list[tuple[int, int]] = []
+        f_arcs, f_states = _EMPTY_ARCS, _EMPTY_STATES
+        arcs = _core_arc_budget(beg, end)
+        arcs += 2 * int(np.count_nonzero(roles[beg:end] == CORE))
+        if candidates.size:
+            cand = candidates + a0
+            state = sim_np[cand].copy()
+            unknown = state == UNKNOWN
+            f_arcs = cand[unknown]
+            f_states = engine.resolve_arcs(f_arcs, mcn=mcn_np[f_arcs])
+            state[unknown] = f_states
+            similar = cand[state == SIM]
+            cids: dict[int, int] = {}
+            for u, v in zip(
+                src_np[similar].tolist(), dst_np[similar].tolist()
+            ):
+                cid = cids.get(u)
+                if cid is None:
+                    cid = cluster_id[uf.find(u)]
+                    cids[u] = cid
+                local_pairs.append((cid, v))
+        return (local_pairs, (f_arcs, f_states)), _cost(snap, arcs=arcs)
+
     def commit_noncore(writes) -> None:
         local_pairs, sim_writes = writes
         for arc, state in sim_writes:
             sim[arc] = state
         pairs.extend(local_pairs)
 
-    _run_stage("non-core clustering", CORE, noncore_task, commit_noncore)
+    def commit_noncore_batched(writes) -> None:
+        local_pairs, (arcs, states) = writes
+        commit_arc_states(sim_np, rev_np, arcs, states)
+        pairs.extend(local_pairs)
+
+    if batched:
+        _run_stage(
+            "non-core clustering", CORE, noncore_task_batched, commit_noncore_batched
+        )
+    else:
+        _run_stage("non-core clustering", CORE, noncore_task, commit_noncore)
 
     # ==== Result assembly ================================================
 
     labels = np.full(n, -1, dtype=np.int64)
-    for u in range(n):
-        if roles[u] == CORE:
-            labels[u] = cluster_id[uf.find(u)]
+    for u in np.flatnonzero(roles == CORE).tolist():
+        labels[u] = cluster_id[uf.find(u)]
 
     name = algorithm_name or (
         "ppSCAN" if kernel == "vectorized" else "ppSCAN-NO"
@@ -413,7 +698,7 @@ def ppscan(
     return ClusteringResult(
         algorithm=name,
         params=params,
-        roles=ctx.roles_array(),
+        roles=roles,
         core_labels=labels,
         noncore_pairs=pairs,
         record=record,

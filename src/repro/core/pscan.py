@@ -23,8 +23,12 @@ from __future__ import annotations
 import time
 from heapq import heapify, heappop, heappush
 
+import numpy as np
+
 from ..graph.csr import CSRGraph
 from ..metrics.records import RunRecord, StageRecord, TaskCost
+from ..parallel.backend import commit_arc_states
+from ..similarity.engine import EXEC_MODES
 from ..types import CORE, NONCORE, SIM, NSIM, UNKNOWN, ScanParams
 from ..unionfind import UnionFind
 from .context import RunContext
@@ -38,6 +42,7 @@ def pscan(
     params: ScanParams,
     kernel: str = "merge",
     use_ed_order: bool = True,
+    exec_mode: str = "scalar",
 ) -> ClusteringResult:
     """Run sequential pSCAN; returns the canonical clustering result.
 
@@ -45,7 +50,19 @@ def pscan(
     evaluation`` (kernel work), ``workload reduction computation``
     (sd/ed maintenance, ordering, reuse bookkeeping) and ``other
     computation`` (iteration + clustering).
+
+    ``exec_mode="batched"`` keeps pSCAN's vertex ordering and pruning
+    structure but resolves each vertex's unknown frontier through the
+    batch API (:meth:`~repro.similarity.engine.SimilarityEngine.
+    resolve_arcs`) instead of one kernel call per arc; the clustering is
+    identical, though the per-arc early exits inside ``CheckCore`` are
+    traded for whole-neighborhood batches.
     """
+    if exec_mode not in EXEC_MODES:
+        raise ValueError(
+            f"unknown exec_mode {exec_mode!r}; known: {list(EXEC_MODES)}"
+        )
+    batched = exec_mode == "batched"
     t0 = time.perf_counter()
     ctx = RunContext(graph, params, kernel=kernel)
     counter = ctx.engine.counter
@@ -53,6 +70,12 @@ def pscan(
     sim, roles, mcn, rev = ctx.sim, ctx.roles, ctx.mcn, ctx.rev
     mu = ctx.mu
     n = ctx.n
+    engine = ctx.engine
+    dst_np, mcn_np, rev_np = graph.dst, ctx.mcn_np, ctx.rev_np
+    # Batched mode mirrors the similarity states into int8 so frontier
+    # selection is one vectorized comparison per neighborhood (the list
+    # stays authoritative for the scalar bookkeeping above).
+    sim_np = np.full(ctx.num_arcs, UNKNOWN, dtype=np.int8) if batched else None
 
     sd = [0] * n
     ed = deg[:]  # copy
@@ -80,6 +103,28 @@ def pscan(
         sim[rev[arc]] = state
         reduction_ops += 2
         return state
+
+    def resolve_frontier(u: int, arcs_np: np.ndarray) -> np.ndarray:
+        """Batch-resolve unknown arcs of one vertex (batched mode).
+
+        Mirrors the states through the batch commit and applies the
+        neighbor-side sd/ed updates (with lazy-heap re-insertions), the
+        batched counterpart of ``resolve_arc``'s bookkeeping.  The
+        caller folds the u-side aggregate.
+        """
+        nonlocal reduction_ops
+        states = engine.resolve_arcs(arcs_np, mcn=mcn_np[arcs_np])
+        commit_arc_states(sim_np, rev_np, arcs_np, states)
+        reduction_ops += 2 * int(arcs_np.size)
+        for v, s in zip(dst_np[arcs_np].tolist(), states.tolist()):
+            if s == SIM:
+                sd[v] += 1
+            else:
+                ed[v] -= 1
+                if use_ed_order and not processed[v]:
+                    heappush(heap, (-ed[v], v))
+                    reduction_ops += 1
+        return states
 
     # -- core checking and clustering (Algorithm 2 lines 4-7) -------------
 
@@ -149,11 +194,50 @@ def pscan(
             if sim[arc] == SIM:
                 uf.union(u, v)
 
+    def check_core_batched(u: int) -> None:
+        nonlocal reduction_ops, other_arcs
+        if sd[u] < mu and ed[u] >= mu:
+            lo, hi = off[u], off[u + 1]
+            other_arcs += hi - lo
+            unknown = np.flatnonzero(sim_np[lo:hi] == UNKNOWN) + lo
+            if unknown.size:
+                states = resolve_frontier(u, unknown)
+                n_sim = int(np.count_nonzero(states == SIM))
+                sd[u] += n_sim
+                ed[u] -= int(unknown.size) - n_sim
+                reduction_ops += 4 * int(unknown.size)
+        roles[u] = CORE if sd[u] >= mu else NONCORE
+
+    def cluster_core_batched(u: int) -> None:
+        nonlocal other_arcs
+        lo, hi = off[u], off[u + 1]
+        other_arcs += hi - lo
+        vs = dst_np[lo:hi].tolist()
+        unknown_flags = (sim_np[lo:hi] == UNKNOWN).tolist()
+        # Gate with the pre-loop union-find state; unlike the scalar walk
+        # the same-set check cannot observe this vertex's own unions, so
+        # a few more arcs may be resolved — the unions are identical.
+        eligible = [
+            i
+            for i, v in enumerate(vs)
+            if sd[v] >= mu and not uf.same_set(u, v)
+        ]
+        to_resolve = [lo + i for i in eligible if unknown_flags[i]]
+        if to_resolve:
+            resolve_frontier(u, np.asarray(to_resolve, dtype=np.int64))
+        seg = sim_np[lo:hi].tolist()
+        for i in eligible:
+            if seg[i] == SIM:
+                uf.union(u, vs[i])
+
+    do_check = check_core_batched if batched else check_core
+    do_cluster = cluster_core_batched if batched else cluster_core
+
     while (u := next_vertex()) is not None:
         processed[u] = True
-        check_core(u)
+        do_check(u)
         if roles[u] == CORE:
-            cluster_core(u)
+            do_cluster(u)
 
     # -- cluster id init + non-core clustering (Algorithm 2 line 8) -------
 
@@ -167,19 +251,39 @@ def pscan(
             labels[u] = cluster_id[root]
 
     pairs: set[tuple[int, int]] = set()
-    for u in range(n):
-        if roles[u] != CORE:
-            continue
-        cid = labels[u]
-        for arc in range(off[u], off[u + 1]):
-            other_arcs += 1
-            v = dst[arc]
-            if roles[v] != NONCORE:
+    if batched:
+        roles_np = np.array(roles, dtype=np.int8)
+        for u in range(n):
+            if roles[u] != CORE:
                 continue
-            if sim[arc] == UNKNOWN:
-                resolve_arc(u, arc)
-            if sim[arc] == SIM:
+            cid = labels[u]
+            lo, hi = off[u], off[u + 1]
+            other_arcs += hi - lo
+            cand = np.flatnonzero(roles_np[dst_np[lo:hi]] == NONCORE) + lo
+            if cand.size == 0:
+                continue
+            unknown = cand[sim_np[cand] == UNKNOWN]
+            if unknown.size:
+                states = engine.resolve_arcs(unknown, mcn=mcn_np[unknown])
+                commit_arc_states(sim_np, rev_np, unknown, states)
+                reduction_ops += 2 * int(unknown.size)
+            similar = cand[sim_np[cand] == SIM]
+            for v in dst_np[similar].tolist():
                 pairs.add((cid, v))
+    else:
+        for u in range(n):
+            if roles[u] != CORE:
+                continue
+            cid = labels[u]
+            for arc in range(off[u], off[u + 1]):
+                other_arcs += 1
+                v = dst[arc]
+                if roles[v] != NONCORE:
+                    continue
+                if sim[arc] == UNKNOWN:
+                    resolve_arc(u, arc)
+                if sim[arc] == SIM:
+                    pairs.add((cid, v))
 
     wall = time.perf_counter() - t0
     sim_cost = TaskCost(

@@ -19,10 +19,11 @@ from ..intersect import pivot_vectorized_count
 from ..metrics.records import RunRecord, StageRecord, TaskCost
 from ..parallel.backend import ExecutionBackend, SerialBackend
 from ..parallel.scheduler import degree_based_tasks
+from ..similarity.engine import EXEC_MODES
 from ..types import CORE, NONCORE, NSIM, SIM, ScanParams
 from ..unionfind import AtomicUnionFind
 from .context import RunContext
-from .ppscan import auto_task_threshold
+from .ppscan import auto_batch_task_threshold, auto_task_threshold
 from .result import ClusteringResult
 
 __all__ = ["scanxp"]
@@ -35,26 +36,48 @@ def scanxp(
     lanes: int = 16,
     backend: ExecutionBackend | None = None,
     task_threshold: int | None = None,
+    exec_mode: str = "scalar",
 ) -> ClusteringResult:
-    """Run SCAN-XP; returns the canonical clustering result."""
+    """Run SCAN-XP; returns the canonical clustering result.
+
+    ``exec_mode="batched"`` resolves each task's whole arc range through
+    the batch intersector in one call — still exhaustive (every arc is
+    fully counted with no pruning and no reverse-arc reuse, preserving
+    SCAN-XP's ε-independent workload), just without the per-arc
+    interpreted kernel dispatch.
+    """
+    if exec_mode not in EXEC_MODES:
+        raise ValueError(
+            f"unknown exec_mode {exec_mode!r}; known: {list(EXEC_MODES)}"
+        )
+    batched = exec_mode == "batched"
     t0 = time.perf_counter()
     ctx = RunContext(graph, params, kernel="vectorized", lanes=lanes)
     backend = backend if backend is not None else SerialBackend()
-    threshold = (
-        task_threshold
-        if task_threshold is not None
-        else auto_task_threshold(ctx.num_arcs)
-    )
+    if task_threshold is not None:
+        threshold = task_threshold
+    elif batched:
+        threshold = auto_batch_task_threshold(ctx.num_arcs)
+    else:
+        threshold = auto_task_threshold(ctx.num_arcs)
     counter = ctx.engine.counter
-    off, dst, adj, deg = ctx.off, ctx.dst, ctx.adj, ctx.deg
-    sim, roles, mcn = ctx.sim, ctx.roles, ctx.mcn
     mu = ctx.mu
     n = ctx.n
+    deg_np = graph.degrees
+    off_np, dst_np = graph.offsets, graph.dst
+    src_np, mcn_np = ctx.src_np, ctx.mcn_np
+    # Every arc's state is computed in phase 1, so no UNKNOWN seed needed.
+    sim_np = np.empty(ctx.num_arcs, dtype=np.int8) if batched else None
+    if not batched:
+        off, dst, adj, deg = ctx.off, ctx.dst, ctx.adj, ctx.deg
+        sim, roles, mcn = ctx.sim, ctx.roles, ctx.mcn
     stages: list[StageRecord] = []
 
     def _run_stage(name, needs, run_task, commit) -> None:
         t_stage = time.perf_counter()
-        tasks = degree_based_tasks(deg, needs, threshold)
+        tasks = degree_based_tasks(
+            deg_np if batched else deg, needs, threshold
+        )
         records = backend.run_phase(tasks, run_task, commit)
         stages.append(StageRecord(name, records, time.perf_counter() - t_stage))
 
@@ -84,18 +107,54 @@ def scanxp(
         for arc, state in writes:
             sim[arc] = state
 
-    _run_stage("similarity computation", None, similarity_task, commit_similarity)
+    def similarity_task_batched(beg: int, end: int):
+        snap = (counter.scalar_cmp, counter.vector_ops, counter.invocations)
+        a0, a1 = int(off_np[beg]), int(off_np[end])
+        arcs_np = np.arange(a0, a1, dtype=np.int64)
+        # Full counts for the whole range in one batch call — exhaustive
+        # like the scalar task (no trivial-predicate skip, no mirroring),
+        # so the workload stays independent of ε.
+        counts = batch.arc_counts(arcs_np, counter=counter, lanes=lanes)
+        states = np.where(counts + 2 >= mcn_np[a0:a1], SIM, NSIM).astype(
+            np.int8
+        )
+        cost = TaskCost(
+            scalar_cmp=counter.scalar_cmp - snap[0],
+            vector_ops=counter.vector_ops - snap[1],
+            compsims=counter.invocations - snap[2],
+            arcs=a1 - a0,
+        )
+        return (a0, states), cost
+
+    def commit_similarity_batched(writes) -> None:
+        a0, states = writes
+        sim_np[a0 : a0 + states.size] = states
+
+    if batched:
+        batch = ctx.engine.batch_intersector()
+        _run_stage(
+            "similarity computation", None, similarity_task_batched,
+            commit_similarity_batched,
+        )
+    else:
+        _run_stage(
+            "similarity computation", None, similarity_task, commit_similarity
+        )
 
     # -- Phase 2: roles from exact similar-degree counts -------------------
 
     t_stage = time.perf_counter()
-    sim_np = ctx.sim_array()
-    sd = np.bincount(graph.arc_source()[sim_np == SIM], minlength=n)
+    if not batched:
+        sim_np = ctx.sim_array()
+    sd = np.bincount(src_np[sim_np == SIM], minlength=n)
     roles_np = np.where(sd >= mu, CORE, NONCORE).astype(np.int8)
-    roles[:] = roles_np.tolist()
+    if not batched:
+        roles[:] = roles_np.tolist()
     role_tasks = [
-        TaskCost(arcs=off[end] - off[beg])
-        for beg, end in degree_based_tasks(deg, None, threshold)
+        TaskCost(arcs=int(off_np[end] - off_np[beg]))
+        for beg, end in degree_based_tasks(
+            deg_np if batched else deg, None, threshold
+        )
     ]
     stages.append(
         StageRecord("role computation", role_tasks, time.perf_counter() - t_stage)
@@ -123,14 +182,35 @@ def scanxp(
                     atomics += 1
         return unions, TaskCost(arcs=arcs, atomics=atomics)
 
+    def cluster_task_batched(beg: int, end: int):
+        a0, a1 = int(off_np[beg]), int(off_np[end])
+        s_src, s_dst = src_np[a0:a1], dst_np[a0:a1]
+        mask = (
+            (s_dst > s_src)
+            & (roles_np[s_src] == CORE)
+            & (roles_np[s_dst] == CORE)
+            & (sim_np[a0:a1] == SIM)
+        )
+        unions: list[tuple[int, int]] = []
+        atomics = 0
+        edges_u = s_src[mask].tolist()
+        edges_v = s_dst[mask].tolist()
+        arcs = int(deg_np[beg:end][roles_np[beg:end] == CORE].sum())
+        arcs += 2 * len(edges_u)
+        for u, v in zip(edges_u, edges_v):
+            if not uf.same_set(u, v):
+                unions.append((u, v))
+                atomics += 1
+        return unions, TaskCost(arcs=arcs, atomics=atomics)
+
     def commit_cluster(unions) -> None:
         for u, v in unions:
             uf.union(u, v)
 
     _run_stage(
         "core clustering",
-        [r == CORE for r in roles],
-        cluster_task,
+        roles_np == CORE if batched else [r == CORE for r in roles],
+        cluster_task_batched if batched else cluster_task,
         commit_cluster,
     )
 
@@ -139,23 +219,33 @@ def scanxp(
     t_stage = time.perf_counter()
     cluster_id: dict[int, int] = {}
     labels = np.full(n, -1, dtype=np.int64)
-    for u in range(n):
-        if roles[u] == CORE:
-            root = uf.find(u)
-            if root not in cluster_id:
-                cluster_id[root] = u
-            labels[u] = cluster_id[root]
+    for u in np.flatnonzero(roles_np == CORE).tolist():
+        root = uf.find(u)
+        if root not in cluster_id:
+            cluster_id[root] = u
+        labels[u] = cluster_id[root]
     pairs: list[tuple[int, int]] = []
-    pair_arcs = 0
-    for u in range(n):
-        if roles[u] != CORE:
-            continue
-        cid = int(labels[u])
-        for arc in range(off[u], off[u + 1]):
-            pair_arcs += 1
-            v = dst[arc]
-            if roles[v] == NONCORE and sim[arc] == SIM:
-                pairs.append((cid, v))
+    if batched:
+        sel = np.flatnonzero(
+            (roles_np[src_np] == CORE)
+            & (roles_np[dst_np] == NONCORE)
+            & (sim_np == SIM)
+        )
+        pairs = list(
+            zip(labels[src_np[sel]].tolist(), dst_np[sel].tolist())
+        )
+        pair_arcs = int(deg_np[roles_np == CORE].sum())
+    else:
+        pair_arcs = 0
+        for u in range(n):
+            if roles[u] != CORE:
+                continue
+            cid = int(labels[u])
+            for arc in range(off[u], off[u + 1]):
+                pair_arcs += 1
+                v = dst[arc]
+                if roles[v] == NONCORE and sim[arc] == SIM:
+                    pairs.append((cid, v))
     stages.append(
         StageRecord(
             "non-core clustering",

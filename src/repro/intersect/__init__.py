@@ -6,6 +6,7 @@ from .galloping import galloping_compsim, galloping_count
 from .branchless import branchless_merge_count, simd_shuffle_count
 from .pivot import pivot_compsim, pivot_vectorized_compsim, pivot_vectorized_count
 from .bulk import BulkIntersector, common_neighbor_counts
+from .batch import BatchIntersector, batched_arc_counts, concat_ranges
 
 __all__ = [
     "OpCounter",
@@ -20,4 +21,7 @@ __all__ = [
     "pivot_vectorized_count",
     "BulkIntersector",
     "common_neighbor_counts",
+    "BatchIntersector",
+    "batched_arc_counts",
+    "concat_ranges",
 ]

@@ -7,7 +7,12 @@ from .scheduler import (
     uniform_tasks,
 )
 from .simthread import assign_tasks, greedy_makespan
-from .backend import ExecutionBackend, ProcessBackend, SerialBackend
+from .backend import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    commit_arc_states,
+)
 from .trace import ScheduleTrace, trace_stage
 
 __all__ = [
@@ -22,6 +27,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessBackend",
+    "commit_arc_states",
     "ScheduleTrace",
     "trace_stage",
 ]

@@ -26,9 +26,37 @@ import multiprocessing
 import os
 from typing import Any, Callable, Protocol, Sequence
 
+import numpy as np
+
 from ..metrics.records import TaskCost
 
-__all__ = ["ExecutionBackend", "SerialBackend", "ProcessBackend"]
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "commit_arc_states",
+]
+
+
+def commit_arc_states(
+    sim: np.ndarray,
+    rev: np.ndarray,
+    arcs: np.ndarray,
+    states: np.ndarray,
+) -> None:
+    """Batch-aware commit of vectorized similarity writes.
+
+    The batched execution mode buffers a task's similarity results as one
+    ``(arc ids, int8 states)`` array pair; applying them (and their
+    reverse-arc mirrors — pSCAN's similarity-reuse invariant) is two
+    fancy-indexed stores instead of a Python loop per arc.  Process
+    workers ship the same two arrays through the pool's pickle channel,
+    so the per-arc commit cost is independent of the batch size.
+    """
+    if len(arcs) == 0:
+        return
+    sim[arcs] = states
+    sim[rev[arcs]] = states
 
 TaskFn = Callable[[int, int], tuple[Any, TaskCost]]
 CommitFn = Callable[[Any], None]

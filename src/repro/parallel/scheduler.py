@@ -12,10 +12,41 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 __all__ = ["DEFAULT_DEGREE_THRESHOLD", "degree_based_tasks", "uniform_tasks"]
 
 #: The paper's tuned degree-sum threshold per task.
 DEFAULT_DEGREE_THRESHOLD = 32768
+
+
+def _degree_based_tasks_np(
+    degrees: np.ndarray,
+    needs_work: np.ndarray | None,
+    threshold: int,
+) -> list[tuple[int, int]]:
+    """Vectorized task cutting: one cumulative sum, one ``searchsorted``
+    per emitted task — identical output to the scalar greedy walk."""
+    weights = (
+        degrees
+        if needs_work is None
+        else np.where(np.asarray(needs_work, dtype=bool), degrees, 0)
+    )
+    cumulative = np.cumsum(weights, dtype=np.int64)
+    n = int(cumulative.size)
+    tasks: list[tuple[int, int]] = []
+    beg = 0
+    base = 0
+    while True:
+        cut = int(np.searchsorted(cumulative, base + threshold, side="right"))
+        if cut >= n:
+            break
+        tasks.append((beg, cut + 1))
+        beg = cut + 1
+        base = int(cumulative[cut])
+    if beg < n:
+        tasks.append((beg, n))
+    return tasks
 
 
 def degree_based_tasks(
@@ -30,11 +61,18 @@ def degree_based_tasks(
     them in O(1)).  The trailing remainder is always submitted, matching
     the paper's final ``SubmitTaskToPool(Task(next_beg, |V|))``.
 
+    NumPy ``degrees`` take a vectorized cutting path (used by the phase
+    drivers, which keep roles as an int8 array and pass
+    ``roles == needs_role`` masks straight through); list inputs keep the
+    scalar greedy walk.  Both produce identical task lists.
+
     >>> degree_based_tasks([5, 1, 9, 3], None, threshold=4)
     [(0, 1), (1, 3), (3, 4)]
     """
     if threshold < 1:
         raise ValueError("threshold must be >= 1")
+    if isinstance(degrees, np.ndarray):
+        return _degree_based_tasks_np(degrees, needs_work, threshold)
     n = len(degrees)
     tasks: list[tuple[int, int]] = []
     deg_sum = 0

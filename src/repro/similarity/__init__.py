@@ -1,7 +1,7 @@
 """Structural-similarity computation (thresholds, pruning, CompSim)."""
 
 from .threshold import ThresholdTable, min_cn_threshold
-from .engine import KERNELS, SimilarityEngine
+from .engine import EXEC_MODES, KERNELS, SimilarityEngine
 from .bulk import min_cn_arcs, predicate_prune_arcs
 
 __all__ = [
@@ -9,6 +9,7 @@ __all__ = [
     "ThresholdTable",
     "SimilarityEngine",
     "KERNELS",
+    "EXEC_MODES",
     "min_cn_arcs",
     "predicate_prune_arcs",
 ]

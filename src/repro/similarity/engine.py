@@ -18,8 +18,11 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+import numpy as np
+
 from ..graph.csr import CSRGraph
 from ..intersect import (
+    BatchIntersector,
     OpCounter,
     merge_compsim,
     merge_count,
@@ -29,7 +32,12 @@ from ..intersect import (
 from ..types import NSIM, SIM, UNKNOWN, ScanParams
 from .threshold import ThresholdTable
 
-__all__ = ["SimilarityEngine", "KERNELS"]
+__all__ = ["SimilarityEngine", "KERNELS", "EXEC_MODES"]
+
+#: Execution modes for the arc-resolution hot path: ``scalar`` calls one
+#: early-terminating kernel per arc, ``batched`` collects arcs per task and
+#: resolves them through :meth:`SimilarityEngine.resolve_arcs`.
+EXEC_MODES = ("scalar", "batched")
 
 #: Registered early-terminating CompSim kernels, by name.
 KERNELS: dict[str, str] = {
@@ -61,6 +69,11 @@ class SimilarityEngine:
         self._compsim_kernel = self._bind_kernel(kernel, lanes)
         # Plain-int degree list: hot-path lookups avoid ndarray scalar boxing.
         self._deg: list[int] = graph.degrees.tolist()
+        # Lazily-built batched-resolution state (scratch arrays are O(n),
+        # so they are only materialized when resolve_arcs is first used).
+        self._batch: BatchIntersector | None = None
+        self._arc_mcn: np.ndarray | None = None
+        self._adj: list[list[int]] | None = None
 
     def _bind_kernel(
         self, kernel: str, lanes: int
@@ -119,6 +132,117 @@ class SimilarityEngine:
             self.graph.neighbors(u), self.graph.neighbors(v), self.counter
         )
         return common + 2 >= self.min_cn(u, v)
+
+    # -- batched resolution -------------------------------------------------
+
+    def arc_thresholds(self) -> np.ndarray:
+        """Per-arc ``min_cn`` thresholds for the whole graph (cached)."""
+        if self._arc_mcn is None:
+            from .bulk import min_cn_arcs
+
+            self._arc_mcn = min_cn_arcs(self.graph, self.params.eps_fraction)
+        return self._arc_mcn
+
+    def batch_intersector(self) -> BatchIntersector:
+        """The engine's reusable mark-and-count scratch (cached)."""
+        if self._batch is None:
+            self._batch = BatchIntersector(self.graph)
+        return self._batch
+
+    def _adj_lists(self) -> list[list[int]]:
+        if self._adj is None:
+            off = self.graph.offsets.tolist()
+            dst = self.graph.dst.tolist()
+            self._adj = [
+                dst[off[u] : off[u + 1]]
+                for u in range(self.graph.num_vertices)
+            ]
+        return self._adj
+
+    #: Substrate calibration for the dispatcher's work model: one step of
+    #: an interpreted scalar kernel costs roughly this many NumPy
+    #: vector-block steps (measured on the bundled standins; the exact
+    #: value only shifts the hub-degree cutover point).
+    SCALAR_STEP_PENALTY = 24
+
+    def route_scalar(
+        self, du: np.ndarray, dv: np.ndarray, mcn: np.ndarray
+    ) -> np.ndarray:
+        """The adaptive dispatcher's work model: which arcs should keep the
+        early-terminating scalar kernel?
+
+        The scalar kernel wins when an early-exit bound is *close*: it
+        needs at most ``min_cn - 2`` matches to return SIM and tolerates at
+        most ``min(d(u), d(v)) + 2 - min_cn`` mismatches on the smaller
+        side before returning NSIM, so the distance to the nearest bound
+        caps its comparisons.  The bulk path always touches
+        ``d(u) + d(v)`` elements but retires ``lanes`` per vector block
+        and pays no per-step interpreter overhead, hence the
+        ``SCALAR_STEP_PENALTY`` weighting: only high-degree arcs whose
+        early-exit slack is tiny (hub pairs a few matches away from a
+        bound) are worth an interpreted early-terminating walk.  Both
+        estimates are integer and deterministic, so the routing — and
+        therefore the work accounting — is reproducible.
+        """
+        slack = np.minimum(mcn - 2, np.minimum(du, dv) + 2 - mcn)
+        est_scalar = (4 + 2 * slack) * self.SCALAR_STEP_PENALTY
+        est_bulk = 2 + (du + dv + self.lanes - 1) // self.lanes
+        return est_scalar <= est_bulk
+
+    def resolve_arcs(
+        self,
+        arcs: np.ndarray,
+        mcn: np.ndarray | None = None,
+        adj: Sequence[Sequence[int]] | None = None,
+    ) -> np.ndarray:
+        """Resolve CompSim for a whole arc batch; returns SIM/NSIM states.
+
+        The batched hot path: trivial predicates are folded from degrees
+        alone (uncounted, like the scalar algorithms), the adaptive
+        dispatcher routes each remaining arc between the vectorized
+        mark-and-count bulk path (grouped by source vertex) and the
+        configured early-terminating scalar kernel, and every decision is
+        bit-identical to calling the scalar kernel per arc.
+        """
+        arcs = np.asarray(arcs, dtype=np.int64)
+        states = np.empty(arcs.size, dtype=np.int8)
+        if arcs.size == 0:
+            return states
+        batch = self.batch_intersector()
+        if mcn is None:
+            mcn = self.arc_thresholds()[arcs]
+        else:
+            mcn = np.asarray(mcn, dtype=np.int64)
+        deg = self.graph.degrees
+        dst = self.graph.dst[arcs]
+        du = deg[batch.arc_src[arcs]]
+        dv = deg[dst]
+        # Trivial predicates (§3.2.2) — no kernel, no invocation charge.
+        trivial_sim = mcn <= 2
+        trivial_nsim = np.minimum(du, dv) + 2 < mcn
+        states[trivial_sim] = SIM
+        states[trivial_nsim] = NSIM
+        rest = ~(trivial_sim | trivial_nsim)
+        scalar_sel = rest & self.route_scalar(du, dv, mcn)
+        bulk_sel = rest & ~scalar_sel
+        if bulk_sel.any():
+            idx = np.flatnonzero(bulk_sel)
+            counts = batch.arc_counts(
+                arcs[idx], counter=self.counter, lanes=self.lanes
+            )
+            states[idx] = np.where(counts + 2 >= mcn[idx], SIM, NSIM)
+        if scalar_sel.any():
+            if adj is None:
+                adj = self._adj_lists()
+            idx = np.flatnonzero(scalar_sel)
+            srcs = batch.arc_src[arcs[idx]].tolist()
+            dsts = dst[idx].tolist()
+            thresholds = mcn[idx].tolist()
+            kernel = self._compsim_kernel
+            counter = self.counter
+            for k, (u, v, c) in enumerate(zip(srcs, dsts, thresholds)):
+                states[idx[k]] = SIM if kernel(adj[u], adj[v], c, counter) else NSIM
+        return states
 
     def similarity_value(self, u: int, v: int) -> float:
         """The raw cosine similarity σ(u, v) of Definition 2.2 (for docs

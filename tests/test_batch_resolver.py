@@ -1,0 +1,261 @@
+"""Batched arc-resolution exactness: the batch intersector's counts match
+the merge-count oracle, and :meth:`SimilarityEngine.resolve_arcs` makes
+SIM/NSIM decisions bit-identical to every early-terminating scalar kernel
+across ε, μ, lane widths and arc-batch shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import complete_graph, from_edges
+from repro.graph.generators import chung_lu, erdos_renyi, powerlaw_weights
+from repro.intersect import (
+    BatchIntersector,
+    OpCounter,
+    batched_arc_counts,
+    concat_ranges,
+    merge_count,
+)
+from repro.intersect.batch import MARK_GROUP_WORK, _segment_sums
+from repro.similarity import SimilarityEngine
+from repro.types import NSIM, SIM, ScanParams
+
+
+def oracle_counts(graph, arcs):
+    """``|N(src) ∩ N(dst)|`` per arc, via the scalar merge-count kernel."""
+    src = graph.arc_source()
+    return np.array(
+        [
+            merge_count(
+                graph.neighbors(int(src[a])), graph.neighbors(int(graph.dst[a]))
+            )
+            for a in arcs
+        ],
+        dtype=np.int64,
+    )
+
+
+@st.composite
+def random_graph(draw, min_n=2, max_n=45):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    max_edges = n * (n - 1) // 2
+    m = draw(st.integers(min_value=0, max_value=min(max_edges, 4 * n)))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    if draw(st.booleans()):
+        return erdos_renyi(n, m, seed=seed)
+    return chung_lu(powerlaw_weights(n, 2.5), m, seed=seed)
+
+
+class TestConcatRanges:
+    def test_basic(self):
+        out = concat_ranges(np.array([0, 7]), np.array([3, 9]))
+        assert out.tolist() == [0, 1, 2, 7, 8]
+
+    def test_empty_segments(self):
+        out = concat_ranges(np.array([4, 2, 9]), np.array([4, 5, 9]))
+        assert out.tolist() == [2, 3, 4]
+
+    def test_all_empty(self):
+        assert concat_ranges(np.array([3]), np.array([3])).size == 0
+        assert concat_ranges(np.array([], dtype=np.int64),
+                             np.array([], dtype=np.int64)).size == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=12),
+            ),
+            max_size=30,
+        )
+    )
+    def test_matches_python_ranges(self, segs):
+        starts = np.array([s for s, _ in segs], dtype=np.int64)
+        ends = np.array([s + l for s, l in segs], dtype=np.int64)
+        expected = [v for s, l in segs for v in range(s, s + l)]
+        assert concat_ranges(starts, ends).tolist() == expected
+
+
+class TestSegmentSums:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=9), max_size=25),
+    )
+    def test_matches_python_sums(self, lens):
+        total = sum(lens)
+        rng = np.random.default_rng(0)
+        hits = rng.integers(0, 2, size=total).astype(bool)
+        out = _segment_sums(hits, np.array(lens, dtype=np.int64))
+        pos = 0
+        expected = []
+        for l in lens:
+            expected.append(int(hits[pos : pos + l].sum()))
+            pos += l
+        assert out.tolist() == expected
+
+    def test_zero_length_segments(self):
+        hits = np.array([True, False, True, True])
+        lens = np.array([0, 2, 0, 2, 0], dtype=np.int64)
+        assert _segment_sums(hits, lens).tolist() == [0, 1, 0, 2, 0]
+
+    def test_bool_hits_summed_not_ored(self):
+        # np.add.reduceat on a bool array computes logical-or; the helper
+        # must force an integer accumulator.
+        hits = np.array([True, True, True])
+        assert _segment_sums(hits, np.array([3])).tolist() == [3]
+
+
+class TestBatchIntersector:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(random_graph(), st.integers(min_value=0, max_value=2**31))
+    def test_arc_counts_match_oracle(self, graph, seed):
+        if graph.num_arcs == 0:
+            return
+        arcs = np.arange(graph.num_arcs, dtype=np.int64)
+        batch = BatchIntersector(graph)
+        assert batch.arc_counts(arcs).tolist() == oracle_counts(
+            graph, arcs
+        ).tolist()
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(random_graph(), st.integers(min_value=0, max_value=2**31))
+    def test_unsorted_subset_matches_oracle(self, graph, seed):
+        if graph.num_arcs == 0:
+            return
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(1, graph.num_arcs + 1))
+        arcs = rng.permutation(graph.num_arcs)[:size].astype(np.int64)
+        got = BatchIntersector(graph).arc_counts(arcs)
+        assert got.tolist() == oracle_counts(graph, arcs).tolist()
+
+    @pytest.mark.parametrize("mark_group_work", [0, 1, 4, MARK_GROUP_WORK, 10**9])
+    def test_strategy_cutover_is_invisible(self, mark_group_work):
+        # Any mark/keyed split must produce the identical exact counts:
+        # 0 forces every group through the mark pass, 10**9 forces the
+        # single keyed pass, the middle values mix both.
+        graph = erdos_renyi(40, 150, seed=7)
+        arcs = np.arange(graph.num_arcs, dtype=np.int64)
+        batch = BatchIntersector(graph)
+        got = batch.arc_counts(arcs, mark_group_work=mark_group_work)
+        assert got.tolist() == oracle_counts(graph, arcs).tolist()
+
+    def test_keyed_and_mark_paths_agree(self):
+        graph = chung_lu(powerlaw_weights(50, 2.3), 180, seed=3)
+        arcs = np.arange(graph.num_arcs, dtype=np.int64)
+        batch = BatchIntersector(graph)
+        keyed = batch.keyed_counts(arcs)
+        src = graph.arc_source()
+        marked = np.empty(arcs.size, dtype=np.int64)
+        for u in range(graph.num_vertices):
+            lo, hi = int(graph.offsets[u]), int(graph.offsets[u + 1])
+            marked[lo:hi] = batch.group_counts(u, graph.dst[lo:hi])
+        assert keyed.tolist() == marked.tolist()
+        assert (src[arcs] >= 0).all()  # sanity: every arc had a source
+
+    def test_empty_batch(self):
+        graph = complete_graph(5)
+        batch = BatchIntersector(graph)
+        empty = np.empty(0, dtype=np.int64)
+        assert batch.arc_counts(empty).size == 0
+        assert batch.keyed_counts(empty).size == 0
+        assert batch.group_counts(0, empty).size == 0
+
+    def test_duplicate_arcs(self):
+        graph = erdos_renyi(20, 60, seed=11)
+        arcs = np.array([3, 3, 0, 3, 7, 0], dtype=np.int64)
+        got = BatchIntersector(graph).arc_counts(arcs)
+        assert got.tolist() == oracle_counts(graph, arcs).tolist()
+
+    def test_convenience_wrapper(self):
+        graph = complete_graph(6)
+        arcs = np.arange(graph.num_arcs, dtype=np.int64)
+        assert batched_arc_counts(graph, arcs).tolist() == oracle_counts(
+            graph, arcs
+        ).tolist()
+
+    def test_counter_charges_invocations_per_arc(self):
+        graph = erdos_renyi(30, 90, seed=5)
+        arcs = np.arange(graph.num_arcs, dtype=np.int64)
+        counter = OpCounter()
+        BatchIntersector(graph).arc_counts(arcs, counter=counter)
+        assert counter.invocations == graph.num_arcs
+        assert counter.vector_ops > 0
+
+
+class TestResolveArcs:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        random_graph(),
+        st.sampled_from([0.1, 0.25, 0.4, 0.5, 0.65, 0.8, 0.95, 1.0]),
+        st.integers(min_value=1, max_value=6),
+        st.sampled_from(["merge", "pivot", "vectorized"]),
+        st.sampled_from([8, 16]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_bit_identical_to_scalar_kernel(
+        self, graph, eps, mu, kernel, lanes, seed
+    ):
+        if graph.num_arcs == 0:
+            return
+        params = ScanParams(eps, mu)
+        engine = SimilarityEngine(graph, params, kernel=kernel, lanes=lanes)
+        rng = np.random.default_rng(seed)
+        arcs = rng.permutation(graph.num_arcs).astype(np.int64)
+        states = engine.resolve_arcs(arcs)
+        # The scalar reference: one early-terminating kernel call per arc,
+        # through a fresh engine so op counting cannot interfere.
+        ref = SimilarityEngine(graph, params, kernel=kernel, lanes=lanes)
+        adj = ref._adj_lists()
+        mcn = ref.arc_thresholds()
+        src = graph.arc_source()
+        for i, a in enumerate(arcs.tolist()):
+            expected = (
+                SIM
+                if ref.kernel(adj[src[a]], adj[graph.dst[a]], int(mcn[a]))
+                else NSIM
+            )
+            assert int(states[i]) == expected
+
+    def test_empty_batch(self):
+        graph = complete_graph(4)
+        engine = SimilarityEngine(graph, ScanParams(0.5, 2))
+        out = engine.resolve_arcs(np.empty(0, dtype=np.int64))
+        assert out.size == 0
+        assert out.dtype == np.int8
+
+    def test_explicit_mcn_matches_cached_thresholds(self):
+        graph = erdos_renyi(25, 80, seed=9)
+        engine = SimilarityEngine(graph, ScanParams(0.6, 3))
+        arcs = np.arange(graph.num_arcs, dtype=np.int64)
+        via_cache = engine.resolve_arcs(arcs)
+        via_arg = engine.resolve_arcs(arcs, mcn=engine.arc_thresholds()[arcs])
+        assert via_cache.tolist() == via_arg.tolist()
+
+    def test_trivial_predicates_not_charged(self):
+        # A path graph at eps=0.1: every threshold is <= 2, so the whole
+        # batch resolves from degrees alone with zero kernel invocations.
+        graph = from_edges([(0, 1), (1, 2), (2, 3)])
+        engine = SimilarityEngine(graph, ScanParams(0.1, 2))
+        states = engine.resolve_arcs(np.arange(graph.num_arcs, dtype=np.int64))
+        assert (states == SIM).all()
+        assert engine.counter.invocations == 0
+
+    def test_route_scalar_prefers_bulk_for_wide_slack(self):
+        graph = complete_graph(12)
+        engine = SimilarityEngine(graph, ScanParams(0.5, 2))
+        routed = engine.route_scalar(
+            np.array([11]), np.array([11]), np.array([7])
+        )
+        assert not bool(routed[0])

@@ -54,3 +54,36 @@ class TestBulkIntersector:
         edges = np.array([[0, 1], [2, 3]])
         counts = common_neighbor_counts(g, edges)
         assert counts.tolist() == [1, 0]
+
+
+class TestCountsFromVsLoopOracle:
+    """The gathered/segmented ``counts_from`` against its retained
+    per-candidate loop reference."""
+
+    def test_random_graphs(self):
+        for seed in range(4):
+            g = erdos_renyi(60, 260, seed=seed)
+            inter = BulkIntersector(g)
+            for u in range(g.num_vertices):
+                cands = g.neighbors(u)
+                assert np.array_equal(
+                    inter.counts_from(u, cands),
+                    inter.counts_from_loop(u, cands),
+                )
+
+    def test_arbitrary_candidates(self):
+        # Candidates need not be neighbors of u — including isolated and
+        # repeated vertices.
+        g = from_edges([(0, 1), (1, 2), (0, 2), (2, 3)], num_vertices=6)
+        inter = BulkIntersector(g)
+        cands = np.array([4, 3, 3, 0, 5])
+        assert np.array_equal(
+            inter.counts_from(1, cands), inter.counts_from_loop(1, cands)
+        )
+
+    def test_empty_candidates(self):
+        g = complete_graph(4)
+        inter = BulkIntersector(g)
+        empty = np.empty(0, dtype=np.int64)
+        assert inter.counts_from(0, empty).size == 0
+        assert inter.counts_from_loop(0, empty).size == 0

@@ -1,5 +1,6 @@
 """Degree-based dynamic task scheduling (Algorithm 5)."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -65,6 +66,47 @@ class TestDegreeBasedTasks:
         tasks = degree_based_tasks(degrees, None, threshold)
         for beg, end in tasks[:-1]:
             assert sum(degrees[beg:end]) > threshold
+
+
+class TestNumpyDispatch:
+    """The vectorized ndarray cutting path must reproduce the scalar
+    greedy walk exactly (same cuts, not merely a valid partition)."""
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), max_size=60),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_array_degrees_match_list_degrees(self, degrees, threshold):
+        expected = degree_based_tasks(degrees, None, threshold)
+        got = degree_based_tasks(
+            np.array(degrees, dtype=np.int64), None, threshold
+        )
+        assert got == expected
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.booleans(),
+            ),
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_needs_mask_matches(self, rows, threshold):
+        degrees = [d for d, _ in rows]
+        needs = [w for _, w in rows]
+        expected = degree_based_tasks(degrees, needs, threshold)
+        got = degree_based_tasks(
+            np.array(degrees, dtype=np.int64),
+            np.array(needs, dtype=bool),
+            threshold,
+        )
+        assert got == expected
+
+    def test_array_bad_threshold(self):
+        with pytest.raises(ValueError):
+            degree_based_tasks(np.array([1]), None, threshold=0)
 
 
 class TestUniformTasks:
