@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Gate fresh benchmark results against committed baselines.
+
+Usage
+-----
+Run the deterministic smoke workload and compare it against the
+committed baseline (the CI gate)::
+
+    PYTHONPATH=src python benchmarks/check_regression.py --smoke
+
+Record a new baseline after an intentional change::
+
+    PYTHONPATH=src python benchmarks/check_regression.py --smoke \
+        --update-baseline
+
+Compare two arbitrary result JSONs (e.g. a fresh ``bench_results`` file
+against a saved copy)::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --baseline benchmarks/baselines/smoke.json \
+        --fresh bench_results/smoke.json
+
+Exit status is non-zero when any metric regresses beyond its tolerance.
+Metric kinds and default tolerances are documented in
+:mod:`repro.obs.regression`: counts are gated tightly in both directions
+(deterministic seeds), wall metrics are calibrated (divided by a fixed
+reference workload's time on the same host) and gated one-sided with a
+generous tolerance, speedups are gated from below, and calibration info
+metrics are never gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.regression import (  # noqa: E402 - path setup first
+    DEFAULT_COUNT_TOL,
+    DEFAULT_SPEEDUP_TOL,
+    DEFAULT_WALL_TOL,
+    compare_results,
+    run_smoke,
+)
+
+BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+SMOKE_BASELINE = BASELINE_DIR / "smoke.json"
+RESULTS_DIR = REPO_ROOT / "bench_results"
+
+
+def _load(path: Path) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _dump(path: Path, data: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare benchmark results against committed baselines"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the deterministic smoke workload as the fresh result",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.15,
+        help="smoke workload graph scale (must match the baseline's)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="best-of-N timing rounds"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline JSON (default: {SMOKE_BASELINE})",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=None,
+        help="fresh result JSON (instead of running --smoke)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the fresh result over the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="also write the smoke run's Chrome trace here",
+    )
+    parser.add_argument("--count-tol", type=float, default=DEFAULT_COUNT_TOL)
+    parser.add_argument("--wall-tol", type=float, default=DEFAULT_WALL_TOL)
+    parser.add_argument(
+        "--speedup-tol", type=float, default=DEFAULT_SPEEDUP_TOL
+    )
+    args = parser.parse_args(argv)
+
+    if not args.smoke and args.fresh is None:
+        parser.error("need --smoke or --fresh")
+
+    if args.smoke:
+        fresh = run_smoke(
+            scale=args.scale,
+            rounds=args.rounds,
+            trace_path=args.trace_out,
+        )
+        _dump(RESULTS_DIR / "smoke.json", fresh)
+        print(f"smoke result written to {RESULTS_DIR / 'smoke.json'}")
+        if args.trace_out is not None:
+            print(f"smoke chrome trace written to {args.trace_out}")
+    else:
+        fresh = _load(args.fresh)
+
+    baseline_path = args.baseline if args.baseline else SMOKE_BASELINE
+    if args.update_baseline:
+        _dump(baseline_path, fresh)
+        print(f"baseline updated: {baseline_path}")
+        return 0
+    if not baseline_path.exists():
+        print(
+            f"no baseline at {baseline_path}; run with --update-baseline "
+            "to record one",
+            file=sys.stderr,
+        )
+        return 2
+
+    baseline = _load(baseline_path)
+    regressions = compare_results(
+        baseline,
+        fresh,
+        count_tol=args.count_tol,
+        wall_tol=args.wall_tol,
+        speedup_tol=args.speedup_tol,
+    )
+    if regressions:
+        print(f"REGRESSIONS vs {baseline_path}:")
+        for reg in regressions:
+            print(f"  {reg.describe()}")
+        return 1
+    print(f"OK: no regressions vs {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

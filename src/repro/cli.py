@@ -34,6 +34,7 @@ from .graph.generators import (
     real_world_standin,
     roll_graph,
 )
+from .obs import TRACE_FORMATS, Tracer, use_tracer, write_trace
 from .parallel import ProcessBackend
 from .similarity import EXEC_MODES
 from .types import CORE, HUB, OUTLIER, ScanParams
@@ -45,6 +46,27 @@ _ALGORITHMS = {
     "scanxp": scanxp,
     "anyscan": anyscan,
 }
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write run telemetry (spans + metrics) to PATH",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=list(TRACE_FORMATS),
+        default="chrome",
+        help="trace file format: Chrome trace events (Perfetto-loadable), "
+        "JSONL, or a plain-text report",
+    )
+
+
+def _export_trace(args: argparse.Namespace, tracer: Tracer, title: str) -> None:
+    write_trace(args.trace, tracer, args.trace_format, title=title)
+    print(f"wrote {args.trace_format} trace to {args.trace}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -81,6 +103,26 @@ def _build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument(
         "--save", default=None, help="save the clustering to an .npz file"
     )
+    _add_trace_args(p_cluster)
+    p_cluster.add_argument(
+        "--sim-trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace of the *simulated* per-worker schedule "
+        "(machine-model replay of the run's stages)",
+    )
+    p_cluster.add_argument(
+        "--sim-threads",
+        type=int,
+        default=16,
+        help="thread count for the simulated schedule",
+    )
+    p_cluster.add_argument(
+        "--sim-machine",
+        choices=("cpu", "knl"),
+        default="cpu",
+        help="machine model pricing the simulated schedule",
+    )
 
     p_compare = sub.add_parser(
         "compare", help="run all algorithms and verify they agree"
@@ -88,6 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("graph")
     p_compare.add_argument("--eps", type=float, default=0.5)
     p_compare.add_argument("--mu", type=int, default=2)
+    _add_trace_args(p_compare)
 
     p_sweep = sub.add_parser("sweep", help="cluster over an (eps, mu) grid")
     p_sweep.add_argument("graph")
@@ -124,6 +167,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--out", default=None, help="directory to write result tables into"
     )
+    _add_trace_args(p_bench)
 
     p_verify = sub.add_parser(
         "verify", help="verify a saved clustering against a graph"
@@ -165,7 +209,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 "--exec-mode ignored",
                 file=sys.stderr,
             )
-    result = algo(graph, params, **kwargs)
+    if args.trace:
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = algo(graph, params, **kwargs)
+    else:
+        result = algo(graph, params, **kwargs)
     print(result.summary())
     classified = result.classify(graph)
     print(
@@ -181,6 +230,37 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.save:
         result.save(args.save)
         print(f"saved clustering to {args.save}")
+    if args.trace:
+        if result.record is not None:
+            tracer.metrics.ingest_record(result.record)
+        _export_trace(
+            args, tracer, title=f"{args.algorithm} on {args.graph}"
+        )
+    if args.sim_trace:
+        if result.record is None:
+            print("note: no run record; --sim-trace skipped", file=sys.stderr)
+        else:
+            from .obs.export import schedule_chrome_events, write_chrome_trace
+            from .parallel.machine import CPU_SERVER, KNL_SERVER
+            from .parallel.trace import trace_stage
+
+            machine = KNL_SERVER if args.sim_machine == "knl" else CPU_SERVER
+            traces = [
+                trace_stage(stage, machine, args.sim_threads)
+                for stage in result.record.stages
+                if stage.tasks
+            ]
+            doc = schedule_chrome_events(
+                traces,
+                clock_hz=machine.clock_hz,
+                process_name=f"simulated {machine.name}",
+            )
+            write_chrome_trace(args.sim_trace, doc)
+            print(
+                f"wrote simulated-schedule chrome trace "
+                f"({args.sim_threads} threads, {args.sim_machine}) to "
+                f"{args.sim_trace}"
+            )
     return 0
 
 
@@ -198,10 +278,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         "SCAN-XP": scanxp,
         "ppSCAN": ppscan,
     }
+    tracer = Tracer() if args.trace else None
     rows = []
     reference = None
     for name, algo in algorithms.items():
-        result = algo(graph, params)
+        if tracer is not None:
+            with use_tracer(tracer):
+                result = algo(graph, params)
+        else:
+            result = algo(graph, params)
         if reference is None:
             reference = result
         else:
@@ -215,16 +300,28 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 f"{total.scalar_cmp + total.branchless_cmp}",
                 f"{total.vector_ops}",
                 f"{record.wall_seconds * 1e3:.1f}ms",
+                f"{record.stage_wall_seconds * 1e3:.1f}ms",
             ]
         )
+        if tracer is not None:
+            tracer.metrics.ingest_record(record, prefix=name)
     print(
         format_table(
             f"all algorithms agree on {args.graph} ({params}): "
             f"{reference.num_clusters} clusters, {reference.num_cores} cores",
-            ["algorithm", "CompSims", "scalar ops", "vector ops", "wall"],
+            [
+                "algorithm",
+                "CompSims",
+                "scalar ops",
+                "vector ops",
+                "wall",
+                "stage wall",
+            ],
             rows,
         )
     )
+    if tracer is not None:
+        _export_trace(args, tracer, title=f"compare on {args.graph}")
     return 0
 
 
@@ -290,12 +387,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    tracer = Tracer() if args.trace else None
     for name in names:
-        result = EXPERIMENTS[name](scale=args.scale)
+        if tracer is not None:
+            with use_tracer(tracer), tracer.span(f"bench:{name}", lane=0):
+                result = EXPERIMENTS[name](scale=args.scale)
+        else:
+            result = EXPERIMENTS[name](scale=args.scale)
         print(result.text)
         print()
         if out_dir is not None:
             (out_dir / f"{result.exp_id}.txt").write_text(result.text + "\n")
+    if tracer is not None:
+        _export_trace(args, tracer, title=f"bench {args.experiment}")
     return 0
 
 

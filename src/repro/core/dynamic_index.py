@@ -211,6 +211,7 @@ class DynamicGSIndex:
             ],
             wall_seconds=time.perf_counter() - t0,
         )
+        record.apportion_wall()
         return ClusteringResult(
             algorithm="DynamicGS*-Index",
             params=params,

@@ -100,6 +100,7 @@ def fast_structural_clustering(
         ],
         wall_seconds=time.perf_counter() - t0,
     )
+    record.apportion_wall()
     return ClusteringResult(
         algorithm="fast-exact",
         params=params,

@@ -143,6 +143,7 @@ class GSIndex:
             stages=[StageRecord("index construction", [cost])],
             wall_seconds=time.perf_counter() - t0,
         )
+        self.construction_record.apportion_wall()
 
     @staticmethod
     def _fix_float_sort(
@@ -353,6 +354,7 @@ class GSIndex:
             stages=[StageRecord("index query", [cost])],
             wall_seconds=time.perf_counter() - t0,
         )
+        record.apportion_wall()
         return ClusteringResult(
             algorithm="GS*-Index",
             params=params,

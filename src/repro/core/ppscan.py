@@ -50,6 +50,7 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..intersect.batch import concat_ranges
 from ..metrics.records import RunRecord, StageRecord, TaskCost
+from ..obs.tracer import current_tracer
 from ..parallel.backend import ExecutionBackend, SerialBackend, commit_arc_states
 from ..parallel.scheduler import degree_based_tasks
 from ..similarity.bulk import predicate_prune_arcs
@@ -136,6 +137,21 @@ def ppscan(
     ctx = RunContext(graph, params, kernel=kernel, lanes=lanes)
     backend = backend if backend is not None else SerialBackend()
     batched = exec_mode == "batched"
+    tracer = current_tracer()
+    root_span = (
+        tracer.start_span(
+            "ppscan",
+            lane=0,
+            exec_mode=exec_mode,
+            kernel=kernel,
+            vertices=graph.num_vertices,
+            arcs=ctx.num_arcs,
+            eps=params.eps,
+            mu=params.mu,
+        )
+        if tracer.enabled
+        else None
+    )
     if task_threshold is not None:
         threshold = task_threshold
     elif batched:
@@ -196,7 +212,11 @@ def ppscan(
         t_stage = time.perf_counter()
         needs = None if needs_role is None else roles == needs_role
         tasks = degree_based_tasks(deg_np, needs, threshold)
-        records = backend.run_phase(tasks, run_task, commit)
+        if tracer.enabled:
+            with tracer.span(name, lane=0, tasks=len(tasks)):
+                records = backend.run_phase(tasks, run_task, commit)
+        else:
+            records = backend.run_phase(tasks, run_task, commit)
         stages.append(
             StageRecord(name, records, time.perf_counter() - t_stage)
         )
@@ -231,6 +251,16 @@ def ppscan(
             "similarity pruning", prune_tasks, time.perf_counter() - t_stage
         )
     )
+    if tracer.enabled:
+        tracer.add_span(
+            "similarity pruning",
+            t_stage,
+            time.perf_counter(),
+            lane=0,
+            depth=1,
+            tasks=len(prune_tasks),
+            enabled=prune_phase,
+        )
 
     # -- Phases 2 & 3: core checking, core consolidating -----------------
 
@@ -695,6 +725,10 @@ def ppscan(
     record = RunRecord(
         algorithm=name, stages=stages, wall_seconds=time.perf_counter() - t0
     )
+    if root_span is not None:
+        root_span.attrs["algorithm"] = name
+        tracer.end_span(root_span)
+        tracer.count("run.ppscan", 1)
     return ClusteringResult(
         algorithm=name,
         params=params,

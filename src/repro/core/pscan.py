@@ -27,6 +27,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..metrics.records import RunRecord, StageRecord, TaskCost
+from ..obs.tracer import current_tracer
 from ..parallel.backend import commit_arc_states
 from ..similarity.engine import EXEC_MODES
 from ..types import CORE, NONCORE, SIM, NSIM, UNKNOWN, ScanParams
@@ -64,6 +65,20 @@ def pscan(
         )
     batched = exec_mode == "batched"
     t0 = time.perf_counter()
+    tracer = current_tracer()
+    root_span = (
+        tracer.start_span(
+            "pscan",
+            lane=0,
+            exec_mode=exec_mode,
+            kernel=kernel,
+            eps=params.eps,
+            mu=params.mu,
+            ed_order=use_ed_order,
+        )
+        if tracer.enabled
+        else None
+    )
     ctx = RunContext(graph, params, kernel=kernel)
     counter = ctx.engine.counter
     off, dst, adj, deg = ctx.off, ctx.dst, ctx.adj, ctx.deg
@@ -306,6 +321,12 @@ def pscan(
         ],
         wall_seconds=wall,
     )
+    # pSCAN's semantic stages interleave in time; attribute the measured
+    # wall to them by modelled cost share (Figure-1 style breakdown).
+    record.apportion_wall()
+    if root_span is not None:
+        tracer.end_span(root_span)
+        tracer.count("run.pscan", 1)
     return ClusteringResult(
         algorithm="pSCAN",
         params=params,

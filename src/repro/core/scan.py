@@ -112,6 +112,9 @@ def scan(graph: CSRGraph, params: ScanParams) -> ClusteringResult:
         ],
         wall_seconds=wall,
     )
+    # SCAN's two buckets interleave (CheckCore runs inside the BFS);
+    # attribute the measured wall by modelled cost share.
+    record.apportion_wall()
     return ClusteringResult(
         algorithm="SCAN",
         params=params,

@@ -17,6 +17,7 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..intersect import pivot_vectorized_count
 from ..metrics.records import RunRecord, StageRecord, TaskCost
+from ..obs.tracer import current_tracer
 from ..parallel.backend import ExecutionBackend, SerialBackend
 from ..parallel.scheduler import degree_based_tasks
 from ..similarity.engine import EXEC_MODES
@@ -54,6 +55,20 @@ def scanxp(
     t0 = time.perf_counter()
     ctx = RunContext(graph, params, kernel="vectorized", lanes=lanes)
     backend = backend if backend is not None else SerialBackend()
+    tracer = current_tracer()
+    root_span = (
+        tracer.start_span(
+            "scanxp",
+            lane=0,
+            exec_mode=exec_mode,
+            vertices=graph.num_vertices,
+            arcs=ctx.num_arcs,
+            eps=params.eps,
+            mu=params.mu,
+        )
+        if tracer.enabled
+        else None
+    )
     if task_threshold is not None:
         threshold = task_threshold
     elif batched:
@@ -78,7 +93,11 @@ def scanxp(
         tasks = degree_based_tasks(
             deg_np if batched else deg, needs, threshold
         )
-        records = backend.run_phase(tasks, run_task, commit)
+        if tracer.enabled:
+            with tracer.span(name, lane=0, tasks=len(tasks)):
+                records = backend.run_phase(tasks, run_task, commit)
+        else:
+            records = backend.run_phase(tasks, run_task, commit)
         stages.append(StageRecord(name, records, time.perf_counter() - t_stage))
 
     # -- Phase 1: exhaustive similarity, one full intersection per arc ----
@@ -159,6 +178,15 @@ def scanxp(
     stages.append(
         StageRecord("role computation", role_tasks, time.perf_counter() - t_stage)
     )
+    if tracer.enabled:
+        tracer.add_span(
+            "role computation",
+            t_stage,
+            time.perf_counter(),
+            lane=0,
+            depth=1,
+            tasks=len(role_tasks),
+        )
 
     # -- Phase 3: core clustering over known similar edges ----------------
 
@@ -253,10 +281,17 @@ def scanxp(
             time.perf_counter() - t_stage,
         )
     )
+    if tracer.enabled:
+        tracer.add_span(
+            "non-core clustering", t_stage, time.perf_counter(), lane=0, depth=1
+        )
 
     record = RunRecord(
         algorithm="SCAN-XP", stages=stages, wall_seconds=time.perf_counter() - t0
     )
+    if root_span is not None:
+        tracer.end_span(root_span)
+        tracer.count("run.scanxp", 1)
     return ClusteringResult(
         algorithm="SCAN-XP",
         params=params,

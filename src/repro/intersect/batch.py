@@ -35,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs.tracer import current_tracer
 from .counters import OpCounter
 
 __all__ = ["BatchIntersector", "concat_ranges", "batched_arc_counts"]
@@ -215,6 +216,13 @@ class BatchIntersector:
         heavy = (graph.degrees[group_u] + group_gather) >= mark_group_work
         out_sorted = np.empty(arcs.size, dtype=np.int64)
         light_sel = ~np.repeat(heavy, np.diff(starts))
+        tracer = current_tracer()
+        if tracer.enabled:
+            n_heavy = int(np.count_nonzero(heavy))
+            tracer.count("batch.calls", 1)
+            tracer.count("batch.groups_heavy", n_heavy)
+            tracer.count("batch.groups_light", int(heavy.size - n_heavy))
+            tracer.count("batch.arcs", int(arcs.size))
         if light_sel.any():
             out_sorted[light_sel] = self.keyed_counts(
                 arcs_sorted[light_sel], counter=counter, lanes=lanes

@@ -73,6 +73,16 @@ class OpCounter:
     def as_dict(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
 
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "OpCounter":
+        """Inverse of :meth:`as_dict`; unknown keys are rejected."""
+        counter = cls()
+        for name, value in data.items():
+            if name not in cls.__slots__:
+                raise KeyError(f"unknown OpCounter field {name!r}")
+            setattr(counter, name, int(value))
+        return counter
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
         return f"OpCounter({parts})"

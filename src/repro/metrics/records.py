@@ -10,7 +10,8 @@ is thread-count independent in ppSCAN's BSP phase structure).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Mapping
 
 __all__ = ["TaskCost", "StageRecord", "RunRecord"]
 
@@ -54,6 +55,15 @@ class TaskCost:
         self.allocs += other.allocs
         self.compsims += other.compsims
 
+    def as_dict(self) -> dict[str, int]:
+        """Flat ``{field: tally}`` mapping (mirrors ``OpCounter.as_dict``)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "TaskCost":
+        """Inverse of :meth:`as_dict`; unknown keys are rejected."""
+        return cls(**{k: int(v) for k, v in data.items()})
+
 
 @dataclass
 class StageRecord:
@@ -72,6 +82,21 @@ class StageRecord:
     @property
     def num_tasks(self) -> int:
         return len(self.tasks)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "tasks": [task.as_dict() for task in self.tasks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StageRecord":
+        return cls(
+            name=data["name"],
+            tasks=[TaskCost.from_dict(t) for t in data.get("tasks", [])],
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+        )
 
 
 @dataclass
@@ -97,3 +122,60 @@ class RunRecord:
     @property
     def compsim_invocations(self) -> int:
         return self.total().compsims
+
+    @property
+    def stage_wall_seconds(self) -> float:
+        """Sum of the per-stage walls (the Figure-1 breakdown total)."""
+        return sum(stage.wall_seconds for stage in self.stages)
+
+    def apportion_wall(
+        self, cost_fn: Callable[[TaskCost], float] | None = None
+    ) -> None:
+        """Distribute the run wall over stages by modelled cost share.
+
+        The sequential algorithms (SCAN, pSCAN) bucket work into semantic
+        stages that *interleave* in time, so their stage walls cannot be
+        measured directly without per-arc timer calls; instead the run's
+        measured wall is attributed proportionally to each stage's priced
+        cost (``cost_fn(TaskCost) -> float``; defaults to a unit-weight
+        op sum).  Stages with measured walls keep them — this only fills
+        in stages recorded at 0.0.
+        """
+        if cost_fn is None:
+            cost_fn = lambda t: float(  # noqa: E731 - local default weight
+                t.scalar_cmp
+                + t.branchless_cmp
+                + t.vector_ops
+                + t.bound_updates
+                + t.arcs
+                + t.atomics
+                + t.allocs
+            )
+        unmeasured = [s for s in self.stages if s.wall_seconds == 0.0]
+        remaining = self.wall_seconds - sum(
+            s.wall_seconds for s in self.stages
+        )
+        if not unmeasured or remaining <= 0.0:
+            return
+        weights = [max(cost_fn(s.total()), 0.0) for s in unmeasured]
+        total = sum(weights)
+        if total <= 0.0:
+            weights = [1.0] * len(unmeasured)
+            total = float(len(unmeasured))
+        for stage, weight in zip(unmeasured, weights):
+            stage.wall_seconds = remaining * weight / total
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "wall_seconds": self.wall_seconds,
+            "stages": [stage.as_dict() for stage in self.stages],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        return cls(
+            algorithm=data["algorithm"],
+            stages=[StageRecord.from_dict(s) for s in data.get("stages", [])],
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+        )

@@ -1,0 +1,57 @@
+"""Run observability: span tracing, metrics registry, exporters, gating.
+
+The telemetry layer behind ``repro-scan ... --trace``:
+
+* :mod:`~repro.obs.tracer` — ambient span tracer (zero-overhead no-op
+  when disabled) wired through the phase loops, dispatchers and backends;
+* :mod:`~repro.obs.metrics` — the namespaced counter/gauge/histogram
+  registry that unifies ``OpCounter`` and ``TaskCost`` tallies;
+* :mod:`~repro.obs.export` — JSONL, Chrome-trace (Perfetto) and text
+  report exporters, for real wall-clock runs and simulated schedules;
+* :mod:`~repro.obs.regression` — baseline comparison for
+  ``benchmarks/check_regression.py`` (imported as a submodule, not
+  re-exported here: it pulls in the algorithm layer).
+
+See ``docs/observability.md`` for the user-facing guide.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+from .export import (
+    TRACE_FORMATS,
+    chrome_trace,
+    jsonl_lines,
+    run_report,
+    schedule_chrome_events,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "TRACE_FORMATS",
+    "chrome_trace",
+    "jsonl_lines",
+    "run_report",
+    "schedule_chrome_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

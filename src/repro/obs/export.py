@@ -1,0 +1,283 @@
+"""Trace and metrics exporters: JSONL, Chrome trace events, text report.
+
+Three consumers, three formats:
+
+* :func:`write_jsonl` — one JSON object per line (``meta``, ``span`` and
+  ``metric`` records), the machine-diffable archival form;
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``{"traceEvents": [...]}``) that
+  https://ui.perfetto.dev and ``chrome://tracing`` open directly: one
+  *thread* per tracer lane, complete (``"ph": "X"``) events per span,
+  which renders a run as a Figure-1-style per-phase/per-worker flame
+  chart;
+* :func:`run_report` — the human-readable per-phase summary for
+  terminals and CI logs.
+
+:func:`schedule_chrome_events` converts *simulated* per-worker timelines
+(:class:`~repro.parallel.trace.ScheduleTrace`, cycles on a
+:class:`~repro.parallel.machine.MachineSpec`) into the same event format,
+so a virtual 256-thread KNL schedule and a real wall-clock run open in
+the same viewer.
+
+Span timestamps are wall-clock and therefore vary run to run; every
+exporter is deterministic in *structure* (event order, names, lanes,
+args) for a fixed workload, which is what the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from .tracer import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "jsonl_lines",
+    "run_report",
+    "schedule_chrome_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+    "TRACE_FORMATS",
+]
+
+#: Formats accepted by :func:`write_trace` (and the CLI ``--trace-format``).
+TRACE_FORMATS = ("jsonl", "chrome", "report")
+
+
+def _lane_name(lane: int) -> str:
+    return "master" if lane == 0 else f"worker {lane}"
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+
+def chrome_trace(
+    tracer: "Tracer",
+    process_name: str = "repro-scan",
+    pid: int = 1,
+) -> dict[str, Any]:
+    """The tracer's spans as a Chrome trace-event document.
+
+    Timestamps are microseconds relative to the tracer's epoch; each lane
+    becomes one named thread so Perfetto renders one swimlane per worker.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for lane in tracer.lanes():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": lane,
+                "args": {"name": _lane_name(lane)},
+            }
+        )
+    epoch = tracer.epoch
+    for span in tracer.sorted_spans():
+        events.append(
+            {
+                "name": span.name,
+                "cat": "run",
+                "ph": "X",
+                "ts": (span.begin - epoch) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": pid,
+                "tid": span.lane,
+                "args": dict(span.attrs),
+            }
+        )
+    if tracer.metrics is not None:
+        metrics = tracer.metrics.as_dict()
+        if metrics:
+            events.append(
+                {
+                    "name": "metrics",
+                    "ph": "I",
+                    "s": "g",
+                    "ts": 0.0,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": metrics,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def schedule_chrome_events(
+    traces: Sequence[Any],
+    clock_hz: float = 1.0,
+    pid: int = 2,
+    process_name: str = "simulated schedule",
+) -> dict[str, Any]:
+    """Simulated stage schedules as a Chrome trace-event document.
+
+    ``traces`` are :class:`~repro.parallel.trace.ScheduleTrace` objects in
+    stage order; stages are laid out back to back (the BSP barrier), each
+    virtual worker on its own thread lane, each task one complete event.
+    ``clock_hz`` converts the machine model's cycles to microseconds so
+    the timeline reads in (simulated) time units.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    workers = max((t.workers for t in traces), default=0)
+    for w in range(workers):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": w,
+                "args": {"name": f"virtual worker {w}"},
+            }
+        )
+    to_us = 1e6 / clock_hz
+    offset = 0.0
+    for trace in traces:
+        for task, worker, begin, end in trace.worker_intervals():
+            events.append(
+                {
+                    "name": trace.stage_name,
+                    "cat": "simulated",
+                    "ph": "X",
+                    "ts": (offset + begin) * to_us,
+                    "dur": (end - begin) * to_us,
+                    "pid": pid,
+                    "tid": worker,
+                    "args": {"task": task, "cycles": end - begin},
+                }
+            )
+        offset += trace.makespan
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def jsonl_lines(tracer: "Tracer") -> Iterable[str]:
+    """One JSON object per line: a ``meta`` header, every span (export
+    order), then one ``metric`` record per registry entry."""
+    yield json.dumps(
+        {
+            "type": "meta",
+            "lanes": tracer.lanes(),
+            "spans": len(tracer.spans),
+        },
+        sort_keys=True,
+    )
+    epoch = tracer.epoch
+    for span in tracer.sorted_spans():
+        yield json.dumps(
+            {
+                "type": "span",
+                "name": span.name,
+                "lane": span.lane,
+                "depth": span.depth,
+                "begin_us": (span.begin - epoch) * 1e6,
+                "dur_us": span.duration * 1e6,
+                "attrs": dict(span.attrs),
+            },
+            sort_keys=True,
+        )
+    if tracer.metrics is not None:
+        for name, value in tracer.metrics.as_dict().items():
+            yield json.dumps(
+                {"type": "metric", "name": name, "value": value},
+                sort_keys=True,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Human-readable report
+# ---------------------------------------------------------------------------
+
+
+def run_report(tracer: "Tracer", title: str = "run telemetry") -> str:
+    """Per-lane span rollup plus the metric dump, as plain text."""
+    lines = [title]
+    spans = tracer.sorted_spans()
+    lines.append(f"  lanes: {len(tracer.lanes())}, spans: {len(spans)}")
+    # Rollup: total time per (depth-0 name), then per nested name.
+    for lane in tracer.lanes():
+        lane_spans = [s for s in spans if s.lane == lane]
+        lines.append(f"  lane {lane} ({_lane_name(lane)}):")
+        by_name: dict[tuple[int, str], tuple[int, float]] = {}
+        for s in lane_spans:
+            key = (s.depth, s.name)
+            count, total = by_name.get(key, (0, 0.0))
+            by_name[key] = (count + 1, total + s.duration)
+        for (depth, name), (count, total) in by_name.items():
+            indent = "  " * depth
+            lines.append(
+                f"    {indent}{name:<32} {count:>5} span(s) "
+                f"{total * 1e3:>10.2f}ms"
+            )
+    if tracer.metrics is not None:
+        metrics = tracer.metrics.as_dict()
+        if metrics:
+            lines.append("  metrics:")
+            for name, value in metrics.items():
+                if isinstance(value, float):
+                    lines.append(f"    {name} = {value:.6g}")
+                else:
+                    lines.append(f"    {name} = {value}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# File writers
+# ---------------------------------------------------------------------------
+
+
+def write_chrome_trace(path, document_or_tracer) -> None:
+    """Write a Chrome trace file from a tracer or a prebuilt document."""
+    doc = (
+        document_or_tracer
+        if isinstance(document_or_tracer, dict)
+        else chrome_trace(document_or_tracer)
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def write_jsonl(path, tracer: "Tracer") -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in jsonl_lines(tracer):
+            fh.write(line + "\n")
+
+
+def write_trace(path, tracer: "Tracer", fmt: str, title: str = "run telemetry") -> None:
+    """Dispatch on ``fmt`` (one of :data:`TRACE_FORMATS`)."""
+    if fmt == "chrome":
+        write_chrome_trace(path, tracer)
+    elif fmt == "jsonl":
+        write_jsonl(path, tracer)
+    elif fmt == "report":
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(run_report(tracer, title=title) + "\n")
+    else:
+        raise ValueError(
+            f"unknown trace format {fmt!r}; known: {list(TRACE_FORMATS)}"
+        )

@@ -1,0 +1,158 @@
+"""Namespaced metrics registry: counters, gauges, histograms.
+
+One registry per run unifies the tallies that were previously scattered
+across :class:`~repro.intersect.OpCounter` (kernel work),
+:class:`~repro.metrics.TaskCost`/:class:`~repro.metrics.RunRecord`
+(per-stage work records) and ad-hoc benchmark dicts.  Metric names are
+dot-namespaced (``similarity.resolve.bulk_arcs``,
+``record.core checking.compsims``), and :meth:`MetricsRegistry.as_dict`
+exports the whole registry as one flat, deterministic, JSON-ready
+mapping.
+
+The ingestion helpers are duck-typed on ``as_dict()`` so this module
+depends on nothing else in the package (the tracer must stay importable
+from the leaf modules it instruments).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonic integer tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary (count / sum / min / max) of observed values.
+
+    Stores no samples — the exporters only need the moments, and a run
+    can observe one value per task.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named metrics."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- access -----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # -- ingestion --------------------------------------------------------
+
+    def ingest(self, prefix: str, tallies: Mapping[str, Any]) -> None:
+        """Fold a flat ``{name: int}`` mapping (e.g. ``OpCounter.as_dict``)
+        into namespaced counters."""
+        for key, value in tallies.items():
+            self.counter(f"{prefix}.{key}").inc(int(value))
+
+    def ingest_record(self, record: Any, prefix: str = "record") -> None:
+        """Unify a :class:`~repro.metrics.RunRecord` into the registry.
+
+        Emits per-stage counters (``<prefix>.<stage>.<field>``), per-stage
+        wall gauges, run totals, and the run wall gauge — one namespace
+        for what ``OpCounter`` and ``TaskCost`` used to report separately.
+        """
+        for stage in record.stages:
+            stage_prefix = f"{prefix}.{stage.name}"
+            self.ingest(stage_prefix, stage.total().as_dict())
+            self.counter(f"{stage_prefix}.tasks").inc(stage.num_tasks)
+            self.gauge(f"{stage_prefix}.wall_seconds").set(stage.wall_seconds)
+        self.ingest(f"{prefix}.total", record.total().as_dict())
+        self.gauge(f"{prefix}.wall_seconds").set(record.wall_seconds)
+
+    # -- export -----------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat, key-sorted export of every metric (JSON-ready)."""
+        out: dict[str, Any] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            for stat, value in histogram.summary().items():
+                out[f"{name}.{stat}"] = value
+        return dict(sorted(out.items()))
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )

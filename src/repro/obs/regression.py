@@ -1,0 +1,257 @@
+"""Benchmark regression gating: compare fresh results against baselines.
+
+The CI hook behind ``benchmarks/check_regression.py``: a *baseline* JSON
+(committed under ``benchmarks/baselines/``) records the metrics of a
+known-good run; a fresh run reproduces them and every metric is compared
+under a per-kind tolerance.  Metrics fall into three kinds, classified
+by name:
+
+* **counts** (default) — machine-independent work tallies (CompSim
+  invocations, scalar/vector ops, cluster counts).  Deterministic for a
+  fixed seed, so *any* drift beyond ``count_tol`` (default 0.1%) fails —
+  in either direction: an unexplained drop is as suspicious as a rise.
+* **wall** (name contains ``wall`` or ends in ``_seconds``) — lower is
+  better; fails when the fresh value exceeds baseline by more than
+  ``wall_tol``.  Wall metrics should be *calibrated* (divided by
+  :func:`calibrate`'s fixed-workload time on the same host) so baselines
+  survive hardware changes.
+* **speedup** (name contains ``speedup``) — higher is better; fails when
+  the fresh value falls below baseline by more than ``speedup_tol``.
+
+The smoke workload (:func:`run_smoke`) runs ppSCAN in both execution
+modes on a deterministic stand-in graph, asserts the clusterings agree,
+and emits one comparable metrics dict (plus, optionally, the Chrome
+trace of the batched run for CI artifacts).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "Regression",
+    "calibrate",
+    "classify_metric",
+    "compare_results",
+    "flatten",
+    "run_smoke",
+    "DEFAULT_COUNT_TOL",
+    "DEFAULT_WALL_TOL",
+    "DEFAULT_SPEEDUP_TOL",
+]
+
+DEFAULT_COUNT_TOL = 0.001
+DEFAULT_WALL_TOL = 0.15
+DEFAULT_SPEEDUP_TOL = 0.40
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that violated its tolerance."""
+
+    key: str
+    kind: str
+    baseline: float
+    fresh: float
+    tolerance: float
+
+    @property
+    def rel_change(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.fresh else 0.0
+        return (self.fresh - self.baseline) / abs(self.baseline)
+
+    def describe(self) -> str:
+        return (
+            f"{self.key} [{self.kind}]: baseline {self.baseline:g} -> "
+            f"fresh {self.fresh:g} ({self.rel_change:+.1%}, "
+            f"tolerance {self.tolerance:.1%})"
+        )
+
+
+def flatten(tree: Mapping[str, Any], prefix: str = "") -> dict[str, float]:
+    """Flatten nested mappings into dot-keyed numeric leaves; non-numeric
+    leaves (labels, descriptions) are skipped."""
+    out: dict[str, float] = {}
+    for key, value in tree.items():
+        name = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            out.update(flatten(value, name))
+        elif isinstance(value, bool):
+            out[name] = float(value)
+        elif isinstance(value, (int, float)):
+            out[name] = float(value)
+    return out
+
+
+def classify_metric(key: str) -> str:
+    """``wall`` / ``speedup`` / ``count`` / ``info`` from the metric's name.
+
+    ``info`` metrics (host calibration) are recorded for debuggability
+    but never gated — they are *expected* to differ between hosts.
+    """
+    lowered = key.lower()
+    if "calibration" in lowered:
+        return "info"
+    if "speedup" in lowered:
+        return "speedup"
+    if "wall" in lowered or lowered.endswith("_seconds"):
+        return "wall"
+    return "count"
+
+
+def compare_results(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    count_tol: float = DEFAULT_COUNT_TOL,
+    wall_tol: float = DEFAULT_WALL_TOL,
+    speedup_tol: float = DEFAULT_SPEEDUP_TOL,
+) -> list[Regression]:
+    """Every metric of ``baseline`` checked against ``fresh``.
+
+    Metrics present only in ``fresh`` are ignored (new instrumentation is
+    not a regression); metrics missing from ``fresh`` fail loudly.
+    """
+    base_flat = flatten(baseline)
+    fresh_flat = flatten(fresh)
+    regressions: list[Regression] = []
+    for key in sorted(base_flat):
+        kind = classify_metric(key)
+        if kind == "info":
+            continue
+        base = base_flat[key]
+        if key not in fresh_flat:
+            regressions.append(Regression(key, "missing", base, float("nan"), 0.0))
+            continue
+        value = fresh_flat[key]
+        if kind == "wall":
+            limit = base * (1.0 + wall_tol)
+            if value > limit and value - base > 1e-12:
+                regressions.append(Regression(key, kind, base, value, wall_tol))
+        elif kind == "speedup":
+            limit = base * (1.0 - speedup_tol)
+            if value < limit:
+                regressions.append(
+                    Regression(key, kind, base, value, speedup_tol)
+                )
+        else:
+            if base == 0:
+                drift = abs(value)
+            else:
+                drift = abs(value - base) / abs(base)
+            if drift > count_tol:
+                regressions.append(Regression(key, kind, base, value, count_tol))
+    return regressions
+
+
+# ---------------------------------------------------------------------------
+# Host calibration and the smoke workload
+# ---------------------------------------------------------------------------
+
+
+def calibrate(rounds: int = 3) -> float:
+    """Seconds for a fixed reference workload on this host (best of
+    ``rounds``).
+
+    The mixture mirrors the hot paths (interpreted integer loop + NumPy
+    sort/cumsum dispatches) so ``wall / calibrate()`` is a roughly
+    host-independent "calibrated wall" unit that a committed baseline can
+    gate within a few tens of percent.
+    """
+    import numpy as np
+
+    data = np.arange(200_000, dtype=np.int64)[::-1].copy()
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(120_000):
+            acc += i & 7
+        np.sort(data)
+        np.cumsum(data).sum()
+        best = min(best, time.perf_counter() - t0)
+    # Keep the value visible so a pathological host is debuggable.
+    return best + (0.0 * acc)
+
+
+def _record_counts(record) -> dict[str, int]:
+    total = record.total()
+    return {
+        "compsims": total.compsims,
+        "scalar_cmp": total.scalar_cmp,
+        "vector_ops": total.vector_ops,
+        "bound_updates": total.bound_updates,
+        "arcs": total.arcs,
+        "atomics": total.atomics,
+    }
+
+
+def run_smoke(
+    scale: float = 0.15,
+    rounds: int = 3,
+    trace_path=None,
+) -> dict[str, Any]:
+    """The deterministic smoke workload for regression gating.
+
+    Runs ppSCAN in scalar and batched mode on the livejournal stand-in at
+    ``scale`` (fixed seed), keeps best-of-``rounds`` walls, verifies both
+    modes agree, and returns the comparable metrics dict.  When
+    ``trace_path`` is given, the last batched run is traced and exported
+    in Chrome format (the CI build artifact).
+    """
+    from ..core import assert_same_clustering
+    from ..core.ppscan import ppscan
+    from ..graph.generators import real_world_standin
+    from ..types import ScanParams
+    from .export import write_chrome_trace
+    from .tracer import Tracer, use_tracer
+
+    params = ScanParams(eps=0.4, mu=5)
+    graph = real_world_standin("livejournal", scale=scale)
+    calib = calibrate()
+
+    results: dict[str, Any] = {}
+    walls = {"scalar": float("inf"), "batched": float("inf")}
+    for _ in range(max(rounds, 1)):
+        for mode in ("scalar", "batched"):
+            t0 = time.perf_counter()
+            results[mode] = ppscan(graph, params, exec_mode=mode)
+            walls[mode] = min(walls[mode], time.perf_counter() - t0)
+    assert_same_clustering(results["scalar"], results["batched"])
+
+    if trace_path is not None:
+        tracer = Tracer()
+        with use_tracer(tracer):
+            ppscan(graph, params, exec_mode="batched")
+        tracer.metrics.ingest_record(results["batched"].record)
+        write_chrome_trace(trace_path, tracer)
+
+    reference = results["scalar"]
+    data: dict[str, Any] = {
+        "workload": {
+            "graph": "livejournal",
+            "scale": scale,
+            "eps": params.eps,
+            "mu": params.mu,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+        },
+        "clustering": {
+            "clusters": reference.num_clusters,
+            "cores": reference.num_cores,
+            "noncore_memberships": len(reference.noncore_pairs),
+        },
+        "calibration_seconds": calib,
+        "scalar": {
+            **_record_counts(results["scalar"].record),
+            "wall_units": walls["scalar"] / calib,
+        },
+        "batched": {
+            **_record_counts(results["batched"].record),
+            "wall_units": walls["batched"] / calib,
+            "speedup": walls["scalar"] / walls["batched"],
+        },
+    }
+    return data

@@ -1,0 +1,245 @@
+"""Span-based run tracing with a zero-overhead disabled path.
+
+A :class:`Tracer` records *spans* — named, nested intervals of wall time
+attributed to a *lane* (one lane per worker: lane 0 is the master /
+serial path, process-backend workers occupy lanes 1..W) — plus the
+counters and gauges of an attached
+:class:`~repro.obs.metrics.MetricsRegistry`.  Together they capture what
+the paper's evaluation needs per run: the Figure-1-style per-phase wall
+breakdown, the Figure-4 dispatch/invocation tallies, and the per-worker
+timeline behind the scalability narrative.
+
+Instrumented code never takes a tracer parameter; it reads the *ambient*
+tracer:
+
+>>> from repro.obs import Tracer, current_tracer, use_tracer
+>>> tracer = Tracer()
+>>> with use_tracer(tracer):
+...     with current_tracer().span("phase", kind="demo"):
+...         current_tracer().count("arcs", 3)
+>>> [s.name for s in tracer.spans]
+['phase']
+
+When no tracer is installed the ambient tracer is :data:`NULL_TRACER`,
+whose every method is a constant no-op (no span objects, no dict writes,
+no time reads) — the hot loops stay uninstrumented in the common case,
+which is what keeps the traced-off overhead unmeasurable.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+]
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced interval."""
+
+    span_id: int
+    name: str
+    begin: float
+    end: float
+    lane: int = 0
+    depth: int = 0
+    parent_id: int = -1
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(self.end - self.begin, 0.0)
+
+
+class Tracer:
+    """Collecting tracer: spans + a metrics registry.
+
+    Spans nest per lane (a stack per lane tracks depth and parent), so
+    well-formedness — every child interval inside its parent's, on the
+    parent's lane — is a structural property the tests can assert.
+    """
+
+    enabled = True
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans: list[Span] = []
+        self.epoch = time.perf_counter()
+        self._next_id = 0
+        self._stacks: dict[int, list[Span]] = {}
+
+    # -- spans ----------------------------------------------------------
+
+    def start_span(self, name: str, lane: int = 0, **attrs: Any) -> Span:
+        """Open a span on ``lane``; pair with :meth:`end_span`."""
+        stack = self._stacks.setdefault(lane, [])
+        parent = stack[-1] if stack else None
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            begin=time.perf_counter(),
+            end=0.0,
+            lane=lane,
+            depth=len(stack),
+            parent_id=parent.span_id if parent is not None else -1,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> Span:
+        """Close ``span`` (and any deeper spans left open on its lane)."""
+        stack = self._stacks.get(span.lane, [])
+        now = time.perf_counter()
+        while stack:
+            top = stack.pop()
+            top.end = now
+            self.spans.append(top)
+            if top is span:
+                break
+        return span
+
+    @contextmanager
+    def span(self, name: str, lane: int = 0, **attrs: Any) -> Iterator[Span]:
+        handle = self.start_span(name, lane=lane, **attrs)
+        try:
+            yield handle
+        finally:
+            self.end_span(handle)
+
+    def add_span(
+        self,
+        name: str,
+        begin: float,
+        end: float,
+        lane: int = 0,
+        depth: int = 0,
+        **attrs: Any,
+    ) -> Span:
+        """Record an already-timed interval (e.g. shipped back from a
+        process-backend worker, or replayed from a simulated schedule)."""
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            begin=begin,
+            end=end,
+            lane=lane,
+            depth=depth,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    # -- metrics shortcuts ---------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.metrics.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    # -- views -----------------------------------------------------------
+
+    def lanes(self) -> list[int]:
+        """Sorted lane ids that received at least one span."""
+        return sorted({s.lane for s in self.spans})
+
+    def sorted_spans(self) -> list[Span]:
+        """Spans in ``(lane, begin, -duration)`` order — parents before
+        children, lanes grouped — the canonical export order."""
+        return sorted(
+            self.spans, key=lambda s: (s.lane, s.begin, -(s.end - s.begin))
+        )
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a constant-time no-op.
+
+    ``enabled`` is ``False`` so hot loops can skip even argument
+    construction; calling the methods anyway is safe and allocation-free.
+    """
+
+    enabled = False
+    metrics = None
+    spans: list[Span] = []
+    epoch = 0.0
+
+    _NULL_SPAN = Span(span_id=-1, name="", begin=0.0, end=0.0)
+
+    class _NullContext:
+        __slots__ = ()
+
+        def __enter__(self):
+            return NullTracer._NULL_SPAN
+
+        def __exit__(self, *exc) -> None:
+            return None
+
+    _NULL_CONTEXT = _NullContext()
+
+    def start_span(self, name: str, lane: int = 0, **attrs: Any) -> Span:
+        return self._NULL_SPAN
+
+    def end_span(self, span: Span) -> Span:
+        return span
+
+    def span(self, name: str, lane: int = 0, **attrs: Any):
+        return self._NULL_CONTEXT
+
+    def add_span(self, name, begin, end, lane=0, depth=0, **attrs) -> Span:
+        return self._NULL_SPAN
+
+    def count(self, name: str, n: int = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def lanes(self) -> list[int]:
+        return []
+
+    def sorted_spans(self) -> list[Span]:
+        return []
+
+
+#: The process-wide disabled tracer (shared; it holds no state).
+NULL_TRACER = NullTracer()
+
+_CURRENT: Tracer | NullTracer = NULL_TRACER
+
+
+def current_tracer() -> Tracer | NullTracer:
+    """The ambient tracer instrumented code reports to."""
+    return _CURRENT
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
+    """Install ``tracer`` as the ambient tracer for the enclosed block."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = tracer
+    try:
+        yield tracer
+    finally:
+        _CURRENT = previous

@@ -24,11 +24,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Any, Callable, Protocol, Sequence
 
 import numpy as np
 
 from ..metrics.records import TaskCost
+from ..obs.tracer import current_tracer
 
 __all__ = [
     "ExecutionBackend",
@@ -85,10 +87,20 @@ class SerialBackend:
         commit: CommitFn,
     ) -> list[TaskCost]:
         records: list[TaskCost] = []
+        tracer = current_tracer()
+        if not tracer.enabled:
+            # The hot path: no span objects, no clock reads per task.
+            for beg, end in tasks:
+                writes, cost = run_task(beg, end)
+                commit(writes)
+                records.append(cost)
+            return records
         for beg, end in tasks:
-            writes, cost = run_task(beg, end)
-            commit(writes)
+            with tracer.span("task", lane=0, beg=beg, stop=end):
+                writes, cost = run_task(beg, end)
+                commit(writes)
             records.append(cost)
+        tracer.count("backend.serial.tasks", len(tasks))
         return records
 
 
@@ -96,12 +108,31 @@ class SerialBackend:
 # fork so that workers resolve it from their inherited address space; only
 # the (beg, end) integers travel through the pool's pickle channel.
 _ACTIVE_TASK_FN: TaskFn | None = None
+# When the parent's tracer is enabled at fork time, workers also ship back
+# (lane, begin, end) timing triples.  perf_counter is CLOCK_MONOTONIC on
+# POSIX — system-wide, so worker timestamps land on the parent's timeline.
+# Pool process identities increment globally across the per-phase pools,
+# so the lane is normalized modulo the pool size (set before the fork) to
+# keep one stable lane per worker slot across all phases of a run.
+_POOL_LANES = 1
 
 
 def _invoke_task(beg: int, end: int) -> tuple[Any, TaskCost]:
     fn = _ACTIVE_TASK_FN
     assert fn is not None, "worker forked without an active task function"
     return fn(beg, end)
+
+
+def _invoke_task_traced(
+    beg: int, end: int
+) -> tuple[tuple[Any, TaskCost], tuple[int, float, float]]:
+    fn = _ACTIVE_TASK_FN
+    assert fn is not None, "worker forked without an active task function"
+    identity = multiprocessing.current_process()._identity
+    lane = ((identity[0] - 1) % _POOL_LANES + 1) if identity else 0
+    t0 = time.perf_counter()
+    result = fn(beg, end)
+    return result, (lane, t0, time.perf_counter())
 
 
 class ProcessBackend:
@@ -126,7 +157,9 @@ class ProcessBackend:
         run_task: TaskFn,
         commit: CommitFn,
     ) -> list[TaskCost]:
-        global _ACTIVE_TASK_FN
+        global _ACTIVE_TASK_FN, _POOL_LANES
+        tracer = current_tracer()
+        timings: list[tuple[int, float, float]] | None = None
         if self.workers == 1 or len(tasks) <= 1:
             # Still bulk-synchronous: run all, then commit all.
             results = [run_task(beg, end) for beg, end in tasks]
@@ -137,13 +170,30 @@ class ProcessBackend:
                 results = [run_task(beg, end) for beg, end in tasks]
             else:
                 _ACTIVE_TASK_FN = run_task
+                _POOL_LANES = min(self.workers, len(tasks))
+                invoke = _invoke_task_traced if tracer.enabled else _invoke_task
                 try:
-                    with ctx.Pool(min(self.workers, len(tasks))) as pool:
-                        results = pool.starmap(_invoke_task, tasks)
+                    with ctx.Pool(_POOL_LANES) as pool:
+                        results = pool.starmap(invoke, tasks)
                 finally:
                     _ACTIVE_TASK_FN = None
+                if tracer.enabled:
+                    timings = [timing for _, timing in results]
+                    results = [result for result, _ in results]
+        if timings is not None:
+            for (beg, end), (lane, t0, t1) in zip(tasks, timings):
+                tracer.add_span(
+                    "task", t0, t1, lane=lane, depth=1, beg=beg, stop=end
+                )
+            tracer.count("backend.process.tasks", len(tasks))
         records: list[TaskCost] = []
-        for writes, cost in results:
-            commit(writes)
-            records.append(cost)
+        if tracer.enabled:
+            with tracer.span("commit", lane=0, tasks=len(tasks)):
+                for writes, cost in results:
+                    commit(writes)
+                    records.append(cost)
+        else:
+            for writes, cost in results:
+                commit(writes)
+                records.append(cost)
         return records

@@ -14,6 +14,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs.tracer import current_tracer
+
 __all__ = ["DEFAULT_DEGREE_THRESHOLD", "degree_based_tasks", "uniform_tasks"]
 
 #: The paper's tuned degree-sum threshold per task.
@@ -72,20 +74,25 @@ def degree_based_tasks(
     if threshold < 1:
         raise ValueError("threshold must be >= 1")
     if isinstance(degrees, np.ndarray):
-        return _degree_based_tasks_np(degrees, needs_work, threshold)
-    n = len(degrees)
-    tasks: list[tuple[int, int]] = []
-    deg_sum = 0
-    beg = 0
-    for u in range(n):
-        if needs_work is None or needs_work[u]:
-            deg_sum += degrees[u]
-            if deg_sum > threshold:
-                tasks.append((beg, u + 1))
-                deg_sum = 0
-                beg = u + 1
-    if beg < n:
-        tasks.append((beg, n))
+        tasks = _degree_based_tasks_np(degrees, needs_work, threshold)
+    else:
+        n = len(degrees)
+        tasks = []
+        deg_sum = 0
+        beg = 0
+        for u in range(n):
+            if needs_work is None or needs_work[u]:
+                deg_sum += degrees[u]
+                if deg_sum > threshold:
+                    tasks.append((beg, u + 1))
+                    deg_sum = 0
+                    beg = u + 1
+        if beg < n:
+            tasks.append((beg, n))
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.count("scheduler.phases", 1)
+        tracer.count("scheduler.tasks", len(tasks))
     return tasks
 
 

@@ -48,6 +48,41 @@ class ScheduleTrace:
             counts[w] += 1
         return counts
 
+    def imbalance_contributions(self) -> list[float]:
+        """Per-worker deviation from the ideal load, as a fraction.
+
+        ``contribution[w] = (load[w] - ideal) / ideal`` where ``ideal =
+        total_work / workers``: positive for overloaded workers (the
+        makespan-setting straggler has the largest value), negative for
+        underloaded ones, all zeros at perfect balance.  Summing the
+        positive contributions bounds the parallel-time loss the stage's
+        imbalance costs.
+        """
+        if not self.task_cycles or self.total_work == 0:
+            return [0.0] * self.workers
+        ideal = self.total_work / self.workers
+        return [(load - ideal) / ideal for load in self.loads]
+
+    def worker_intervals(self) -> list[tuple[int, int, float, float]]:
+        """Replay the schedule into ``(task, worker, begin, end)`` rows.
+
+        Workers run their assigned tasks back to back in submission order
+        (greedy list scheduling has no intra-stage idle gaps), so each
+        worker's clock advances by its tasks' cycles; the final clocks
+        equal :attr:`loads`.  This is the per-worker timeline the Chrome
+        exporter renders as one swimlane per virtual worker.
+        """
+        clocks = [0.0] * self.workers
+        intervals: list[tuple[int, int, float, float]] = []
+        for task, (worker, cycles) in enumerate(
+            zip(self.assignment, self.task_cycles)
+        ):
+            begin = clocks[worker]
+            end = begin + cycles
+            clocks[worker] = end
+            intervals.append((task, worker, begin, end))
+        return intervals
+
     def report(self, max_workers: int = 8) -> str:
         lines = [
             f"schedule trace: {self.stage_name} on {self.workers} workers",
@@ -55,9 +90,11 @@ class ScheduleTrace:
             f"cycles, imbalance={self.imbalance:.2f}x",
         ]
         counts = self.tasks_per_worker()
+        contributions = self.imbalance_contributions()
         for w in range(min(self.workers, max_workers)):
             lines.append(
                 f"  worker {w}: {counts[w]} tasks, load {self.loads[w]:.0f}"
+                f" ({contributions[w]:+.1%} vs ideal)"
             )
         if self.workers > max_workers:
             lines.append(f"  ... {self.workers - max_workers} more workers")

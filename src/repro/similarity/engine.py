@@ -21,6 +21,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs.tracer import current_tracer
 from ..intersect import (
     BatchIntersector,
     OpCounter,
@@ -225,6 +226,19 @@ class SimilarityEngine:
         rest = ~(trivial_sim | trivial_nsim)
         scalar_sel = rest & self.route_scalar(du, dv, mcn)
         bulk_sel = rest & ~scalar_sel
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("engine.batches", 1)
+            tracer.count("engine.arcs", int(arcs.size))
+            tracer.count(
+                "engine.arcs_trivial",
+                int(arcs.size - np.count_nonzero(rest)),
+            )
+            tracer.count(
+                "engine.arcs_scalar", int(np.count_nonzero(scalar_sel))
+            )
+            tracer.count("engine.arcs_bulk", int(np.count_nonzero(bulk_sel)))
+            tracer.observe("engine.batch_size", float(arcs.size))
         if bulk_sel.any():
             idx = np.flatnonzero(bulk_sel)
             counts = batch.arc_counts(

@@ -1,0 +1,240 @@
+"""Trace exporters: Chrome trace events, JSONL, text report."""
+
+import json
+
+import pytest
+
+from repro.core.ppscan import ppscan
+from repro.graph.generators import erdos_renyi
+from repro.metrics import StageRecord, TaskCost
+from repro.obs import (
+    TRACE_FORMATS,
+    Tracer,
+    chrome_trace,
+    jsonl_lines,
+    run_report,
+    schedule_chrome_events,
+    use_tracer,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.parallel import CPU_SERVER, trace_stage
+from repro.types import ScanParams
+
+
+def synthetic_tracer() -> Tracer:
+    """A tracer with fixed, epoch-relative spans (deterministic values)."""
+    tracer = Tracer()
+    tracer.epoch = 0.0
+    tracer.add_span("run", 0.0, 10.0, lane=0, depth=0, eps=0.5)
+    tracer.add_span("phase", 1.0, 4.0, lane=0, depth=1, tasks=2)
+    tracer.add_span("task", 1.0, 2.0, lane=1, depth=1, beg=0, stop=8)
+    tracer.add_span("task", 2.0, 4.0, lane=2, depth=1, beg=8, stop=16)
+    tracer.count("arcs", 7)
+    tracer.gauge("wall", 10.0)
+    return tracer
+
+
+def traced_run(seed: int = 9) -> Tracer:
+    graph = erdos_renyi(60, 240, seed=seed)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        ppscan(graph, ScanParams(eps=0.4, mu=3))
+    return tracer
+
+
+class TestChromeTrace:
+    def test_document_structure(self):
+        doc = chrome_trace(synthetic_tracer())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "repro-scan"
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "I"]
+        # process_name + one thread_name per lane
+        assert len(metadata) == 1 + 3
+        assert len(spans) == 4
+        assert len(instants) == 1  # the metrics snapshot
+
+    def test_one_thread_per_lane_named(self):
+        doc = chrome_trace(synthetic_tracer())
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert names == {0: "master", 1: "worker 1", 2: "worker 2"}
+
+    def test_span_timestamps_relative_to_epoch_in_us(self):
+        doc = chrome_trace(synthetic_tracer())
+        phase = next(
+            e for e in doc["traceEvents"] if e.get("name") == "phase"
+        )
+        assert phase["ts"] == pytest.approx(1.0e6)
+        assert phase["dur"] == pytest.approx(3.0e6)
+        assert phase["args"] == {"tasks": 2}
+
+    def test_metrics_event_carries_registry(self):
+        doc = chrome_trace(synthetic_tracer())
+        instant = next(e for e in doc["traceEvents"] if e["ph"] == "I")
+        assert instant["args"] == {"arcs": 7, "wall": 10.0}
+
+    def test_json_serializable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, synthetic_tracer())
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_write_accepts_prebuilt_document(self, tmp_path):
+        path = tmp_path / "doc.json"
+        write_chrome_trace(path, {"traceEvents": []})
+        assert json.loads(path.read_text()) == {"traceEvents": []}
+
+    def test_real_run_covers_every_ppscan_phase(self):
+        from repro.core import PPSCAN_STAGES
+
+        doc = chrome_trace(traced_run())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        for stage in PPSCAN_STAGES:
+            assert stage in names, f"missing span for phase {stage!r}"
+
+
+class TestDeterminism:
+    """Exports are structurally identical for a fixed workload."""
+
+    @staticmethod
+    def _strip_chrome(doc):
+        out = []
+        for event in doc["traceEvents"]:
+            event = dict(event)
+            event.pop("ts", None)
+            event.pop("dur", None)
+            args = event.get("args")
+            if isinstance(args, dict):
+                event["args"] = {
+                    k: v
+                    for k, v in args.items()
+                    if "wall" not in k and "seconds" not in k
+                }
+            out.append(event)
+        return out
+
+    def test_chrome_structure_stable_across_runs(self):
+        docs = [chrome_trace(traced_run(seed=21)) for _ in range(2)]
+        assert self._strip_chrome(docs[0]) == self._strip_chrome(docs[1])
+
+    def test_jsonl_structure_stable_across_runs(self):
+        def strip(tracer):
+            records = [json.loads(line) for line in jsonl_lines(tracer)]
+            for record in records:
+                record.pop("begin_us", None)
+                record.pop("dur_us", None)
+                if record["type"] == "metric" and (
+                    "wall" in record["name"] or "seconds" in record["name"]
+                ):
+                    record["value"] = None
+            return records
+
+        assert strip(traced_run(seed=22)) == strip(traced_run(seed=22))
+
+
+class TestJsonl:
+    def test_meta_then_spans_then_metrics(self):
+        lines = [json.loads(line) for line in jsonl_lines(synthetic_tracer())]
+        assert lines[0] == {"type": "meta", "lanes": [0, 1, 2], "spans": 4}
+        kinds = [record["type"] for record in lines]
+        assert kinds == ["meta"] + ["span"] * 4 + ["metric"] * 2
+        task = next(r for r in lines if r.get("name") == "task")
+        assert task["attrs"] == {"beg": 0, "stop": 8}
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, synthetic_tracer())
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records[0]["type"] == "meta"
+        assert len(records) == 1 + 4 + 2
+
+
+class TestRunReport:
+    def test_rollup_contents(self):
+        text = run_report(synthetic_tracer(), title="demo run")
+        assert text.startswith("demo run")
+        assert "lane 0 (master):" in text
+        assert "lane 1 (worker 1):" in text
+        assert "run" in text
+        assert "arcs = 7" in text
+
+    def test_span_counts_aggregate_by_name(self):
+        tracer = Tracer()
+        tracer.epoch = 0.0
+        tracer.add_span("task", 0.0, 1.0)
+        tracer.add_span("task", 1.0, 2.0)
+        assert "2 span(s)" in run_report(tracer)
+
+
+class TestWriteTraceDispatch:
+    @pytest.mark.parametrize("fmt", TRACE_FORMATS)
+    def test_every_format_writes(self, tmp_path, fmt):
+        path = tmp_path / f"out.{fmt}"
+        write_trace(path, synthetic_tracer(), fmt)
+        assert path.stat().st_size > 0
+
+    def test_unknown_format_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            write_trace(tmp_path / "x", synthetic_tracer(), "svg")
+
+
+class TestScheduleChromeEvents:
+    @staticmethod
+    def _traces():
+        stage_a = StageRecord("a", [TaskCost(scalar_cmp=c) for c in (5, 9, 2, 4)])
+        stage_b = StageRecord("b", [TaskCost(scalar_cmp=c) for c in (3, 3)])
+        return [
+            trace_stage(stage_a, CPU_SERVER, 2),
+            trace_stage(stage_b, CPU_SERVER, 2),
+        ]
+
+    def test_one_thread_lane_per_virtual_worker(self):
+        doc = schedule_chrome_events(self._traces())
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert names == {0: "virtual worker 0", 1: "virtual worker 1"}
+        task_tids = {
+            e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert task_tids <= {0, 1}
+
+    def test_every_task_becomes_one_event(self):
+        traces = self._traces()
+        doc = schedule_chrome_events(traces)
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == sum(len(t.assignment) for t in traces)
+
+    def test_stages_laid_out_back_to_back(self):
+        traces = self._traces()
+        doc = schedule_chrome_events(traces, clock_hz=1.0)
+        first = [e for e in doc["traceEvents"] if e["name"] == "a"]
+        second = [e for e in doc["traceEvents"] if e["name"] == "b"]
+        barrier = traces[0].makespan * 1e6
+        assert max(e["ts"] + e["dur"] for e in first) <= barrier + 1e-6
+        assert all(e["ts"] >= barrier - 1e-6 for e in second)
+
+    def test_clock_scales_timestamps(self):
+        slow = schedule_chrome_events(self._traces(), clock_hz=1.0)
+        fast = schedule_chrome_events(self._traces(), clock_hz=2.0)
+        slow_x = [e for e in slow["traceEvents"] if e["ph"] == "X"]
+        fast_x = [e for e in fast["traceEvents"] if e["ph"] == "X"]
+        for a, b in zip(slow_x, fast_x):
+            assert b["dur"] == pytest.approx(a["dur"] / 2.0)
+
+    def test_empty_traces(self):
+        doc = schedule_chrome_events([])
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]

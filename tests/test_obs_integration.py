@@ -1,0 +1,308 @@
+"""End-to-end observability: CLI tracing, wall population, round-trips,
+schedule replay."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import anyscan, ppscan, pscan, scan, scanpp, scanxp
+from repro.graph import write_edge_list
+from repro.graph.generators import erdos_renyi
+from repro.intersect import OpCounter
+from repro.metrics import RunRecord, StageRecord, TaskCost
+from repro.obs import Tracer, use_tracer
+from repro.parallel import CPU_SERVER, ProcessBackend, trace_stage
+from repro.types import ScanParams
+
+ALGORITHMS = {
+    "scan": scan,
+    "pscan": pscan,
+    "ppscan": ppscan,
+    "scanxp": scanxp,
+    "anyscan": anyscan,
+    "scanpp": scanpp,
+}
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    write_edge_list(erdos_renyi(50, 200, seed=2), path)
+    return str(path)
+
+
+class TestCliTracing:
+    @pytest.mark.parametrize("fmt", ["jsonl", "chrome", "report"])
+    def test_cluster_trace_every_format(self, graph_file, tmp_path, capsys, fmt):
+        out = tmp_path / f"trace.{fmt}"
+        assert (
+            main(
+                [
+                    "cluster",
+                    graph_file,
+                    "--eps", "0.4",
+                    "--mu", "2",
+                    "--trace", str(out),
+                    "--trace-format", fmt,
+                ]
+            )
+            == 0
+        )
+        assert f"wrote {fmt} trace to" in capsys.readouterr().out
+        assert out.stat().st_size > 0
+
+    def test_chrome_trace_is_perfetto_shaped(self, graph_file, tmp_path):
+        out = tmp_path / "trace.json"
+        main(["cluster", graph_file, "--trace", str(out)])
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert any(e["ph"] == "M" for e in events)
+        span_names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "ppscan" in span_names
+        assert "core checking" in span_names
+        # Ingested record metrics ride along as the instant event.
+        instant = next(e for e in events if e["ph"] == "I")
+        assert any(k.startswith("record.") for k in instant["args"])
+
+    def test_cluster_trace_with_process_backend(
+        self, graph_file, tmp_path, capsys
+    ):
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "cluster",
+                    graph_file,
+                    "--workers", "2",
+                    "--trace", str(out),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(out.read_text())
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert tids <= {0, 1, 2}
+
+    def test_sim_trace_renders_virtual_workers(
+        self, graph_file, tmp_path, capsys
+    ):
+        out = tmp_path / "sim.json"
+        assert (
+            main(
+                [
+                    "cluster",
+                    graph_file,
+                    "--sim-trace", str(out),
+                    "--sim-threads", "4",
+                ]
+            )
+            == 0
+        )
+        assert "simulated-schedule" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        thread_names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert any(name.startswith("virtual worker") for name in thread_names)
+
+    def test_compare_traces_and_reports_stage_wall(
+        self, graph_file, tmp_path, capsys
+    ):
+        out = tmp_path / "compare.jsonl"
+        assert (
+            main(
+                [
+                    "compare",
+                    graph_file,
+                    "--eps", "0.4",
+                    "--mu", "2",
+                    "--trace", str(out),
+                    "--trace-format", "jsonl",
+                ]
+            )
+            == 0
+        )
+        stdout = capsys.readouterr().out
+        assert "stage wall" in stdout
+        records = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        metric_names = {
+            r["name"] for r in records if r["type"] == "metric"
+        }
+        # One namespace per algorithm row in the registry.
+        assert any(name.startswith("ppSCAN.") for name in metric_names)
+        assert any(name.startswith("pSCAN.") for name in metric_names)
+
+
+class TestStageWallPopulation:
+    """Satellite: every algorithm fills per-stage walls (Figure-1 ready)."""
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_stage_walls_fill_the_run(self, name):
+        graph = erdos_renyi(80, 320, seed=4)
+        result = ALGORITHMS[name](graph, ScanParams(eps=0.4, mu=3))
+        record = result.record
+        assert record.wall_seconds > 0.0
+        assert all(s.wall_seconds >= 0.0 for s in record.stages)
+        assert record.stage_wall_seconds > 0.0
+        # Stage walls decompose the measured run wall, never exceed it.
+        assert record.stage_wall_seconds <= record.wall_seconds * 1.05
+
+
+class TestApportionWall:
+    def test_fills_unmeasured_by_cost_share(self):
+        record = RunRecord(
+            "x",
+            stages=[
+                StageRecord("a", [TaskCost(arcs=30)]),
+                StageRecord("b", [TaskCost(arcs=10)]),
+            ],
+            wall_seconds=8.0,
+        )
+        record.apportion_wall()
+        assert record.stage("a").wall_seconds == pytest.approx(6.0)
+        assert record.stage("b").wall_seconds == pytest.approx(2.0)
+
+    def test_measured_stages_keep_their_wall(self):
+        record = RunRecord(
+            "x",
+            stages=[
+                StageRecord("a", [TaskCost(arcs=1)], wall_seconds=3.0),
+                StageRecord("b", [TaskCost(arcs=1)]),
+            ],
+            wall_seconds=5.0,
+        )
+        record.apportion_wall()
+        assert record.stage("a").wall_seconds == pytest.approx(3.0)
+        assert record.stage("b").wall_seconds == pytest.approx(2.0)
+
+    def test_zero_cost_stages_split_evenly(self):
+        record = RunRecord(
+            "x",
+            stages=[StageRecord("a"), StageRecord("b")],
+            wall_seconds=4.0,
+        )
+        record.apportion_wall()
+        assert record.stage("a").wall_seconds == pytest.approx(2.0)
+
+
+class TestRoundTrips:
+    """Satellite: as_dict/from_dict persistence alongside traces."""
+
+    def test_task_cost_round_trip(self):
+        cost = TaskCost(scalar_cmp=5, vector_ops=2, arcs=9, compsims=4)
+        clone = TaskCost.from_dict(json.loads(json.dumps(cost.as_dict())))
+        assert clone == cost
+
+    def test_task_cost_rejects_unknown_keys(self):
+        with pytest.raises(TypeError):
+            TaskCost.from_dict({"scalar_cmp": 1, "nonsense": 2})
+
+    def test_stage_record_round_trip(self):
+        stage = StageRecord(
+            "core checking",
+            [TaskCost(arcs=3), TaskCost(atomics=1)],
+            wall_seconds=0.5,
+        )
+        clone = StageRecord.from_dict(json.loads(json.dumps(stage.as_dict())))
+        assert clone == stage
+
+    def test_run_record_round_trip(self):
+        record = RunRecord(
+            "ppSCAN",
+            stages=[
+                StageRecord("a", [TaskCost(compsims=7)], wall_seconds=0.1),
+                StageRecord("b", wall_seconds=0.2),
+            ],
+            wall_seconds=0.4,
+        )
+        clone = RunRecord.from_dict(json.loads(json.dumps(record.as_dict())))
+        assert clone == record
+        assert clone.total().compsims == 7
+        assert clone.stage_wall_seconds == pytest.approx(0.3)
+
+    def test_real_run_record_round_trips(self):
+        graph = erdos_renyi(60, 240, seed=6)
+        record = ppscan(graph, ScanParams(eps=0.4, mu=3)).record
+        clone = RunRecord.from_dict(json.loads(json.dumps(record.as_dict())))
+        assert clone == record
+
+    def test_op_counter_round_trip(self):
+        counter = OpCounter()
+        counter.invocations = 3
+        counter.scalar_cmp = 11
+        counter.early_exits = 2
+        assert OpCounter.from_dict(counter.as_dict()) == counter
+
+    def test_op_counter_rejects_unknown_keys(self):
+        with pytest.raises(KeyError):
+            OpCounter.from_dict({"scalar_cmp": 1, "nonsense": 2})
+
+
+class TestScheduleReplay:
+    """Satellite: ScheduleTrace exposes per-worker timelines + imbalance."""
+
+    @staticmethod
+    def _trace(costs, workers):
+        stage = StageRecord("s", [TaskCost(scalar_cmp=c) for c in costs])
+        return trace_stage(stage, CPU_SERVER, workers)
+
+    def test_worker_intervals_replay_the_loads(self):
+        trace = self._trace([10, 20, 30, 5, 5], 2)
+        intervals = trace.worker_intervals()
+        assert len(intervals) == 5
+        clocks = [0.0] * trace.workers
+        for task, worker, begin, end in intervals:
+            # Back-to-back per worker: each task starts at its worker's clock.
+            assert begin == pytest.approx(clocks[worker])
+            assert end >= begin
+            clocks[worker] = end
+        assert clocks == pytest.approx(list(trace.loads))
+        assert max(clocks) == pytest.approx(trace.makespan)
+
+    def test_imbalance_contributions_sum_to_zero(self):
+        trace = self._trace([100, 1, 1, 1], 2)
+        contributions = trace.imbalance_contributions()
+        assert len(contributions) == trace.workers
+        assert sum(contributions) == pytest.approx(0.0)
+        assert max(contributions) > 0.0
+
+    def test_report_shows_contributions(self):
+        text = self._trace([5, 6, 7], 2).report()
+        assert "vs ideal" in text
+        assert "schedule trace" in text
+
+    def test_empty_trace_contributions(self):
+        trace = self._trace([], 2)
+        assert trace.imbalance_contributions() == [0.0, 0.0]
+        assert trace.worker_intervals() == []
+
+
+class TestProcessBackendTracing:
+    def test_worker_task_spans_land_on_worker_lanes(self):
+        graph = erdos_renyi(120, 600, seed=8)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            plain = ppscan(graph, ScanParams(eps=0.4, mu=3))
+            backend = ProcessBackend(workers=2)
+            traced = ppscan(
+                graph,
+                ScanParams(eps=0.4, mu=3),
+                backend=backend,
+                task_threshold=50,
+            )
+        assert traced.same_clustering(plain)
+        lanes = tracer.lanes()
+        assert lanes[0] == 0
+        assert set(lanes) <= {0, 1, 2}
+        worker_spans = [
+            s for s in tracer.spans if s.lane > 0 and s.name == "task"
+        ]
+        if len(lanes) > 1:  # pool actually forked (multi-task phases)
+            assert worker_spans
+            for span in worker_spans:
+                assert "beg" in span.attrs and "stop" in span.attrs

@@ -1,0 +1,213 @@
+"""Regression gating: metric classification, tolerances, the CLI gate."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regression import (
+    DEFAULT_WALL_TOL,
+    Regression,
+    calibrate,
+    classify_metric,
+    compare_results,
+    flatten,
+)
+
+SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+
+
+def sample_result() -> dict:
+    """A miniature of the smoke-result shape."""
+    return {
+        "workload": {"graph": "livejournal", "scale": 0.1, "eps": 0.4, "mu": 5},
+        "clustering": {"clusters": 12, "cores": 40},
+        "calibration_seconds": 0.007,
+        "scalar": {"compsims": 2000, "arcs": 18000, "wall_units": 4.0},
+        "batched": {
+            "compsims": 2500,
+            "arcs": 17000,
+            "wall_units": 1.4,
+            "speedup": 2.9,
+        },
+    }
+
+
+class TestFlatten:
+    def test_nested_to_dotted_keys(self):
+        flat = flatten({"a": {"b": 1, "c": {"d": 2.5}}, "e": 3})
+        assert flat == {"a.b": 1.0, "a.c.d": 2.5, "e": 3.0}
+
+    def test_non_numeric_leaves_skipped(self):
+        flat = flatten({"graph": "livejournal", "n": 7, "ok": True})
+        assert flat == {"n": 7.0, "ok": 1.0}
+
+
+class TestClassifyMetric:
+    @pytest.mark.parametrize(
+        "key,kind",
+        [
+            ("calibration_seconds", "info"),
+            ("batched.speedup", "speedup"),
+            ("batched.wall_units", "wall"),
+            ("record.wall_seconds", "wall"),
+            ("stage.total_seconds", "wall"),
+            ("scalar.compsims", "count"),
+            ("clustering.clusters", "count"),
+        ],
+    )
+    def test_kinds(self, key, kind):
+        assert classify_metric(key) == kind
+
+
+class TestCompareResults:
+    def test_identical_results_pass(self):
+        assert compare_results(sample_result(), sample_result()) == []
+
+    def test_doctored_20pct_slower_wall_fails_at_defaults(self):
+        # The acceptance pin: a 20% wall regression must trip the default
+        # 15% tolerance.
+        fresh = sample_result()
+        fresh["batched"]["wall_units"] *= 1.20
+        regressions = compare_results(sample_result(), fresh)
+        assert [r.key for r in regressions] == ["batched.wall_units"]
+        reg = regressions[0]
+        assert reg.kind == "wall"
+        assert reg.rel_change == pytest.approx(0.20)
+        assert reg.tolerance == DEFAULT_WALL_TOL
+
+    def test_wall_within_tolerance_passes(self):
+        fresh = sample_result()
+        fresh["batched"]["wall_units"] *= 1.10
+        assert compare_results(sample_result(), fresh) == []
+
+    def test_faster_wall_passes(self):
+        fresh = sample_result()
+        fresh["scalar"]["wall_units"] *= 0.5
+        assert compare_results(sample_result(), fresh) == []
+
+    def test_speedup_collapse_fails(self):
+        fresh = sample_result()
+        fresh["batched"]["speedup"] = 1.0  # down from 2.9 (-66%)
+        keys = [r.key for r in compare_results(sample_result(), fresh)]
+        assert keys == ["batched.speedup"]
+
+    def test_small_speedup_drop_passes(self):
+        fresh = sample_result()
+        fresh["batched"]["speedup"] *= 0.8
+        assert compare_results(sample_result(), fresh) == []
+
+    @pytest.mark.parametrize("factor", [1.01, 0.99])
+    def test_count_drift_fails_both_directions(self, factor):
+        fresh = sample_result()
+        fresh["scalar"]["compsims"] = int(
+            fresh["scalar"]["compsims"] * factor
+        )
+        regressions = compare_results(sample_result(), fresh)
+        assert [r.key for r in regressions] == ["scalar.compsims"]
+        assert regressions[0].kind == "count"
+
+    def test_missing_metric_fails_loudly(self):
+        fresh = sample_result()
+        del fresh["batched"]["speedup"]
+        regressions = compare_results(sample_result(), fresh)
+        assert [(r.key, r.kind) for r in regressions] == [
+            ("batched.speedup", "missing")
+        ]
+
+    def test_new_metric_in_fresh_is_ignored(self):
+        fresh = sample_result()
+        fresh["batched"]["new_counter"] = 123
+        assert compare_results(sample_result(), fresh) == []
+
+    def test_calibration_never_gated(self):
+        fresh = sample_result()
+        fresh["calibration_seconds"] *= 10  # a much slower host
+        assert compare_results(sample_result(), fresh) == []
+
+    def test_tolerances_are_adjustable(self):
+        fresh = sample_result()
+        fresh["batched"]["wall_units"] *= 1.20
+        assert compare_results(sample_result(), fresh, wall_tol=0.5) == []
+
+
+class TestRegressionDescribe:
+    def test_describe_mentions_direction_and_tolerance(self):
+        reg = Regression("x.wall", "wall", 1.0, 1.2, 0.15)
+        text = reg.describe()
+        assert "x.wall" in text
+        assert "+20.0%" in text
+        assert "15.0%" in text
+
+    def test_rel_change_zero_baseline(self):
+        assert Regression("k", "count", 0.0, 5.0, 0.0).rel_change == float(
+            "inf"
+        )
+        assert Regression("k", "count", 0.0, 0.0, 0.0).rel_change == 0.0
+
+
+class TestCalibrate:
+    def test_positive_and_repeatable_order_of_magnitude(self):
+        a = calibrate(rounds=1)
+        b = calibrate(rounds=1)
+        assert a > 0 and b > 0
+        assert max(a, b) / min(a, b) < 10
+
+
+class TestCheckRegressionScript:
+    """The CLI gate, exercised on doctored result files (no smoke run)."""
+
+    @staticmethod
+    def _run(*argv):
+        return subprocess.run(
+            [sys.executable, str(SCRIPT), *argv],
+            capture_output=True,
+            text=True,
+        )
+
+    @staticmethod
+    def _write(path, data):
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_identical_files_exit_zero(self, tmp_path):
+        base = self._write(tmp_path / "base.json", sample_result())
+        fresh = self._write(tmp_path / "fresh.json", sample_result())
+        proc = self._run("--baseline", base, "--fresh", fresh)
+        assert proc.returncode == 0, proc.stderr
+        assert "OK: no regressions" in proc.stdout
+
+    def test_doctored_slower_result_exits_nonzero(self, tmp_path):
+        doctored = sample_result()
+        doctored["batched"]["wall_units"] *= 1.20
+        base = self._write(tmp_path / "base.json", sample_result())
+        fresh = self._write(tmp_path / "fresh.json", doctored)
+        proc = self._run("--baseline", base, "--fresh", fresh)
+        assert proc.returncode == 1
+        assert "REGRESSIONS" in proc.stdout
+        assert "batched.wall_units" in proc.stdout
+
+    def test_missing_baseline_exits_two(self, tmp_path):
+        fresh = self._write(tmp_path / "fresh.json", sample_result())
+        proc = self._run(
+            "--baseline", str(tmp_path / "absent.json"), "--fresh", fresh
+        )
+        assert proc.returncode == 2
+        assert "no baseline" in proc.stderr
+
+    def test_update_baseline_writes_and_passes(self, tmp_path):
+        fresh = self._write(tmp_path / "fresh.json", sample_result())
+        base_path = tmp_path / "base.json"
+        proc = self._run(
+            "--baseline", str(base_path), "--fresh", fresh, "--update-baseline"
+        )
+        assert proc.returncode == 0
+        assert json.loads(base_path.read_text()) == sample_result()
+
+    def test_committed_smoke_baseline_exists(self):
+        baseline = SCRIPT.parent / "baselines" / "smoke.json"
+        data = json.loads(baseline.read_text())
+        assert data["workload"]["graph"] == "livejournal"
+        assert data["batched"]["speedup"] > 1.0
