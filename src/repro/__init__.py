@@ -56,9 +56,28 @@ from .similarity import SimilarityEngine
 from .parallel import (
     CPU_SERVER,
     KNL_SERVER,
+    ChaosError,
+    ExecutionFaultError,
+    Fault,
+    FaultKind,
+    FaultPlan,
+    FaultTolerancePolicy,
     MachineSpec,
+    PoisonTaskError,
     ProcessBackend,
+    QuarantineReport,
+    RetryBudgetExhaustedError,
     SerialBackend,
+)
+from .options import BackendKind, ExecMode, ExecutionOptions, Kernel
+from . import api
+from .api import (
+    AlgorithmSpec,
+    available_algorithms,
+    cluster,
+    compare,
+    get_algorithm,
+    register_algorithm,
 )
 
 __version__ = "1.0.0"
@@ -107,5 +126,28 @@ __all__ = [
     "KNL_SERVER",
     "SerialBackend",
     "ProcessBackend",
+    # fault tolerance + chaos
+    "FaultTolerancePolicy",
+    "ExecutionFaultError",
+    "RetryBudgetExhaustedError",
+    "PoisonTaskError",
+    "QuarantineReport",
+    "FaultKind",
+    "Fault",
+    "FaultPlan",
+    "ChaosError",
+    # typed execution options
+    "ExecutionOptions",
+    "ExecMode",
+    "BackendKind",
+    "Kernel",
+    # facade
+    "api",
+    "AlgorithmSpec",
+    "register_algorithm",
+    "get_algorithm",
+    "available_algorithms",
+    "cluster",
+    "compare",
     "__version__",
 ]

@@ -1,0 +1,364 @@
+"""Unified facade over the SCAN-family algorithms.
+
+Every algorithm in the repo registers an :class:`AlgorithmSpec` here, so
+callers (the CLI included) go through exactly one entry point::
+
+    from repro import api
+    from repro.options import BackendKind, ExecutionOptions
+
+    result = api.cluster(graph, params)                       # ppSCAN, serial
+    result = api.cluster(
+        graph, params,
+        algorithm="scanxp",
+        options=ExecutionOptions(backend=BackendKind.PROCESS, workers=8),
+    )
+    outcome = api.compare(graph, params)                      # all agree?
+
+The registry makes capability differences explicit: a spec declares
+whether its algorithm accepts an execution backend, a batched exec
+mode, a kernel override, and whether it participates in
+:func:`compare`'s agreement check.  Options an algorithm cannot honour
+are reported (:meth:`AlgorithmSpec.ignored_options`) rather than
+silently dropped, and the legacy stringly-typed keyword arguments
+(``exec_mode="batched"``, ``backend=ProcessBackend(...)``) still work
+through a :class:`DeprecationWarning` shim.
+
+Fault tolerance rides along transparently: when ``options`` selects the
+process backend, phases run under the
+:class:`~repro.parallel.supervisor.Supervisor` and a failed run raises
+:class:`~repro.parallel.supervisor.ExecutionFaultError` annotated with
+the algorithm and stage that could not be completed.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from .core import (
+    ClusteringResult,
+    GSIndex,
+    anyscan,
+    assert_same_clustering,
+    ppscan,
+    pscan,
+    scan,
+    scanpp,
+    scanxp,
+)
+from .graph import CSRGraph
+from .options import BackendKind, ExecMode, ExecutionOptions, coerce_enum
+from .types import ScanParams
+
+__all__ = [
+    "AlgorithmSpec",
+    "register_algorithm",
+    "get_algorithm",
+    "available_algorithms",
+    "cluster",
+    "compare",
+    "ComparisonOutcome",
+]
+
+
+RunnerFn = Callable[
+    [CSRGraph, ScanParams, ExecutionOptions], ClusteringResult
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One clustering algorithm as seen by the facade.
+
+    ``runner(graph, params, options)`` must return the canonical
+    :class:`~repro.core.result.ClusteringResult`; capability flags
+    declare which :class:`~repro.options.ExecutionOptions` fields it can
+    honour so callers learn what a given choice ignores.
+    """
+
+    name: str
+    display_name: str
+    runner: RunnerFn
+    description: str = ""
+    supports_backend: bool = False
+    supports_exec_mode: bool = False
+    supports_kernel: bool = False
+    in_compare: bool = True
+
+    def ignored_options(self, options: ExecutionOptions) -> list[str]:
+        """Names of non-default options this algorithm cannot honour."""
+        ignored = []
+        wants_parallel = (
+            options.backend is BackendKind.PROCESS
+            or options.backend_obj is not None
+        )
+        if wants_parallel and not self.supports_backend:
+            ignored.append("backend")
+        if (
+            options.exec_mode is not ExecMode.SCALAR
+            and not self.supports_exec_mode
+        ):
+            ignored.append("exec_mode")
+        if options.kernel is not None and not self.supports_kernel:
+            ignored.append("kernel")
+        return ignored
+
+    def run(
+        self,
+        graph: CSRGraph,
+        params: ScanParams,
+        options: ExecutionOptions | None = None,
+    ) -> ClusteringResult:
+        """Execute this algorithm under ``options`` (ignoring what it must)."""
+        return self.runner(graph, params, options or ExecutionOptions())
+
+
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+
+
+def register_algorithm(spec: AlgorithmSpec, *, replace: bool = False) -> None:
+    """Add ``spec`` to the registry (``replace=True`` to override)."""
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"algorithm {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a registered algorithm by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown algorithm {name!r}; registered: {known}"
+        ) from None
+
+
+def available_algorithms() -> Mapping[str, AlgorithmSpec]:
+    """A read-only snapshot of the registry, sorted by name."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+# ---------------------------------------------------------------------------
+# The facade
+# ---------------------------------------------------------------------------
+
+_LEGACY_KWARGS = (
+    "backend",
+    "workers",
+    "exec_mode",
+    "kernel",
+    "lanes",
+    "task_threshold",
+)
+
+
+def _options_from_legacy(
+    options: ExecutionOptions | None, legacy: dict
+) -> ExecutionOptions:
+    """Fold deprecated keyword arguments into an ``ExecutionOptions``."""
+    unknown = set(legacy) - set(_LEGACY_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"cluster() got unexpected keyword argument(s) "
+            f"{sorted(unknown)}"
+        )
+    if not legacy:
+        return options or ExecutionOptions()
+    warnings.warn(
+        f"passing {sorted(legacy)} as keyword argument(s) is deprecated; "
+        "use options=ExecutionOptions(...) (from repro.options)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    opts = options or ExecutionOptions()
+    changes: dict = {}
+    if "backend" in legacy:
+        backend = legacy["backend"]
+        if backend is None or isinstance(backend, (str, BackendKind)):
+            changes["backend"] = coerce_enum(
+                backend, BackendKind, param="backend"
+            )
+        else:  # a pre-built ExecutionBackend instance
+            changes["backend_obj"] = backend
+    for key in ("workers", "exec_mode", "kernel", "lanes", "task_threshold"):
+        if key in legacy:
+            changes[key] = legacy[key]
+    return opts.evolve(**changes)
+
+
+def cluster(
+    graph: CSRGraph,
+    params: ScanParams,
+    *,
+    algorithm: str = "ppscan",
+    options: ExecutionOptions | None = None,
+    **legacy,
+) -> ClusteringResult:
+    """Cluster ``graph`` at ``params`` with the named algorithm.
+
+    The one entry point for running any registered algorithm: execution
+    strategy (backend, workers, exec mode, kernel, fault tolerance,
+    chaos injection) comes from ``options``; what the algorithm cannot
+    honour it ignores (see :meth:`AlgorithmSpec.ignored_options` to
+    check beforehand).  Legacy keyword arguments are accepted with a
+    :class:`DeprecationWarning`.
+    """
+    spec = get_algorithm(algorithm)
+    opts = _options_from_legacy(options, legacy)
+    return spec.run(graph, params, opts)
+
+
+@dataclass(frozen=True)
+class ComparisonOutcome:
+    """Result of :func:`compare`: per-algorithm results, verified equal."""
+
+    reference: str
+    results: dict[str, ClusteringResult] = field(default_factory=dict)
+
+    @property
+    def num_clusters(self) -> int:
+        return self.results[self.reference].num_clusters
+
+    @property
+    def num_cores(self) -> int:
+        return self.results[self.reference].num_cores
+
+
+def compare(
+    graph: CSRGraph,
+    params: ScanParams,
+    *,
+    algorithms: list[str] | None = None,
+    options: ExecutionOptions | None = None,
+) -> ComparisonOutcome:
+    """Run several algorithms and assert they produce the same clustering.
+
+    Defaults to every registered algorithm with ``in_compare=True``.
+    Raises :class:`AssertionError` (from
+    :func:`~repro.core.assert_same_clustering`) on the first
+    disagreement — the repo-wide correctness gate.
+    """
+    names = (
+        list(algorithms)
+        if algorithms is not None
+        else [s.name for s in available_algorithms().values() if s.in_compare]
+    )
+    if not names:
+        raise ValueError("no algorithms to compare")
+    results: dict[str, ClusteringResult] = {}
+    reference_name = names[0]
+    for name in names:
+        result = cluster(graph, params, algorithm=name, options=options)
+        if results:
+            assert_same_clustering(results[reference_name], result)
+        results[name] = result
+    return ComparisonOutcome(reference=reference_name, results=results)
+
+
+# ---------------------------------------------------------------------------
+# Built-in registrations
+# ---------------------------------------------------------------------------
+
+
+def _runner(fn, *, backend: bool, exec_mode: bool, kernel: bool) -> RunnerFn:
+    """Adapt a core algorithm function to the ``runner`` protocol."""
+
+    def run(
+        graph: CSRGraph, params: ScanParams, options: ExecutionOptions
+    ) -> ClusteringResult:
+        kwargs: dict = {}
+        if backend:
+            built = options.make_backend(graph)
+            if built is not None:
+                kwargs["backend"] = built
+            if options.task_threshold is not None:
+                kwargs["task_threshold"] = options.task_threshold
+        if exec_mode and options.exec_mode is not ExecMode.SCALAR:
+            kwargs["exec_mode"] = options.exec_mode.value
+        if kernel and options.kernel is not None:
+            kwargs["kernel"] = options.kernel.value
+        return fn(graph, params, **kwargs)
+
+    return run
+
+
+def _register_builtins() -> None:
+    register_algorithm(
+        AlgorithmSpec(
+            name="scan",
+            display_name="SCAN",
+            runner=_runner(scan, backend=False, exec_mode=False, kernel=False),
+            description="the original exhaustive algorithm (baseline)",
+        )
+    )
+    register_algorithm(
+        AlgorithmSpec(
+            name="pscan",
+            display_name="pSCAN",
+            runner=_runner(pscan, backend=False, exec_mode=True, kernel=True),
+            description="pruning-based sequential SCAN",
+            supports_exec_mode=True,
+            supports_kernel=True,
+        )
+    )
+    register_algorithm(
+        AlgorithmSpec(
+            name="scanpp",
+            display_name="SCAN++",
+            runner=_runner(
+                scanpp, backend=False, exec_mode=False, kernel=False
+            ),
+            description="two-hop-away sampling SCAN variant",
+        )
+    )
+    register_algorithm(
+        AlgorithmSpec(
+            name="anyscan",
+            display_name="anySCAN",
+            runner=_runner(
+                anyscan, backend=True, exec_mode=False, kernel=False
+            ),
+            description="anytime block-summarizing parallel SCAN",
+            supports_backend=True,
+        )
+    )
+    register_algorithm(
+        AlgorithmSpec(
+            name="scanxp",
+            display_name="SCAN-XP",
+            runner=_runner(
+                scanxp, backend=True, exec_mode=True, kernel=False
+            ),
+            description="exhaustive vectorized parallel SCAN",
+            supports_backend=True,
+            supports_exec_mode=True,
+        )
+    )
+    register_algorithm(
+        AlgorithmSpec(
+            name="ppscan",
+            display_name="ppSCAN",
+            runner=_runner(ppscan, backend=True, exec_mode=True, kernel=True),
+            description="the paper's pruning-based parallel SCAN",
+            supports_backend=True,
+            supports_exec_mode=True,
+            supports_kernel=True,
+        )
+    )
+    register_algorithm(
+        AlgorithmSpec(
+            name="gsindex",
+            display_name="GS*-Index",
+            runner=lambda graph, params, options: GSIndex(graph).query(
+                params
+            ),
+            description="index-based query (built per graph, queried at "
+            "(eps, mu))",
+            in_compare=False,
+        )
+    )
+
+
+_register_builtins()

@@ -25,9 +25,8 @@ import sys
 
 import numpy as np
 
-from . import __version__
+from . import __version__, api
 from .bench.experiments import EXPERIMENTS
-from .core import anyscan, ppscan, pscan, scan, scanxp
 from .graph import graph_stats, load_graph, write_edge_list
 from .graph.generators import (
     REAL_WORLD_STANDINS,
@@ -35,17 +34,66 @@ from .graph.generators import (
     roll_graph,
 )
 from .obs import TRACE_FORMATS, Tracer, use_tracer, write_trace
-from .parallel import ProcessBackend
+from .options import BackendKind, ExecMode, ExecutionOptions
+from .parallel import ExecutionFaultError, FaultPlan, PoisonTaskError
 from .similarity import EXEC_MODES
 from .types import CORE, HUB, OUTLIER, ScanParams
 
-_ALGORITHMS = {
-    "scan": scan,
-    "pscan": pscan,
-    "ppscan": ppscan,
-    "scanxp": scanxp,
-    "anyscan": anyscan,
+#: Exit code for a run the fault-tolerance layer could not complete
+#: (retry budget exhausted or a task quarantined as poison).
+EXIT_EXECUTION_FAULT = 3
+
+
+def _execution_options(args: argparse.Namespace) -> ExecutionOptions:
+    """Build the typed execution options one subcommand's flags describe."""
+    workers = getattr(args, "workers", 0)
+    chaos_spec = getattr(args, "chaos_plan", None)
+    return ExecutionOptions(
+        backend=BackendKind.PROCESS if workers > 0 else BackendKind.SERIAL,
+        workers=workers if workers > 0 else None,
+        exec_mode=ExecMode(getattr(args, "exec_mode", "scalar")),
+        max_retries=getattr(args, "max_retries", None),
+        task_timeout=getattr(args, "task_timeout", None),
+        chaos=FaultPlan.parse(chaos_spec) if chaos_spec else None,
+    )
+
+
+_IGNORED_NOTES = {
+    "backend": "{name} is sequential; --workers ignored",
+    "exec_mode": "{name} has no batched mode; --exec-mode ignored",
+    "kernel": "{name} has a fixed kernel; --kernel ignored",
 }
+
+
+def _report_ignored(spec: api.AlgorithmSpec, options: ExecutionOptions) -> None:
+    for what in spec.ignored_options(options):
+        print(
+            "note: " + _IGNORED_NOTES[what].format(name=spec.name),
+            file=sys.stderr,
+        )
+
+
+def _print_fault_report(exc: ExecutionFaultError) -> None:
+    """Structured stderr report for a run the supervisor gave up on."""
+    print(f"execution fault: {exc}", file=sys.stderr)
+    if isinstance(exc, PoisonTaskError):
+        for line in exc.report.describe().splitlines():
+            print(f"  {line}", file=sys.stderr)
+    if exc.failures:
+        print(f"  failed attempts ({len(exc.failures)}):", file=sys.stderr)
+        for failure in exc.failures[-8:]:
+            print(
+                f"    task {failure.task} attempt {failure.attempt} "
+                f"[worker {failure.worker}]: {failure.kind} — "
+                f"{failure.detail}",
+                file=sys.stderr,
+            )
+    kinds: dict[str, int] = {}
+    for event in exc.events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    if kinds:
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        print(f"  recovery events: {summary}", file=sys.stderr)
 
 
 def _add_trace_args(parser: argparse.ArgumentParser) -> None:
@@ -82,7 +130,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--eps", type=float, default=0.5)
     p_cluster.add_argument("--mu", type=int, default=2)
     p_cluster.add_argument(
-        "--algorithm", choices=sorted(_ALGORITHMS), default="ppscan"
+        "--algorithm",
+        choices=sorted(api.available_algorithms()),
+        default="ppscan",
     )
     p_cluster.add_argument(
         "--workers",
@@ -96,6 +146,27 @@ def _build_parser() -> argparse.ArgumentParser:
         default="scalar",
         help="arc-resolution strategy: per-arc scalar kernels or batched "
         "vectorized resolution (ppscan/pscan/scanxp)",
+    )
+    p_cluster.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retry budget per task under the supervised process backend",
+    )
+    p_cluster.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task deadline (scaled by modelled task cost); a task "
+        "over deadline is killed and retried",
+    )
+    p_cluster.add_argument(
+        "--chaos-plan",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection: a JSON plan file or a "
+        "compact spec like 'seed=42,tasks=16,kill=2'",
     )
     p_cluster.add_argument(
         "--show-clusters", action="store_true", help="print cluster members"
@@ -141,6 +212,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--mu", default="2,5", help="comma-separated mu values"
+    )
+    p_sweep.add_argument(
+        "--algorithm",
+        choices=sorted(api.available_algorithms()),
+        default="ppscan",
     )
     p_sweep.add_argument(
         "--csv", default=None, help="also write the grid as CSV"
@@ -190,31 +266,25 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_cluster(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     params = ScanParams(eps=args.eps, mu=args.mu)
-    algo = _ALGORITHMS[args.algorithm]
-    kwargs = {}
-    if args.workers > 0:
-        if args.algorithm in ("ppscan", "scanxp", "anyscan"):
-            kwargs["backend"] = ProcessBackend(workers=args.workers)
+    spec = api.get_algorithm(args.algorithm)
+    options = _execution_options(args)
+    _report_ignored(spec, options)
+    tracer = Tracer() if args.trace else None
+    try:
+        if tracer is not None:
+            with use_tracer(tracer):
+                result = api.cluster(
+                    graph, params, algorithm=args.algorithm, options=options
+                )
         else:
-            print(
-                f"note: {args.algorithm} is sequential; --workers ignored",
-                file=sys.stderr,
+            result = api.cluster(
+                graph, params, algorithm=args.algorithm, options=options
             )
-    if args.exec_mode != "scalar":
-        if args.algorithm in ("ppscan", "pscan", "scanxp"):
-            kwargs["exec_mode"] = args.exec_mode
-        else:
-            print(
-                f"note: {args.algorithm} has no batched mode; "
-                "--exec-mode ignored",
-                file=sys.stderr,
-            )
-    if args.trace:
-        tracer = Tracer()
-        with use_tracer(tracer):
-            result = algo(graph, params, **kwargs)
-    else:
-        result = algo(graph, params, **kwargs)
+    except ExecutionFaultError as exc:
+        _print_fault_report(exc)
+        if tracer is not None and args.trace:
+            _export_trace(args, tracer, title=f"{args.algorithm} (faulted)")
+        return EXIT_EXECUTION_FAULT
     print(result.summary())
     classified = result.classify(graph)
     print(
@@ -264,38 +334,35 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Canonical presentation order for ``compare`` (papers' baselines first).
+_COMPARE_ORDER = ("scan", "pscan", "scanpp", "anyscan", "scanxp", "ppscan")
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .bench.reporting import format_table
-    from .core import assert_same_clustering, scanpp
 
     graph = load_graph(args.graph)
     params = ScanParams(eps=args.eps, mu=args.mu)
-    algorithms = {
-        "SCAN": scan,
-        "pSCAN": pscan,
-        "SCAN++": scanpp,
-        "anySCAN": anyscan,
-        "SCAN-XP": scanxp,
-        "ppSCAN": ppscan,
-    }
+    names = [
+        name
+        for name in _COMPARE_ORDER
+        if name in api.available_algorithms()
+    ]
     tracer = Tracer() if args.trace else None
+    if tracer is not None:
+        with use_tracer(tracer):
+            outcome = api.compare(graph, params, algorithms=names)
+    else:
+        outcome = api.compare(graph, params, algorithms=names)
+    reference = outcome.results[outcome.reference]
     rows = []
-    reference = None
-    for name, algo in algorithms.items():
-        if tracer is not None:
-            with use_tracer(tracer):
-                result = algo(graph, params)
-        else:
-            result = algo(graph, params)
-        if reference is None:
-            reference = result
-        else:
-            assert_same_clustering(reference, result)
-        record = result.record
+    for name in names:
+        display = api.get_algorithm(name).display_name
+        record = outcome.results[name].record
         total = record.total()
         rows.append(
             [
-                name,
+                display,
                 f"{record.compsim_invocations}",
                 f"{total.scalar_cmp + total.branchless_cmp}",
                 f"{total.vector_ops}",
@@ -304,7 +371,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             ]
         )
         if tracer is not None:
-            tracer.metrics.ingest_record(record, prefix=name)
+            tracer.metrics.ingest_record(record, prefix=display)
     print(
         format_table(
             f"all algorithms agree on {args.graph} ({params}): "
@@ -335,7 +402,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = []
     for mu in mu_values:
         for eps in eps_values:
-            result = ppscan(graph, ScanParams(eps=eps, mu=mu))
+            result = api.cluster(
+                graph, ScanParams(eps=eps, mu=mu), algorithm=args.algorithm
+            )
             rows.append(
                 [
                     f"{eps}",

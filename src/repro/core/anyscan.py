@@ -29,6 +29,7 @@ from ..graph.csr import CSRGraph
 from ..metrics.records import RunRecord, StageRecord, TaskCost
 from ..parallel.backend import ExecutionBackend, SerialBackend
 from ..parallel.scheduler import degree_based_tasks
+from ..parallel.supervisor import ExecutionFaultError
 from ..types import CORE, NONCORE, NSIM, SIM, UNKNOWN, ScanParams
 from ..unionfind import AtomicUnionFind
 from .context import RunContext
@@ -158,7 +159,10 @@ def anyscan(
             (beg + block_beg, end + block_beg)
             for beg, end in degree_based_tasks(block_deg, None, threshold)
         ]
-        records = backend.run_phase(tasks, block_task, commit_block)
+        try:
+            records = backend.run_phase(tasks, block_task, commit_block)
+        except ExecutionFaultError as exc:
+            raise exc.locate(stage="summarization", algorithm="anyscan")
         stages.append(
             StageRecord("summarization", records, time.perf_counter() - t_stage)
         )
@@ -193,7 +197,10 @@ def anyscan(
 
     t_stage = time.perf_counter()
     tasks = degree_based_tasks(deg, [r == CORE for r in roles], threshold)
-    records = backend.run_phase(tasks, merge_task, commit_merge)
+    try:
+        records = backend.run_phase(tasks, merge_task, commit_merge)
+    except ExecutionFaultError as exc:
+        raise exc.locate(stage="merging", algorithm="anyscan")
     stages.append(StageRecord("merging", records, time.perf_counter() - t_stage))
 
     # -- Final: cluster ids + non-core memberships ------------------------

@@ -53,6 +53,7 @@ from ..metrics.records import RunRecord, StageRecord, TaskCost
 from ..obs.tracer import current_tracer
 from ..parallel.backend import ExecutionBackend, SerialBackend, commit_arc_states
 from ..parallel.scheduler import degree_based_tasks
+from ..parallel.supervisor import ExecutionFaultError
 from ..similarity.bulk import predicate_prune_arcs
 from ..similarity.engine import EXEC_MODES
 from ..types import CORE, NONCORE, NSIM, ROLE_UNKNOWN, SIM, UNKNOWN, ScanParams
@@ -212,11 +213,14 @@ def ppscan(
         t_stage = time.perf_counter()
         needs = None if needs_role is None else roles == needs_role
         tasks = degree_based_tasks(deg_np, needs, threshold)
-        if tracer.enabled:
-            with tracer.span(name, lane=0, tasks=len(tasks)):
+        try:
+            if tracer.enabled:
+                with tracer.span(name, lane=0, tasks=len(tasks)):
+                    records = backend.run_phase(tasks, run_task, commit)
+            else:
                 records = backend.run_phase(tasks, run_task, commit)
-        else:
-            records = backend.run_phase(tasks, run_task, commit)
+        except ExecutionFaultError as exc:
+            raise exc.locate(stage=name, algorithm="ppscan")
         stages.append(
             StageRecord(name, records, time.perf_counter() - t_stage)
         )

@@ -20,6 +20,7 @@ from ..metrics.records import RunRecord, StageRecord, TaskCost
 from ..obs.tracer import current_tracer
 from ..parallel.backend import ExecutionBackend, SerialBackend
 from ..parallel.scheduler import degree_based_tasks
+from ..parallel.supervisor import ExecutionFaultError
 from ..similarity.engine import EXEC_MODES
 from ..types import CORE, NONCORE, NSIM, SIM, ScanParams
 from ..unionfind import AtomicUnionFind
@@ -93,11 +94,14 @@ def scanxp(
         tasks = degree_based_tasks(
             deg_np if batched else deg, needs, threshold
         )
-        if tracer.enabled:
-            with tracer.span(name, lane=0, tasks=len(tasks)):
+        try:
+            if tracer.enabled:
+                with tracer.span(name, lane=0, tasks=len(tasks)):
+                    records = backend.run_phase(tasks, run_task, commit)
+            else:
                 records = backend.run_phase(tasks, run_task, commit)
-        else:
-            records = backend.run_phase(tasks, run_task, commit)
+        except ExecutionFaultError as exc:
+            raise exc.locate(stage=name, algorithm="scanxp")
         stages.append(StageRecord(name, records, time.perf_counter() - t_stage))
 
     # -- Phase 1: exhaustive similarity, one full intersection per arc ----

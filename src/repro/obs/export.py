@@ -242,6 +242,16 @@ def run_report(tracer: "Tracer", title: str = "run telemetry") -> str:
                     lines.append(f"    {name} = {value:.6g}")
                 else:
                     lines.append(f"    {name} = {value}")
+        recovery = {
+            name.removeprefix("supervisor."): value
+            for name, value in metrics.items()
+            if name.startswith("supervisor.")
+        }
+        if recovery:
+            summary = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(recovery.items())
+            )
+            lines.append(f"  fault recovery: {summary}")
     return "\n".join(lines)
 
 

@@ -1,12 +1,24 @@
-"""Parallel runtime: machine models, task scheduling, execution backends."""
+"""Parallel runtime: machine models, scheduling, backends, supervision."""
 
 from .machine import CPU_SERVER, KNL_SERVER, MachineSpec
 from .scheduler import (
     DEFAULT_DEGREE_THRESHOLD,
+    arc_range_cost_model,
     degree_based_tasks,
     uniform_tasks,
 )
 from .simthread import assign_tasks, greedy_makespan
+from .chaos import ChaosError, Fault, FaultKind, FaultPlan
+from .supervisor import (
+    ExecutionFaultError,
+    FaultTolerancePolicy,
+    PoisonTaskError,
+    QuarantineReport,
+    RecoveryEvent,
+    RetryBudgetExhaustedError,
+    Supervisor,
+    TaskFailure,
+)
 from .backend import (
     ExecutionBackend,
     ProcessBackend,
@@ -22,6 +34,7 @@ __all__ = [
     "DEFAULT_DEGREE_THRESHOLD",
     "degree_based_tasks",
     "uniform_tasks",
+    "arc_range_cost_model",
     "assign_tasks",
     "greedy_makespan",
     "ExecutionBackend",
@@ -30,4 +43,18 @@ __all__ = [
     "commit_arc_states",
     "ScheduleTrace",
     "trace_stage",
+    # fault tolerance
+    "FaultTolerancePolicy",
+    "Supervisor",
+    "RecoveryEvent",
+    "TaskFailure",
+    "QuarantineReport",
+    "ExecutionFaultError",
+    "RetryBudgetExhaustedError",
+    "PoisonTaskError",
+    # fault injection
+    "FaultKind",
+    "Fault",
+    "FaultPlan",
+    "ChaosError",
 ]

@@ -31,6 +31,8 @@ import numpy as np
 
 from ..metrics.records import TaskCost
 from ..obs.tracer import current_tracer
+from .chaos import FaultPlan
+from .supervisor import FaultTolerancePolicy, RecoveryEvent, Supervisor
 
 __all__ = [
     "ExecutionBackend",
@@ -140,16 +142,66 @@ class ProcessBackend:
 
     Falls back to serial execution when ``fork`` is unavailable (non-POSIX)
     or when a phase has fewer tasks than workers would help with.
+
+    When a :class:`~repro.parallel.supervisor.FaultTolerancePolicy` or a
+    :class:`~repro.parallel.chaos.FaultPlan` is supplied (or
+    ``supervised=True``), phases run under the
+    :class:`~repro.parallel.supervisor.Supervisor` instead of a plain
+    pool: crashed/hung workers are detected via liveness + heartbeats,
+    their tasks are retried with backoff under a bounded budget, poison
+    tasks are quarantined, and the phase degrades to in-parent serial
+    execution if the worker pool collapses.  Clustering output is
+    bit-identical either way — commits stay at the phase barrier.
+
+    ``cost_model(beg, end)`` models a task's cost (e.g. its arc count)
+    and is used by the supervisor to scale per-task deadlines.
     """
 
     name = "process"
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        policy: FaultTolerancePolicy | None = None,
+        chaos: FaultPlan | None = None,
+        cost_model: Callable[[int, int], float] | None = None,
+        supervised: bool | None = None,
+    ) -> None:
         if workers is None:
             workers = max(1, (os.cpu_count() or 1))
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.policy = policy
+        self.chaos = chaos
+        self.cost_model = cost_model
+        self.supervised = (
+            supervised
+            if supervised is not None
+            else (policy is not None or chaos is not None)
+        )
+        #: Recovery actions accumulated across this backend's phases.
+        self.recovery_events: list[RecoveryEvent] = []
+        self._phase_index = 0
+
+    def _run_supervised(
+        self,
+        tasks: Sequence[tuple[int, int]],
+        run_task: TaskFn,
+        commit: CommitFn,
+    ) -> list[TaskCost]:
+        supervisor = Supervisor(
+            self.workers,
+            self.policy,
+            chaos=self.chaos,
+            cost_model=self.cost_model,
+            phase_index=self._phase_index,
+        )
+        try:
+            return supervisor.run_phase(tasks, run_task, commit)
+        finally:
+            self.recovery_events.extend(supervisor.events)
 
     def run_phase(
         self,
@@ -158,6 +210,11 @@ class ProcessBackend:
         commit: CommitFn,
     ) -> list[TaskCost]:
         global _ACTIVE_TASK_FN, _POOL_LANES
+        if self.supervised:
+            try:
+                return self._run_supervised(tasks, run_task, commit)
+            finally:
+                self._phase_index += 1
         tracer = current_tracer()
         timings: list[tuple[int, float, float]] | None = None
         if self.workers == 1 or len(tasks) <= 1:

@@ -16,7 +16,12 @@ import numpy as np
 
 from ..obs.tracer import current_tracer
 
-__all__ = ["DEFAULT_DEGREE_THRESHOLD", "degree_based_tasks", "uniform_tasks"]
+__all__ = [
+    "DEFAULT_DEGREE_THRESHOLD",
+    "degree_based_tasks",
+    "uniform_tasks",
+    "arc_range_cost_model",
+]
 
 #: The paper's tuned degree-sum threshold per task.
 DEFAULT_DEGREE_THRESHOLD = 32768
@@ -94,6 +99,25 @@ def degree_based_tasks(
         tracer.count("scheduler.phases", 1)
         tracer.count("scheduler.tasks", len(tasks))
     return tasks
+
+
+def arc_range_cost_model(offsets: np.ndarray):
+    """Model a ``[beg, end)`` vertex-range task's cost as its arc count.
+
+    The same degree-sum weight Algorithm 5 cuts tasks by; the supervised
+    process backend uses it to scale per-task deadlines so a
+    high-degree-sum task is not misdiagnosed as hung.
+
+    >>> import numpy as np
+    >>> model = arc_range_cost_model(np.array([0, 5, 6, 15, 18]))
+    >>> model(0, 2), model(2, 4)
+    (6.0, 12.0)
+    """
+
+    def model(beg: int, end: int) -> float:
+        return float(offsets[end] - offsets[beg])
+
+    return model
 
 
 def uniform_tasks(n: int, chunk: int) -> list[tuple[int, int]]:

@@ -44,6 +44,81 @@ class TestCluster:
         assert "ignored" in capsys.readouterr().err
 
 
+class TestFaultTolerance:
+    def test_chaos_recovers_and_exits_zero(self, graph_file, capsys):
+        assert (
+            main(
+                [
+                    "cluster",
+                    graph_file,
+                    "--workers",
+                    "2",
+                    "--chaos-plan",
+                    "seed=42,tasks=16,kill=1",
+                ]
+            )
+            == 0
+        )
+        assert "clusters" in capsys.readouterr().out
+
+    def test_poison_task_exits_three(self, graph_file, capsys):
+        code = main(
+            [
+                "cluster",
+                graph_file,
+                "--workers",
+                "2",
+                "--chaos-plan",
+                "seed=1,tasks=16,poison=1",
+            ]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "execution fault" in err
+        assert "quarantined poison task" in err
+        assert "recovery events:" in err
+
+    def test_chaos_plan_file(self, graph_file, tmp_path, capsys):
+        from repro.parallel import FaultPlan
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan.from_seed(42, tasks=16, kills=1).save(plan_path)
+        assert (
+            main(
+                [
+                    "cluster",
+                    graph_file,
+                    "--workers",
+                    "2",
+                    "--chaos-plan",
+                    str(plan_path),
+                ]
+            )
+            == 0
+        )
+
+    def test_retry_and_timeout_flags_accepted(self, graph_file):
+        assert (
+            main(
+                [
+                    "cluster",
+                    graph_file,
+                    "--workers",
+                    "2",
+                    "--max-retries",
+                    "5",
+                    "--task-timeout",
+                    "30",
+                ]
+            )
+            == 0
+        )
+
+    def test_gsindex_algorithm_choice(self, graph_file, capsys):
+        assert main(["cluster", graph_file, "--algorithm", "gsindex"]) == 0
+        assert "clusters" in capsys.readouterr().out
+
+
 class TestCompareAndSweep:
     def test_compare_all_agree(self, graph_file, capsys):
         assert main(["compare", graph_file, "--eps", "0.4", "--mu", "2"]) == 0
