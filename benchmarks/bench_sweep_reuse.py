@@ -1,0 +1,144 @@
+"""Sweep-reuse benchmark: one shared-overlap sweep vs independent runs.
+
+Clusters the livejournal stand-in over a 5×5 (ε, µ) grid twice — once as
+25 independent ``api.cluster`` calls and once through the
+:class:`~repro.sweep.SweepEngine`, which resolves each arc's exact
+overlap at most once across the grid.  The headline claim is asserted,
+not just reported: the swept grid must finish at least ``MIN_SPEEDUP``×
+faster end-to-end while every grid point stays *bit-identical* to its
+independent run.  The breakdown lands in
+``bench_results/sweep_reuse.json``.
+
+Runs are interleaved (independent, swept, independent, ...) and the best
+of ``ROUNDS`` kept per strategy, so allocator warm-up and host noise
+cancel instead of biasing one side.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import api  # noqa: E402 - path setup first
+from repro.core import assert_same_clustering  # noqa: E402
+from repro.graph.generators import real_world_standin  # noqa: E402
+from repro.sweep import SweepEngine  # noqa: E402
+from repro.types import ScanParams  # noqa: E402
+
+RESULTS_DIR = REPO_ROOT / "bench_results"
+GRAPH_NAME = "livejournal"
+EPS_GRID = [0.2, 0.35, 0.5, 0.65, 0.8]
+MU_GRID = [2, 3, 4, 5, 6]
+ALGORITHM = "ppscan"
+ROUNDS = 2
+MIN_SPEEDUP = 3.0
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", 0.4))
+
+
+def _run_independent(graph):
+    t0 = time.perf_counter()
+    results = {
+        (eps, mu): api.cluster(
+            graph, ScanParams(eps, mu), algorithm=ALGORITHM
+        )
+        for mu in MU_GRID
+        for eps in EPS_GRID
+    }
+    return time.perf_counter() - t0, results
+
+
+def _run_swept(graph):
+    t0 = time.perf_counter()
+    outcome = SweepEngine(graph, algorithm=ALGORITHM).run(EPS_GRID, MU_GRID)
+    return time.perf_counter() - t0, outcome
+
+
+def run_bench(scale: float | None = None) -> dict:
+    scale = _scale() if scale is None else scale
+    graph = real_world_standin(GRAPH_NAME, scale=scale, seed=7)
+
+    best_ind = best_sweep = None
+    independent = outcome = None
+    for _ in range(ROUNDS):
+        wall, independent = _run_independent(graph)
+        best_ind = wall if best_ind is None else min(best_ind, wall)
+        wall, outcome = _run_swept(graph)
+        best_sweep = wall if best_sweep is None else min(best_sweep, wall)
+
+    for (eps, mu), reference in independent.items():
+        assert_same_clustering(reference, outcome.point(eps, mu).result)
+
+    stats = outcome.stats
+    data = {
+        "graph": GRAPH_NAME,
+        "scale": scale,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "algorithm": ALGORITHM,
+        "eps_grid": EPS_GRID,
+        "mu_grid": MU_GRID,
+        "rounds": ROUNDS,
+        "independent_seconds": best_ind,
+        "swept_seconds": best_sweep,
+        "speedup": best_ind / best_sweep,
+        "store_hits": stats.hits,
+        "store_misses": stats.misses,
+        "reuse_fraction": stats.reuse_fraction,
+        "points": [
+            {
+                "eps": p.eps,
+                "mu": p.mu,
+                "clusters": p.result.num_clusters,
+                "wall_seconds": p.wall_seconds,
+                "hits": p.hits,
+                "misses": p.misses,
+                "reuse_fraction": p.reuse_fraction,
+            }
+            for p in outcome.points
+        ],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "sweep_reuse.json"
+    out.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    return data
+
+
+def test_sweep_reuse_speedup():
+    data = run_bench()
+    print(
+        f"{GRAPH_NAME} standin (scale {data['scale']}): "
+        f"{len(EPS_GRID) * len(MU_GRID)} grid points, "
+        f"independent {data['independent_seconds']:.3f}s, "
+        f"swept {data['swept_seconds']:.3f}s, "
+        f"{data['speedup']:.2f}x "
+        f"({data['reuse_fraction'] * 100:.1f}% overlap reuse)",
+        file=sys.stderr,
+    )
+    assert data["reuse_fraction"] > 0.5, (
+        f"sweep reused only {data['reuse_fraction']:.1%} of overlap lookups; "
+        "see bench_results/sweep_reuse.json"
+    )
+    assert data["speedup"] >= MIN_SPEEDUP, (
+        f"shared-overlap sweep only {data['speedup']:.2f}x faster than "
+        f"{len(EPS_GRID) * len(MU_GRID)} independent runs "
+        f"(required: {MIN_SPEEDUP}x); see bench_results/sweep_reuse.json"
+    )
+
+
+if __name__ == "__main__":
+    test_sweep_reuse_speedup()
+    print(
+        json.dumps(
+            json.loads((RESULTS_DIR / "sweep_reuse.json").read_text()),
+            indent=1,
+        )
+    )

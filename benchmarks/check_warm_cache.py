@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""CI gate for the persistent cross-run similarity store.
+
+Drives the real CLI twice over the same graph with ``--cache-dir`` and
+verifies, end to end:
+
+1. the cold run records overlaps (``cache.miss`` > 0 in its ``--trace``
+   report) and spills a store entry to disk;
+2. the warm run is served from that entry (``cache.hit`` > 0 and
+   ``cache.miss`` == 0 in its report);
+3. both runs save the *bit-identical* clustering (compared through
+   :meth:`repro.core.ClusteringResult.same_clustering`);
+4. a sweep over an (ε, µ) grid against the warmed store reuses overlaps
+   and still matches fresh ``--no-cache`` runs row for row.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_warm_cache.py
+
+Exit status is non-zero on any missing cache evidence or mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import ClusteringResult  # noqa: E402 - path setup first
+
+GRAPH_KIND = "orkut"
+SCALE = 0.1
+EPS, MU = 0.5, 4
+
+
+def _cli(*args: str) -> str:
+    """Run ``python -m repro`` as CI users do; returns stdout."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "PATH": "/usr/bin:/bin",
+        },
+    )
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(f"CLI failed: repro {' '.join(args)}")
+    return proc.stdout
+
+
+def _trace_counter(report_path: Path, name: str) -> int:
+    match = re.search(
+        rf"^\s*{re.escape(name)} = (\d+)$",
+        report_path.read_text(),
+        re.MULTILINE,
+    )
+    return int(match.group(1)) if match else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=SCALE)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="warm-cache-") as tmp:
+        work = Path(tmp)
+        graph = work / "graph.txt"
+        cache_dir = work / "simcache"
+        _cli(
+            "generate", GRAPH_KIND, str(graph),
+            "--scale", str(args.scale), "--seed", "7",
+        )
+
+        saves, reports = [], []
+        for leg in ("cold", "warm"):
+            save = work / f"{leg}.npz"
+            report = work / f"{leg}-trace.txt"
+            _cli(
+                "cluster", str(graph),
+                "--eps", str(EPS), "--mu", str(MU),
+                "--cache-dir", str(cache_dir),
+                "--save", str(save),
+                "--trace", str(report), "--trace-format", "report",
+            )
+            saves.append(save)
+            reports.append(report)
+
+        cold_miss = _trace_counter(reports[0], "cache.miss")
+        warm_hit = _trace_counter(reports[1], "cache.hit")
+        warm_miss = _trace_counter(reports[1], "cache.miss")
+        print(
+            f"cold run: cache.miss={cold_miss}; "
+            f"warm run: cache.hit={warm_hit}, cache.miss={warm_miss}"
+        )
+        if cold_miss == 0:
+            print("FAIL: cold run recorded no overlaps")
+            return 1
+        if warm_hit == 0 or warm_miss != 0:
+            print("FAIL: warm run was not served from the persisted store")
+            return 1
+        if not list(cache_dir.glob("simstore-*.npz")):
+            print(f"FAIL: no spilled store entry under {cache_dir}")
+            return 1
+
+        cold = ClusteringResult.load(saves[0])
+        warm = ClusteringResult.load(saves[1])
+        if not cold.same_clustering(warm):
+            print("FAIL: warm-cache clustering differs from the cold run")
+            return 1
+        print("cluster legs: warm run bit-identical to cold run")
+
+        cached_csv = work / "cached.csv"
+        fresh_csv = work / "fresh.csv"
+        grid = ["--eps", "0.3,0.5,0.7", "--mu", "2,4"]
+        out = _cli(
+            "sweep", str(graph), *grid,
+            "--cache-dir", str(cache_dir), "--csv", str(cached_csv),
+        )
+        store_line = next(
+            line for line in out.splitlines() if line.startswith("store:")
+        )
+        print(f"sweep against warmed store — {store_line}")
+        if " 0 hits" in store_line:
+            print("FAIL: cached sweep saw no store hits")
+            return 1
+        _cli(
+            "sweep", str(graph), *grid,
+            "--no-cache", "--csv", str(fresh_csv),
+        )
+        def _clustering_columns(path: Path) -> list[str]:
+            # eps,mu,clusters,cores — drop CompSims/wall_ms/reuse, which
+            # measure the work a run did, not the clustering it produced
+            # (caching is *supposed* to change the former).
+            return [
+                ",".join(line.split(",")[:4])
+                for line in path.read_text().splitlines()
+            ]
+
+        cached_rows = _clustering_columns(cached_csv)
+        fresh_rows = _clustering_columns(fresh_csv)
+        if cached_rows != fresh_rows:
+            print("FAIL: cached sweep grid differs from --no-cache grid")
+            return 1
+        print(f"sweep legs: {len(cached_rows) - 1} grid rows identical")
+
+    print("warm-cache gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,7 @@ from .core import (
     scanxp,
 )
 from .graph import CSRGraph
+from .obs.tracer import current_tracer
 from .options import BackendKind, ExecMode, ExecutionOptions, coerce_enum
 from .types import ScanParams
 
@@ -58,6 +59,7 @@ __all__ = [
     "available_algorithms",
     "cluster",
     "compare",
+    "sweep",
     "ComparisonOutcome",
 ]
 
@@ -84,6 +86,7 @@ class AlgorithmSpec:
     supports_backend: bool = False
     supports_exec_mode: bool = False
     supports_kernel: bool = False
+    supports_cache: bool = False
     in_compare: bool = True
 
     def ignored_options(self, options: ExecutionOptions) -> list[str]:
@@ -102,6 +105,8 @@ class AlgorithmSpec:
             ignored.append("exec_mode")
         if options.kernel is not None and not self.supports_kernel:
             ignored.append("kernel")
+        if options.cache is not None and not self.supports_cache:
+            ignored.append("cache")
         return ignored
 
     def run(
@@ -257,12 +262,64 @@ def compare(
     return ComparisonOutcome(reference=reference_name, results=results)
 
 
+def sweep(
+    graph: CSRGraph,
+    eps_values,
+    mu_values,
+    *,
+    algorithm: str = "ppscan",
+    options: ExecutionOptions | None = None,
+    store=None,
+    cache_dir=None,
+    use_cache: bool = True,
+):
+    """Cluster ``graph`` across the (ε, µ) grid with cross-run overlap reuse.
+
+    Thin facade over :class:`repro.sweep.SweepEngine` (imported lazily to
+    keep the module graph acyclic); returns its
+    :class:`~repro.sweep.SweepOutcome`.  Each arc's exact overlap is
+    resolved at most once across the whole grid, and every grid point's
+    clustering is bit-identical to an independent run.
+    """
+    from .sweep import SweepEngine
+
+    engine = SweepEngine(
+        graph,
+        algorithm=algorithm,
+        options=options,
+        store=store,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+    )
+    return engine.run(eps_values, mu_values)
+
+
 # ---------------------------------------------------------------------------
 # Built-in registrations
 # ---------------------------------------------------------------------------
 
 
-def _runner(fn, *, backend: bool, exec_mode: bool, kernel: bool) -> RunnerFn:
+def _with_cache_counters(fn, graph, params, kwargs, store):
+    """Run ``fn`` and mirror the store's hit/miss deltas into the ambient
+    tracer as ``cache.hit`` / ``cache.miss`` counters.
+
+    The store entries themselves keep plain-int tallies (the hot paths
+    never touch the tracer); this single post-run diff is the one place
+    the counters enter the telemetry, so they are never double-counted.
+    """
+    before = store.stats()
+    result = fn(graph, params, **kwargs)
+    tracer = current_tracer()
+    if tracer.enabled:
+        after = store.stats()
+        tracer.count("cache.hit", after.hits - before.hits)
+        tracer.count("cache.miss", after.misses - before.misses)
+    return result
+
+
+def _runner(
+    fn, *, backend: bool, exec_mode: bool, kernel: bool, cache: bool = False
+) -> RunnerFn:
     """Adapt a core algorithm function to the ``runner`` protocol."""
 
     def run(
@@ -279,9 +336,29 @@ def _runner(fn, *, backend: bool, exec_mode: bool, kernel: bool) -> RunnerFn:
             kwargs["exec_mode"] = options.exec_mode.value
         if kernel and options.kernel is not None:
             kwargs["kernel"] = options.kernel.value
+        if cache and options.cache is not None:
+            kwargs["store"] = options.cache
+            return _with_cache_counters(
+                fn, graph, params, kwargs, options.cache
+            )
         return fn(graph, params, **kwargs)
 
     return run
+
+
+def _run_gsindex(
+    graph: CSRGraph, params: ScanParams, options: ExecutionOptions
+) -> ClusteringResult:
+    """Build (or cache-warm) a GS*-Index and answer one (ε, µ) query."""
+    if options.cache is not None:
+        return _with_cache_counters(
+            lambda g, p, **kw: GSIndex(g, **kw).query(p),
+            graph,
+            params,
+            {"store": options.cache},
+            options.cache,
+        )
+    return GSIndex(graph).query(params)
 
 
 def _register_builtins() -> None:
@@ -289,18 +366,24 @@ def _register_builtins() -> None:
         AlgorithmSpec(
             name="scan",
             display_name="SCAN",
-            runner=_runner(scan, backend=False, exec_mode=False, kernel=False),
+            runner=_runner(
+                scan, backend=False, exec_mode=False, kernel=False, cache=True
+            ),
             description="the original exhaustive algorithm (baseline)",
+            supports_cache=True,
         )
     )
     register_algorithm(
         AlgorithmSpec(
             name="pscan",
             display_name="pSCAN",
-            runner=_runner(pscan, backend=False, exec_mode=True, kernel=True),
+            runner=_runner(
+                pscan, backend=False, exec_mode=True, kernel=True, cache=True
+            ),
             description="pruning-based sequential SCAN",
             supports_exec_mode=True,
             supports_kernel=True,
+            supports_cache=True,
         )
     )
     register_algorithm(
@@ -329,33 +412,36 @@ def _register_builtins() -> None:
             name="scanxp",
             display_name="SCAN-XP",
             runner=_runner(
-                scanxp, backend=True, exec_mode=True, kernel=False
+                scanxp, backend=True, exec_mode=True, kernel=False, cache=True
             ),
             description="exhaustive vectorized parallel SCAN",
             supports_backend=True,
             supports_exec_mode=True,
+            supports_cache=True,
         )
     )
     register_algorithm(
         AlgorithmSpec(
             name="ppscan",
             display_name="ppSCAN",
-            runner=_runner(ppscan, backend=True, exec_mode=True, kernel=True),
+            runner=_runner(
+                ppscan, backend=True, exec_mode=True, kernel=True, cache=True
+            ),
             description="the paper's pruning-based parallel SCAN",
             supports_backend=True,
             supports_exec_mode=True,
             supports_kernel=True,
+            supports_cache=True,
         )
     )
     register_algorithm(
         AlgorithmSpec(
             name="gsindex",
             display_name="GS*-Index",
-            runner=lambda graph, params, options: GSIndex(graph).query(
-                params
-            ),
+            runner=_run_gsindex,
             description="index-based query (built per graph, queried at "
             "(eps, mu))",
+            supports_cache=True,
             in_compare=False,
         )
     )

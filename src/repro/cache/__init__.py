@@ -1,0 +1,25 @@
+"""Cross-run similarity caching (the parameter-sweep amortization layer).
+
+The edge overlap ``|N[u] ∩ N[v]|`` is a property of the graph alone —
+every (ε, µ) query derives its similarity predicate from it by exact
+integer arithmetic.  :class:`SimilarityStore` memoizes those overlaps
+keyed by a content hash of the CSR graph so that repeated and
+parametrized clustering runs (the Figure-7 robustness sweeps, warm CLI
+invocations, algorithm comparisons) resolve each arc at most once.
+"""
+
+from .store import (
+    STORE_VERSION,
+    CacheStats,
+    SimilarityStore,
+    StoreEntry,
+    graph_fingerprint,
+)
+
+__all__ = [
+    "STORE_VERSION",
+    "CacheStats",
+    "SimilarityStore",
+    "StoreEntry",
+    "graph_fingerprint",
+]

@@ -44,6 +44,38 @@ from .types import CORE, HUB, OUTLIER, ScanParams
 EXIT_EXECUTION_FAULT = 3
 
 
+def _cache_store(args: argparse.Namespace):
+    """The disk-backed similarity store the flags ask for, or ``None``.
+
+    ``cluster`` / ``compare`` cache only when ``--cache-dir`` is given
+    (a single run has nothing to reuse from an empty in-memory store);
+    ``--no-cache`` wins over everything.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None or getattr(args, "no_cache", False):
+        return None
+    from .cache import SimilarityStore
+
+    return SimilarityStore(cache_dir=cache_dir)
+
+
+def _report_cache(store) -> None:
+    """One summary line of store traffic after a cached run."""
+    if store is None:
+        return
+    spilled = store.spill()
+    stats = store.stats()
+    line = (
+        f"cache: {stats.hits} hits, {stats.misses} misses "
+        f"({stats.reuse_fraction * 100:.1f}% reuse)"
+    )
+    if spilled:
+        line += f"; spilled {spilled} graph entr" + (
+            "y" if spilled == 1 else "ies"
+        ) + f" to {store.cache_dir}"
+    print(line)
+
+
 def _execution_options(args: argparse.Namespace) -> ExecutionOptions:
     """Build the typed execution options one subcommand's flags describe."""
     workers = getattr(args, "workers", 0)
@@ -55,6 +87,7 @@ def _execution_options(args: argparse.Namespace) -> ExecutionOptions:
         max_retries=getattr(args, "max_retries", None),
         task_timeout=getattr(args, "task_timeout", None),
         chaos=FaultPlan.parse(chaos_spec) if chaos_spec else None,
+        cache=_cache_store(args),
     )
 
 
@@ -62,6 +95,7 @@ _IGNORED_NOTES = {
     "backend": "{name} is sequential; --workers ignored",
     "exec_mode": "{name} has no batched mode; --exec-mode ignored",
     "kernel": "{name} has a fixed kernel; --kernel ignored",
+    "cache": "{name} cannot use the similarity store; --cache-dir ignored",
 }
 
 
@@ -115,6 +149,21 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
 def _export_trace(args: argparse.Namespace, tracer: Tracer, title: str) -> None:
     write_trace(args.trace, tracer, args.trace_format, title=title)
     print(f"wrote {args.trace_format} trace to {args.trace}")
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the cross-run similarity store under DIR; a later "
+        "run on the same graph reuses its exact overlaps",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the similarity store entirely",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -174,6 +223,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument(
         "--save", default=None, help="save the clustering to an .npz file"
     )
+    _add_cache_args(p_cluster)
     _add_trace_args(p_cluster)
     p_cluster.add_argument(
         "--sim-trace",
@@ -201,6 +251,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("graph")
     p_compare.add_argument("--eps", type=float, default=0.5)
     p_compare.add_argument("--mu", type=int, default=2)
+    _add_cache_args(p_compare)
     _add_trace_args(p_compare)
 
     p_sweep = sub.add_parser("sweep", help="cluster over an (eps, mu) grid")
@@ -221,6 +272,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--csv", default=None, help="also write the grid as CSV"
     )
+    _add_cache_args(p_sweep)
+    _add_trace_args(p_sweep)
 
     p_stats = sub.add_parser("stats", help="print graph statistics")
     p_stats.add_argument("graph")
@@ -294,6 +347,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     )
     if result.record is not None:
         print(f"wall time: {result.record.wall_seconds:.3f}s")
+    _report_cache(options.cache)
     if args.show_clusters:
         for cid, members in result.clusters().items():
             print(f"cluster {cid}: {members.tolist()}")
@@ -348,12 +402,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         for name in _COMPARE_ORDER
         if name in api.available_algorithms()
     ]
+    store = _cache_store(args)
+    options = ExecutionOptions(cache=store) if store is not None else None
     tracer = Tracer() if args.trace else None
     if tracer is not None:
         with use_tracer(tracer):
-            outcome = api.compare(graph, params, algorithms=names)
+            outcome = api.compare(
+                graph, params, algorithms=names, options=options
+            )
     else:
-        outcome = api.compare(graph, params, algorithms=names)
+        outcome = api.compare(graph, params, algorithms=names, options=options)
     reference = outcome.results[outcome.reference]
     rows = []
     for name in names:
@@ -389,39 +447,68 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     if tracer is not None:
         _export_trace(args, tracer, title=f"compare on {args.graph}")
+    _report_cache(store)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .bench.reporting import format_table
+    from .sweep import SweepEngine
 
     graph = load_graph(args.graph)
     eps_values = [float(x) for x in args.eps.split(",") if x]
     mu_values = [int(x) for x in args.mu.split(",") if x]
-    header = ["eps", "mu", "clusters", "cores", "CompSims", "wall_ms"]
+    # Unlike cluster/compare, a sweep reuses overlaps *within* one
+    # invocation, so the store is on by default; --cache-dir merely adds
+    # the disk layer and --no-cache restores fully independent runs.
+    engine = SweepEngine(
+        graph,
+        algorithm=args.algorithm,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    tracer = Tracer() if args.trace else None
+    if tracer is not None:
+        with use_tracer(tracer):
+            outcome = engine.run(eps_values, mu_values)
+    else:
+        outcome = engine.run(eps_values, mu_values)
+    header = ["eps", "mu", "clusters", "cores", "CompSims", "wall_ms", "reuse"]
     rows = []
-    for mu in mu_values:
+    for mu in mu_values:  # presentation order: as given, not execution order
         for eps in eps_values:
-            result = api.cluster(
-                graph, ScanParams(eps=eps, mu=mu), algorithm=args.algorithm
-            )
+            point = outcome.point(eps, mu)
             rows.append(
                 [
-                    f"{eps}",
+                    f"{eps:g}",
                     f"{mu}",
-                    f"{result.num_clusters}",
-                    f"{result.num_cores}",
-                    f"{result.record.compsim_invocations}",
-                    f"{result.record.wall_seconds * 1e3:.1f}",
+                    f"{point.result.num_clusters}",
+                    f"{point.result.num_cores}",
+                    f"{point.result.record.compsim_invocations}",
+                    f"{point.wall_seconds * 1e3:.1f}",
+                    f"{point.reuse_fraction * 100:.1f}%"
+                    if outcome.cached
+                    else "-",
                 ]
             )
     print(format_table(f"parameter sweep on {args.graph}", header, rows))
+    if outcome.cached:
+        stats = outcome.stats
+        line = (
+            f"store: {stats.hits} hits, {stats.misses} misses "
+            f"({stats.reuse_fraction * 100:.1f}% reuse)"
+        )
+        if outcome.spilled:
+            line += f"; spilled to {args.cache_dir}"
+        print(line)
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as fh:
             fh.write(",".join(header) + "\n")
             for row in rows:
                 fh.write(",".join(row) + "\n")
         print(f"wrote {args.csv}")
+    if tracer is not None:
+        _export_trace(args, tracer, title=f"sweep on {args.graph}")
     return 0
 
 

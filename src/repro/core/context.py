@@ -17,12 +17,16 @@ materialization cost.
 from __future__ import annotations
 
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..similarity import SimilarityEngine, min_cn_arcs
 from ..types import ROLE_UNKNOWN, UNKNOWN, ScanParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import SimilarityStore
 
 __all__ = ["RunContext", "reverse_arc_index"]
 
@@ -50,10 +54,13 @@ class RunContext:
         params: ScanParams,
         kernel: str = "vectorized",
         lanes: int = 16,
+        store: "SimilarityStore | None" = None,
     ) -> None:
         self.graph = graph
         self.params = params
-        self.engine = SimilarityEngine(graph, params, kernel=kernel, lanes=lanes)
+        self.engine = SimilarityEngine(
+            graph, params, kernel=kernel, lanes=lanes, store=store
+        )
 
         self.n = graph.num_vertices
         self.num_arcs = graph.num_arcs

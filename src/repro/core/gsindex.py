@@ -26,6 +26,7 @@ threshold boundaries.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +38,9 @@ from ..unionfind import UnionFind
 from .context import reverse_arc_index
 from .result import ClusteringResult
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import SimilarityStore
+
 __all__ = ["GSIndex"]
 
 #: Core orders are materialized for µ up to this bound (beyond it the
@@ -47,7 +51,9 @@ _CORE_ORDER_MAX_K = 64
 class GSIndex:
     """Similarity index supporting exact SCAN queries at any (ε, µ)."""
 
-    def __init__(self, graph: CSRGraph) -> None:
+    def __init__(
+        self, graph: CSRGraph, store: "SimilarityStore | None" = None
+    ) -> None:
         t0 = time.perf_counter()
         self.graph = graph
         n = graph.num_vertices
@@ -59,6 +65,15 @@ class GSIndex:
         adj = [dst[off[u] : off[u + 1]] for u in range(n)]
         rev = reverse_arc_index(graph).tolist()
 
+        # The index construction IS an exhaustive overlap pass, so it
+        # both profits from and fully populates a similarity store.
+        entry = store.entry_for(graph) if store is not None else None
+        cov = entry.coverage.tolist() if entry is not None else None
+        cached = entry.overlap.tolist() if entry is not None else None
+        missed_arcs: list[int] = []
+        missed_over: list[int] = []
+        hits = 0
+
         # Exact closed-neighborhood overlap per arc (computed once per
         # undirected edge, mirrored through the reverse-arc index).
         overlap = [0] * graph.num_arcs
@@ -69,9 +84,24 @@ class GSIndex:
                 v = dst[arc]
                 if u < v:
                     arcs_scanned += 1
-                    common = merge_count(adj_u, adj[v], counter) + 2
+                    if cov is not None and cov[arc]:
+                        common = cached[arc]
+                        hits += 1
+                    else:
+                        common = merge_count(adj_u, adj[v], counter) + 2
+                        if cov is not None:
+                            missed_arcs.append(arc)
+                            missed_over.append(common)
                     overlap[arc] = common
                     overlap[rev[arc]] = common
+        if entry is not None:
+            entry.hits += hits
+            if missed_arcs:
+                entry.record(
+                    np.asarray(missed_arcs, dtype=np.int64),
+                    np.asarray(missed_over, dtype=np.int64),
+                )
+                entry.misses += len(missed_arcs)
 
         # Neighbor order: arcs of u sorted by descending similarity.
         # Exact sort key per arc: overlap^2 / ((d(u)+1)(d(v)+1)) compared

@@ -43,7 +43,7 @@ Two execution modes share the phase structure:
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -60,6 +60,9 @@ from ..types import CORE, NONCORE, NSIM, ROLE_UNKNOWN, SIM, UNKNOWN, ScanParams
 from ..unionfind import AtomicUnionFind
 from .context import RunContext
 from .result import ClusteringResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import SimilarityStore
 
 __all__ = [
     "ppscan",
@@ -118,6 +121,7 @@ def ppscan(
     two_phase_clustering: bool = True,
     algorithm_name: str | None = None,
     exec_mode: str = "scalar",
+    store: "SimilarityStore | None" = None,
 ) -> ClusteringResult:
     """Run ppSCAN and return the canonical clustering result.
 
@@ -129,13 +133,19 @@ def ppscan(
     ``task_threshold`` (Algorithm 5's degree-sum cut, auto-scaled by
     default), and ``exec_mode`` (``"scalar"`` per-arc kernels vs
     ``"batched"`` whole-frontier resolution — see the module docstring).
+
+    ``store`` attaches a :class:`~repro.cache.SimilarityStore`: covered
+    arcs are folded into the similarity-pruning phase from their cached
+    exact overlaps and every freshly computed overlap is recorded, so
+    repeated runs (and (ε, µ) sweeps) skip the intersections.  Decisions
+    are bit-identical with or without it.
     """
     if exec_mode not in EXEC_MODES:
         raise ValueError(
             f"unknown exec_mode {exec_mode!r}; known: {list(EXEC_MODES)}"
         )
     t0 = time.perf_counter()
-    ctx = RunContext(graph, params, kernel=kernel, lanes=lanes)
+    ctx = RunContext(graph, params, kernel=kernel, lanes=lanes, store=store)
     backend = backend if backend is not None else SerialBackend()
     batched = exec_mode == "batched"
     tracer = current_tracer()
@@ -163,6 +173,8 @@ def ppscan(
     counter = ctx.engine.counter
     engine = ctx.engine
     kernel_fn = ctx.engine.kernel
+    use_store = store is not None
+    cached_arc = engine.resolve_arc_cached
     mu = ctx.mu
     n = ctx.n
     deg_np = graph.degrees
@@ -229,15 +241,25 @@ def ppscan(
 
     # -- Phase 1: similarity pruning --------------------------------------
     t_stage = time.perf_counter()
+    state0: np.ndarray | None = None
     if prune_phase:
-        prune_state = predicate_prune_arcs(graph, mcn_np)
+        state0 = predicate_prune_arcs(graph, mcn_np)
+    if use_store:
+        # Fold store-covered arcs alongside the degree-pruned ones: one
+        # vectorized overlap-vs-threshold comparison per covered arc, so
+        # a warm store resolves the similarity work before any kernel
+        # runs.  Bounds only get tighter; the role fold below stays exact.
+        if state0 is None:
+            state0 = sim_np
+        engine.prefold_cached(state0, mcn_np)
+    if state0 is not None:
         if batched:
-            sim_np = prune_state
+            sim_np = state0
         else:
-            ctx.sim[:] = prune_state.tolist()
+            ctx.sim[:] = state0.tolist()
             sim = ctx.sim
-        sd0 = np.bincount(src_np[prune_state == SIM], minlength=n)
-        nsim0 = np.bincount(src_np[prune_state == NSIM], minlength=n)
+        sd0 = np.bincount(src_np[state0 == SIM], minlength=n)
+        nsim0 = np.bincount(src_np[state0 == NSIM], minlength=n)
         ed0 = graph.degrees - nsim0
         roles[ed0 < mu] = NONCORE
         roles[sd0 >= mu] = CORE
@@ -309,7 +331,10 @@ def ppscan(
                     if ordered and u >= v:
                         continue
                     arcs += 1
-                    state = SIM if kernel_fn(adj_u, adj[v], mcn[arc]) else NSIM
+                    if use_store:
+                        state = cached_arc(arc, adj_u, adj[v], mcn[arc])
+                    else:
+                        state = SIM if kernel_fn(adj_u, adj[v], mcn[arc]) else NSIM
                     sim_writes.append((arc, state))
                     sim_writes.append((rev[arc], state))
                     if state == SIM:
@@ -532,7 +557,10 @@ def ppscan(
                 arcs += 2
                 if uf.same_set(u, v):
                     continue  # union-find pruning
-                state = SIM if kernel_fn(adj_u, adj[v], mcn[arc]) else NSIM
+                if use_store:
+                    state = cached_arc(arc, adj_u, adj[v], mcn[arc])
+                else:
+                    state = SIM if kernel_fn(adj_u, adj[v], mcn[arc]) else NSIM
                 sim_writes.append((arc, state))
                 sim_writes.append((rev[arc], state))
                 if state == SIM:
@@ -662,7 +690,10 @@ def ppscan(
                     continue
                 state = sim[arc]
                 if state == UNKNOWN:
-                    state = SIM if kernel_fn(adj_u, adj[v], mcn[arc]) else NSIM
+                    if use_store:
+                        state = cached_arc(arc, adj_u, adj[v], mcn[arc])
+                    else:
+                        state = SIM if kernel_fn(adj_u, adj[v], mcn[arc]) else NSIM
                     sim_writes.append((arc, state))
                     sim_writes.append((rev[arc], state))
                 if state == SIM:

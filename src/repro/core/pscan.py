@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time
 from heapq import heapify, heappop, heappush
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,6 +36,9 @@ from ..unionfind import UnionFind
 from .context import RunContext
 from .result import ClusteringResult
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import SimilarityStore
+
 __all__ = ["pscan"]
 
 
@@ -44,6 +48,7 @@ def pscan(
     kernel: str = "merge",
     use_ed_order: bool = True,
     exec_mode: str = "scalar",
+    store: "SimilarityStore | None" = None,
 ) -> ClusteringResult:
     """Run sequential pSCAN; returns the canonical clustering result.
 
@@ -58,6 +63,11 @@ def pscan(
     resolve_arcs`) instead of one kernel call per arc; the clustering is
     identical, though the per-arc early exits inside ``CheckCore`` are
     traded for whole-neighborhood batches.
+
+    ``store`` attaches a :class:`~repro.cache.SimilarityStore`: covered
+    arcs seed the sd/ed bounds before the first vertex is popped (the
+    ed-order heap starts from the tightened bounds) and fresh overlaps
+    are recorded for future runs.  Clustering is bit-identical.
     """
     if exec_mode not in EXEC_MODES:
         raise ValueError(
@@ -79,13 +89,15 @@ def pscan(
         if tracer.enabled
         else None
     )
-    ctx = RunContext(graph, params, kernel=kernel)
+    ctx = RunContext(graph, params, kernel=kernel, store=store)
     counter = ctx.engine.counter
     off, dst, adj, deg = ctx.off, ctx.dst, ctx.adj, ctx.deg
     sim, roles, mcn, rev = ctx.sim, ctx.roles, ctx.mcn, ctx.rev
     mu = ctx.mu
     n = ctx.n
     engine = ctx.engine
+    use_store = store is not None
+    cached_arc = engine.resolve_arc_cached
     dst_np, mcn_np, rev_np = graph.dst, ctx.mcn_np, ctx.rev_np
     # Batched mode mirrors the similarity states into int8 so frontier
     # selection is one vectorized comparison per neighborhood (the list
@@ -94,6 +106,24 @@ def pscan(
 
     sd = [0] * n
     ed = deg[:]  # copy
+    if use_store:
+        # Fold store-covered arcs up front and seed the sd/ed bounds from
+        # them — the min-max pruning starts from the tightened state, so
+        # a warm store decides most roles without any kernel work.
+        state0 = (
+            sim_np
+            if batched
+            else np.full(ctx.num_arcs, UNKNOWN, dtype=np.int8)
+        )
+        if engine.prefold_cached(state0, mcn_np):
+            if not batched:
+                ctx.sim[:] = state0.tolist()
+            src_np = ctx.src_np
+            sd = np.bincount(src_np[state0 == SIM], minlength=n).tolist()
+            ed = (
+                graph.degrees
+                - np.bincount(src_np[state0 == NSIM], minlength=n)
+            ).tolist()
     uf = UnionFind(n)
 
     reduction_ops = 0  # sd/ed updates + heap maintenance + reuse writes
@@ -112,6 +142,8 @@ def pscan(
             state = SIM
         elif (deg[u] if deg[u] < deg[v] else deg[v]) + 2 < c:
             state = NSIM
+        elif use_store:
+            state = cached_arc(arc, adj[u], adj[v], c)
         else:
             state = SIM if ctx.engine.kernel(adj[u], adj[v], c) else NSIM
         sim[arc] = state
@@ -143,7 +175,9 @@ def pscan(
 
     # -- core checking and clustering (Algorithm 2 lines 4-7) -------------
 
-    heap: list[tuple[int, int]] = [(-deg[u], u) for u in range(n)]
+    # Seeded from ed (== deg when no store tightened the bounds), so the
+    # lazy-heap staleness check matches the live values from the start.
+    heap: list[tuple[int, int]] = [(-ed[u], u) for u in range(n)]
     heapify(heap)
     processed = [False] * n
     order_static = sorted(range(n), key=lambda u: -deg[u])

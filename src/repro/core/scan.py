@@ -16,36 +16,57 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..intersect import merge_count
 from ..metrics.records import RunRecord, StageRecord, TaskCost
-from ..types import CORE, NONCORE, ROLE_UNKNOWN, SIM, NSIM, ScanParams
+from ..types import CORE, NONCORE, ROLE_UNKNOWN, SIM, NSIM, UNKNOWN, ScanParams
 from .context import RunContext
 from .result import ClusteringResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import SimilarityStore
 
 __all__ = ["scan"]
 
 
-def scan(graph: CSRGraph, params: ScanParams) -> ClusteringResult:
+def scan(
+    graph: CSRGraph,
+    params: ScanParams,
+    store: "SimilarityStore | None" = None,
+) -> ClusteringResult:
     """Run original SCAN; returns the canonical clustering result.
 
     The attached :class:`RunRecord` has two stages — ``similarity
     evaluation`` (all CompSim kernel work) and ``other computation`` (BFS
     traversal) — the Figure-1 breakdown buckets (SCAN has no workload
     -reduction machinery, so that bucket is absent).
+
+    ``store`` attaches a :class:`~repro.cache.SimilarityStore`; covered
+    arcs skip the merge intersection (and fresh overlaps are recorded,
+    mirrored — so even a cold cached run intersects each edge once, not
+    SCAN's canonical twice).  The clustering is bit-identical.
     """
     t0 = time.perf_counter()
-    ctx = RunContext(graph, params, kernel="merge")
+    ctx = RunContext(graph, params, kernel="merge", store=store)
     counter = ctx.engine.counter
     off, dst, adj = ctx.off, ctx.dst, ctx.adj
     sim, roles, mcn = ctx.sim, ctx.roles, ctx.mcn
     mu = ctx.mu
     n = ctx.n
+    use_store = store is not None
+    if use_store:
+        state0 = np.full(ctx.num_arcs, UNKNOWN, dtype=np.int8)
+        ctx.engine.prefold_cached(state0, ctx.mcn_np)
+        ctx.sim[:] = state0.tolist()
+    cached_arc = ctx.engine.resolve_arc_cached
 
     other_arcs = 0
 
-    def check_core(u: int) -> None:
+    def check_core_exhaustive(u: int) -> None:
         """Exhaustive CheckCore: full intersection per neighbor."""
         sd = 0
         nbrs_u = adj[u]
@@ -57,6 +78,23 @@ def scan(graph: CSRGraph, params: ScanParams) -> ClusteringResult:
             if state == SIM:
                 sd += 1
         roles[u] = CORE if sd >= mu else NONCORE
+
+    def check_core_cached(u: int) -> None:
+        """CheckCore through the store: prefolded/mirrored arcs are
+        already decided, the rest are exact merge counts that get
+        recorded.  Same decisions, less intersection work."""
+        sd = 0
+        nbrs_u = adj[u]
+        for arc in range(off[u], off[u + 1]):
+            state = sim[arc]
+            if state == UNKNOWN:
+                state = cached_arc(arc, nbrs_u, adj[dst[arc]], mcn[arc])
+                sim[arc] = state
+            if state == SIM:
+                sd += 1
+        roles[u] = CORE if sd >= mu else NONCORE
+
+    check_core = check_core_cached if use_store else check_core_exhaustive
 
     core_label = [-1] * n
     pairs: set[tuple[int, int]] = set()

@@ -11,6 +11,7 @@ property Figure 2/3 exposes (flat runtime while ppSCAN's falls).
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,11 +23,14 @@ from ..parallel.backend import ExecutionBackend, SerialBackend
 from ..parallel.scheduler import degree_based_tasks
 from ..parallel.supervisor import ExecutionFaultError
 from ..similarity.engine import EXEC_MODES
-from ..types import CORE, NONCORE, NSIM, SIM, ScanParams
+from ..types import CORE, NONCORE, NSIM, SIM, UNKNOWN, ScanParams
 from ..unionfind import AtomicUnionFind
 from .context import RunContext
 from .ppscan import auto_batch_task_threshold, auto_task_threshold
 from .result import ClusteringResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import SimilarityStore
 
 __all__ = ["scanxp"]
 
@@ -39,6 +43,7 @@ def scanxp(
     backend: ExecutionBackend | None = None,
     task_threshold: int | None = None,
     exec_mode: str = "scalar",
+    store: "SimilarityStore | None" = None,
 ) -> ClusteringResult:
     """Run SCAN-XP; returns the canonical clustering result.
 
@@ -47,6 +52,13 @@ def scanxp(
     fully counted with no pruning and no reverse-arc reuse, preserving
     SCAN-XP's ε-independent workload), just without the per-arc
     interpreted kernel dispatch.
+
+    ``store`` attaches a :class:`~repro.cache.SimilarityStore`: covered
+    arcs are folded before the similarity phase and fresh overlaps are
+    recorded (mirrored, so even a cold cached run intersects each edge
+    once instead of SCAN-XP's canonical twice).  Decisions — and the
+    clustering — are bit-identical; only the work accounting changes,
+    which is why caching is opt-in.
     """
     if exec_mode not in EXEC_MODES:
         raise ValueError(
@@ -54,7 +66,7 @@ def scanxp(
         )
     batched = exec_mode == "batched"
     t0 = time.perf_counter()
-    ctx = RunContext(graph, params, kernel="vectorized", lanes=lanes)
+    ctx = RunContext(graph, params, kernel="vectorized", lanes=lanes, store=store)
     backend = backend if backend is not None else SerialBackend()
     tracer = current_tracer()
     root_span = (
@@ -77,13 +89,32 @@ def scanxp(
     else:
         threshold = auto_task_threshold(ctx.num_arcs)
     counter = ctx.engine.counter
+    engine = ctx.engine
+    use_store = store is not None
+    cached_arc = engine.resolve_arc_cached
     mu = ctx.mu
     n = ctx.n
     deg_np = graph.degrees
     off_np, dst_np = graph.offsets, graph.dst
     src_np, mcn_np = ctx.src_np, ctx.mcn_np
-    # Every arc's state is computed in phase 1, so no UNKNOWN seed needed.
-    sim_np = np.empty(ctx.num_arcs, dtype=np.int8) if batched else None
+    # Every arc's state is computed in phase 1, so no UNKNOWN seed is
+    # needed — unless a store is attached, in which case covered arcs are
+    # prefolded and only the UNKNOWN remainder is intersected.
+    if batched:
+        sim_np = (
+            np.full(ctx.num_arcs, UNKNOWN, dtype=np.int8)
+            if use_store
+            else np.empty(ctx.num_arcs, dtype=np.int8)
+        )
+    else:
+        sim_np = None
+    if use_store:
+        if batched:
+            engine.prefold_cached(sim_np, mcn_np)
+        else:
+            state0 = np.full(ctx.num_arcs, UNKNOWN, dtype=np.int8)
+            engine.prefold_cached(state0, mcn_np)
+            ctx.sim[:] = state0.tolist()
     if not batched:
         off, dst, adj, deg = ctx.off, ctx.dst, ctx.adj, ctx.deg
         sim, roles, mcn = ctx.sim, ctx.roles, ctx.mcn
@@ -114,6 +145,15 @@ def scanxp(
             adj_u = adj[u]
             for arc in range(off[u], off[u + 1]):
                 arcs += 1
+                if use_store:
+                    # Prefolded arcs are already decided; the rest go
+                    # through the store (a miss runs an exact merge count
+                    # and records it, so the mirror arc becomes a hit).
+                    if sim[arc] == UNKNOWN:
+                        writes.append(
+                            (arc, cached_arc(arc, adj_u, adj[dst[arc]], mcn[arc]))
+                        )
+                    continue
                 common = pivot_vectorized_count(
                     adj_u, adj[dst[arc]], lanes=lanes, counter=counter
                 )
@@ -153,11 +193,32 @@ def scanxp(
         a0, states = writes
         sim_np[a0 : a0 + states.size] = states
 
+    def similarity_task_batched_cached(beg: int, end: int):
+        snap = (counter.scalar_cmp, counter.vector_ops, counter.invocations)
+        a0, a1 = int(off_np[beg]), int(off_np[end])
+        unknown = np.flatnonzero(sim_np[a0:a1] == UNKNOWN).astype(np.int64) + a0
+        states = engine.resolve_arcs(unknown, mcn=mcn_np[unknown])
+        cost = TaskCost(
+            scalar_cmp=counter.scalar_cmp - snap[0],
+            vector_ops=counter.vector_ops - snap[1],
+            compsims=counter.invocations - snap[2],
+            arcs=a1 - a0,
+        )
+        return (unknown, states), cost
+
+    def commit_similarity_batched_cached(writes) -> None:
+        unknown, states = writes
+        sim_np[unknown] = states
+
     if batched:
         batch = ctx.engine.batch_intersector()
         _run_stage(
-            "similarity computation", None, similarity_task_batched,
-            commit_similarity_batched,
+            "similarity computation",
+            None,
+            similarity_task_batched_cached if use_store else similarity_task_batched,
+            commit_similarity_batched_cached
+            if use_store
+            else commit_similarity_batched,
         )
     else:
         _run_stage(

@@ -26,6 +26,7 @@ from enum import Enum
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .cache import SimilarityStore
     from .graph import CSRGraph
     from .parallel.backend import ExecutionBackend
 
@@ -124,6 +125,10 @@ class ExecutionOptions:
     policy: FaultTolerancePolicy | None = None
     chaos: FaultPlan | None = None
     backend_obj: "ExecutionBackend | None" = None
+    #: Cross-run similarity store (see :mod:`repro.cache`): algorithms
+    #: that support it reuse cached exact overlaps and record fresh ones;
+    #: clustering stays bit-identical.  ``None`` disables caching.
+    cache: "SimilarityStore | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(

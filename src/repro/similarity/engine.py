@@ -16,7 +16,8 @@ in the work they report to the :class:`~repro.intersect.OpCounter`.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import time
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -32,6 +33,9 @@ from ..intersect import (
 )
 from ..types import NSIM, SIM, UNKNOWN, ScanParams
 from .threshold import ThresholdTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..cache import SimilarityStore, StoreEntry
 
 __all__ = ["SimilarityEngine", "KERNELS", "EXEC_MODES"]
 
@@ -58,6 +62,7 @@ class SimilarityEngine:
         kernel: str = "vectorized",
         lanes: int = 16,
         counter: OpCounter | None = None,
+        store: "SimilarityStore | None" = None,
     ) -> None:
         if kernel not in KERNELS:
             raise ValueError(f"unknown kernel {kernel!r}; known: {sorted(KERNELS)}")
@@ -75,6 +80,10 @@ class SimilarityEngine:
         self._batch: BatchIntersector | None = None
         self._arc_mcn: np.ndarray | None = None
         self._adj: list[list[int]] | None = None
+        self.store = store
+        self._entry: "StoreEntry | None" = (
+            store.entry_for(graph) if store is not None else None
+        )
 
     def _bind_kernel(
         self, kernel: str, lanes: int
@@ -190,6 +199,61 @@ class SimilarityEngine:
         est_bulk = 2 + (du + dv + self.lanes - 1) // self.lanes
         return est_scalar <= est_bulk
 
+    # -- similarity store -----------------------------------------------
+
+    @property
+    def store_entry(self) -> "StoreEntry | None":
+        """This graph's entry in the attached similarity store (if any)."""
+        return self._entry
+
+    def prefold_cached(
+        self, states: np.ndarray, mcn: np.ndarray | None = None
+    ) -> int:
+        """Decide every store-covered UNKNOWN arc in ``states`` in place.
+
+        The warm-run fast path: one vectorized pass compares the cached
+        exact overlaps against this ε's integer thresholds
+        (``overlap >= min_cn``), so a fully-covered store resolves the
+        whole similarity phase without a single intersection.  Returns
+        the number of arcs folded (each charged as a store hit).
+        """
+        entry = self._entry
+        if entry is None:
+            return 0
+        tracer = current_tracer()
+        t0 = time.perf_counter() if tracer.enabled else 0.0
+        idx = np.flatnonzero(entry.coverage & (states == UNKNOWN))
+        if idx.size == 0:
+            return 0
+        if mcn is None:
+            mcn = self.arc_thresholds()
+        states[idx] = np.where(entry.overlap[idx] >= mcn[idx], SIM, NSIM)
+        entry.hits += int(idx.size)
+        if tracer.enabled:
+            tracer.add_span(
+                "cache:prefold", t0, time.perf_counter(), folded=int(idx.size)
+            )
+        return int(idx.size)
+
+    def resolve_arc_cached(
+        self, arc: int, a: Sequence[int], b: Sequence[int], min_cn: int
+    ) -> int:
+        """SIM/NSIM for one arc through the store (the scalar hot path).
+
+        A covered arc is decided from its cached overlap by the same
+        integer comparison every kernel bottoms out in; a miss runs the
+        full merge count (charged to the op counter like any exhaustive
+        CompSim) and records the exact overlap for future runs.
+        """
+        entry = self._entry
+        if entry.coverage[arc]:
+            entry.hits += 1
+            return SIM if entry.overlap[arc] >= min_cn else NSIM
+        overlap = merge_count(a, b, self.counter) + 2
+        entry.record_one(arc, overlap)
+        entry.misses += 1
+        return SIM if overlap >= min_cn else NSIM
+
     def resolve_arcs(
         self,
         arcs: np.ndarray,
@@ -224,9 +288,53 @@ class SimilarityEngine:
         states[trivial_sim] = SIM
         states[trivial_nsim] = NSIM
         rest = ~(trivial_sim | trivial_nsim)
+        tracer = current_tracer()
+        entry = self._entry
+        if entry is not None:
+            # Store-backed resolution: covered arcs are decided from the
+            # cached exact overlaps; misses all take the bulk exhaustive
+            # path so their overlaps are exact and recordable (an
+            # early-terminating kernel learns only the decision, not the
+            # count).  Decisions are identical either way.
+            if tracer.enabled:
+                tracer.count("engine.batches", 1)
+                tracer.count("engine.arcs", int(arcs.size))
+                tracer.count(
+                    "engine.arcs_trivial",
+                    int(arcs.size - np.count_nonzero(rest)),
+                )
+                tracer.observe("engine.batch_size", float(arcs.size))
+            idx_rest = np.flatnonzero(rest)
+            if idx_rest.size:
+                covered = entry.coverage[arcs[idx_rest]]
+                hit_idx = idx_rest[covered]
+                if hit_idx.size:
+                    states[hit_idx] = np.where(
+                        entry.overlap[arcs[hit_idx]] >= mcn[hit_idx],
+                        SIM,
+                        NSIM,
+                    )
+                    entry.hits += int(hit_idx.size)
+                miss_idx = idx_rest[~covered]
+                if miss_idx.size:
+                    overlaps = (
+                        batch.arc_counts(
+                            arcs[miss_idx],
+                            counter=self.counter,
+                            lanes=self.lanes,
+                        )
+                        + 2
+                    )
+                    entry.record(arcs[miss_idx], overlaps)
+                    entry.misses += int(miss_idx.size)
+                    states[miss_idx] = np.where(
+                        overlaps >= mcn[miss_idx], SIM, NSIM
+                    )
+                if tracer.enabled:
+                    tracer.count("engine.arcs_bulk", int(idx_rest.size - hit_idx.size))
+            return states
         scalar_sel = rest & self.route_scalar(du, dv, mcn)
         bulk_sel = rest & ~scalar_sel
-        tracer = current_tracer()
         if tracer.enabled:
             tracer.count("engine.batches", 1)
             tracer.count("engine.arcs", int(arcs.size))

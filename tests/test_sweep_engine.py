@@ -1,0 +1,191 @@
+"""The shared-overlap sweep engine: bit-identical grids, maximal reuse.
+
+Locks in the tentpole guarantee — every grid point of a cached sweep is
+bit-identical to an independent run — plus the reuse accounting, the
+disk-warmed cross-process path, the ``use_cache=False`` degradation, and
+the CLI/facade wiring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.cache import SimilarityStore, graph_fingerprint
+from repro.cli import main
+from repro.core import assert_same_clustering
+from repro.graph import write_edge_list
+from repro.graph.generators import erdos_renyi
+from repro.obs import Tracer, use_tracer
+from repro.sweep import SweepEngine
+from repro.types import ScanParams
+
+EPS_GRID = [0.3, 0.5, 0.7]
+MU_GRID = [2, 4]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(70, 280, seed=13)
+
+
+class TestGridOrder:
+    def test_eps_descends_within_mu(self):
+        order = SweepEngine.grid_order([0.3, 0.7, 0.5], [2, 4])
+        assert order == [
+            (0.7, 2), (0.5, 2), (0.3, 2),
+            (0.7, 4), (0.5, 4), (0.3, 4),
+        ]
+
+
+class TestSweepEngine:
+    @pytest.mark.parametrize("algorithm", ["ppscan", "pscan", "scanxp", "scan"])
+    def test_identical_to_independent_runs(self, graph, algorithm):
+        outcome = SweepEngine(graph, algorithm=algorithm).run(
+            EPS_GRID, MU_GRID
+        )
+        assert len(outcome.points) == len(EPS_GRID) * len(MU_GRID)
+        for mu in MU_GRID:
+            for eps in EPS_GRID:
+                independent = api.cluster(
+                    graph, ScanParams(eps, mu), algorithm=algorithm
+                )
+                assert_same_clustering(
+                    independent, outcome.point(eps, mu).result
+                )
+
+    def test_later_points_reuse(self, graph):
+        outcome = SweepEngine(graph).run(EPS_GRID, MU_GRID)
+        # The first executed point is necessarily all-miss; later points
+        # may still miss the few arcs earlier runs pruned away without
+        # resolving (coverage is partial, not total), but the bulk of
+        # their lookups must come from the store.
+        assert outcome.points[0].hits == 0
+        for point in outcome.points[1:]:
+            assert point.hits > 0
+            assert point.reuse_fraction > 0.5
+        assert outcome.stats.reuse_fraction > 0.5
+
+    def test_second_sweep_on_shared_store_is_all_hits(self, graph):
+        store = SimilarityStore()
+        engine = SweepEngine(graph, store=store)
+        first = engine.run(EPS_GRID, MU_GRID)
+        warm = engine.run(EPS_GRID, MU_GRID)
+        assert sum(p.misses for p in warm.points) == 0
+        assert all(p.hits > 0 for p in warm.points)
+        for p, q in zip(first.points, warm.points):
+            assert_same_clustering(p.result, q.result)
+
+    def test_disk_warm_across_engine_instances(self, graph, tmp_path):
+        cold = SweepEngine(graph, cache_dir=tmp_path).run(EPS_GRID, MU_GRID)
+        assert cold.spilled == 1
+        stem = f"simstore-{graph_fingerprint(graph)[:20]}"
+        assert (tmp_path / f"{stem}.npz").exists()
+        assert (tmp_path / f"{stem}.json").exists()
+
+        warm = SweepEngine(graph, cache_dir=tmp_path).run(EPS_GRID, MU_GRID)
+        assert sum(p.misses for p in warm.points) == 0
+        for p, q in zip(cold.points, warm.points):
+            assert_same_clustering(p.result, q.result)
+
+    def test_uncached_degrades_to_independent_runs(self, graph):
+        outcome = SweepEngine(graph, use_cache=False).run(EPS_GRID, [2])
+        assert not outcome.cached
+        assert outcome.stats.lookups == 0
+        for eps in EPS_GRID:
+            assert_same_clustering(
+                api.cluster(graph, ScanParams(eps, 2)),
+                outcome.point(eps, 2).result,
+            )
+
+    def test_report_mentions_reuse(self, graph):
+        outcome = SweepEngine(graph).run([0.4, 0.6], [2])
+        text = outcome.report()
+        assert "reuse" in text
+        assert "store:" in text
+        assert "%" in text
+
+    def test_sweep_emits_point_spans(self, graph):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            SweepEngine(graph).run([0.4], [2])
+        assert any(s.name == "sweep:point" for s in tracer.sorted_spans())
+
+
+class TestApiFacade:
+    def test_api_sweep_matches_engine(self, graph):
+        outcome = api.sweep(graph, [0.4, 0.6], [3])
+        assert outcome.cached
+        for eps in (0.4, 0.6):
+            assert_same_clustering(
+                api.cluster(graph, ScanParams(eps, 3)),
+                outcome.point(eps, 3).result,
+            )
+
+    def test_api_sweep_accepts_store(self, graph):
+        store = SimilarityStore()
+        api.sweep(graph, [0.5], [2], store=store)
+        assert store.stats().misses > 0
+        warm = api.sweep(graph, [0.5], [2], store=store)
+        assert warm.points[0].misses == 0
+
+
+class TestSweepCli:
+    def _write_graph(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(erdos_renyi(50, 180, seed=5), path)
+        return str(path)
+
+    def test_cli_sweep_cache_dir_warm_second_run(self, tmp_path, capsys):
+        gpath = self._write_graph(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "sweep", gpath,
+            "--eps", "0.4,0.6", "--mu", "2",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "reuse" in cold and "spilled" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 misses" in warm
+
+    def test_cli_sweep_no_cache(self, tmp_path, capsys):
+        gpath = self._write_graph(tmp_path)
+        assert main(["sweep", gpath, "--eps", "0.5", "--mu", "2",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "store:" not in out
+
+    def test_cli_sweep_csv_has_reuse_column(self, tmp_path, capsys):
+        gpath = self._write_graph(tmp_path)
+        csv = tmp_path / "grid.csv"
+        assert main(["sweep", gpath, "--eps", "0.5", "--mu", "2",
+                     "--csv", str(csv)]) == 0
+        lines = csv.read_text().strip().splitlines()
+        assert lines[0].startswith("eps,mu,clusters")
+        assert lines[0].endswith(",reuse")
+        assert len(lines) == 2
+
+    def test_cli_cluster_warm_cache_roundtrip(self, tmp_path, capsys):
+        gpath = self._write_graph(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        save_a = str(tmp_path / "a.npz")
+        save_b = str(tmp_path / "b.npz")
+        assert main(["cluster", gpath, "--eps", "0.5", "--mu", "3",
+                     "--cache-dir", cache_dir, "--save", save_a]) == 0
+        first = capsys.readouterr().out
+        assert "misses" in first and "spilled" in first
+        assert main(["cluster", gpath, "--eps", "0.5", "--mu", "3",
+                     "--cache-dir", cache_dir, "--save", save_b]) == 0
+        second = capsys.readouterr().out
+        assert "0 misses" in second
+
+        from repro.core import ClusteringResult
+
+        a = ClusteringResult.load(save_a)
+        b = ClusteringResult.load(save_b)
+        assert a.same_clustering(b)
