@@ -65,10 +65,13 @@ from .parallel import (
     MachineSpec,
     PoisonTaskError,
     ProcessBackend,
+    ProcessCrashPoint,
     QuarantineReport,
+    ResumableAbort,
     RetryBudgetExhaustedError,
     SerialBackend,
 )
+from .checkpoint import CheckpointManager, ResumeMismatchError
 from .options import BackendKind, ExecMode, ExecutionOptions, Kernel
 from . import api
 from .api import (
@@ -132,10 +135,15 @@ __all__ = [
     "RetryBudgetExhaustedError",
     "PoisonTaskError",
     "QuarantineReport",
+    "ResumableAbort",
     "FaultKind",
     "Fault",
     "FaultPlan",
     "ChaosError",
+    "ProcessCrashPoint",
+    # checkpoint / resume
+    "CheckpointManager",
+    "ResumeMismatchError",
     # typed execution options
     "ExecutionOptions",
     "ExecMode",

@@ -87,6 +87,7 @@ class AlgorithmSpec:
     supports_exec_mode: bool = False
     supports_kernel: bool = False
     supports_cache: bool = False
+    supports_checkpoint: bool = False
     in_compare: bool = True
 
     def ignored_options(self, options: ExecutionOptions) -> list[str]:
@@ -107,6 +108,8 @@ class AlgorithmSpec:
             ignored.append("kernel")
         if options.cache is not None and not self.supports_cache:
             ignored.append("cache")
+        if options.checkpoint is not None and not self.supports_checkpoint:
+            ignored.append("checkpoint")
         return ignored
 
     def run(
@@ -255,7 +258,13 @@ def compare(
     results: dict[str, ClusteringResult] = {}
     reference_name = names[0]
     for name in names:
-        result = cluster(graph, params, algorithm=name, options=options)
+        opts = options
+        if opts is not None and opts.checkpoint is not None:
+            # One manager cannot hold several algorithms' states at once;
+            # give each leg its own sibling directory so a crashed compare
+            # resumes every leg independently.
+            opts = opts.evolve(checkpoint=opts.checkpoint.for_subrun(name))
+        result = cluster(graph, params, algorithm=name, options=opts)
         if results:
             assert_same_clustering(results[reference_name], result)
         results[name] = result
@@ -272,6 +281,7 @@ def sweep(
     store=None,
     cache_dir=None,
     use_cache: bool = True,
+    checkpoint=None,
 ):
     """Cluster ``graph`` across the (ε, µ) grid with cross-run overlap reuse.
 
@@ -290,6 +300,7 @@ def sweep(
         store=store,
         cache_dir=cache_dir,
         use_cache=use_cache,
+        checkpoint=checkpoint,
     )
     return engine.run(eps_values, mu_values)
 
@@ -318,7 +329,13 @@ def _with_cache_counters(fn, graph, params, kwargs, store):
 
 
 def _runner(
-    fn, *, backend: bool, exec_mode: bool, kernel: bool, cache: bool = False
+    fn,
+    *,
+    backend: bool,
+    exec_mode: bool,
+    kernel: bool,
+    cache: bool = False,
+    checkpoint: bool = False,
 ) -> RunnerFn:
     """Adapt a core algorithm function to the ``runner`` protocol."""
 
@@ -336,6 +353,8 @@ def _runner(
             kwargs["exec_mode"] = options.exec_mode.value
         if kernel and options.kernel is not None:
             kwargs["kernel"] = options.kernel.value
+        if checkpoint and options.checkpoint is not None:
+            kwargs["checkpoint"] = options.checkpoint
         if cache and options.cache is not None:
             kwargs["store"] = options.cache
             return _with_cache_counters(
@@ -378,12 +397,18 @@ def _register_builtins() -> None:
             name="pscan",
             display_name="pSCAN",
             runner=_runner(
-                pscan, backend=False, exec_mode=True, kernel=True, cache=True
+                pscan,
+                backend=False,
+                exec_mode=True,
+                kernel=True,
+                cache=True,
+                checkpoint=True,
             ),
             description="pruning-based sequential SCAN",
             supports_exec_mode=True,
             supports_kernel=True,
             supports_cache=True,
+            supports_checkpoint=True,
         )
     )
     register_algorithm(
@@ -401,10 +426,15 @@ def _register_builtins() -> None:
             name="anyscan",
             display_name="anySCAN",
             runner=_runner(
-                anyscan, backend=True, exec_mode=False, kernel=False
+                anyscan,
+                backend=True,
+                exec_mode=False,
+                kernel=False,
+                checkpoint=True,
             ),
             description="anytime block-summarizing parallel SCAN",
             supports_backend=True,
+            supports_checkpoint=True,
         )
     )
     register_algorithm(
@@ -412,12 +442,18 @@ def _register_builtins() -> None:
             name="scanxp",
             display_name="SCAN-XP",
             runner=_runner(
-                scanxp, backend=True, exec_mode=True, kernel=False, cache=True
+                scanxp,
+                backend=True,
+                exec_mode=True,
+                kernel=False,
+                cache=True,
+                checkpoint=True,
             ),
             description="exhaustive vectorized parallel SCAN",
             supports_backend=True,
             supports_exec_mode=True,
             supports_cache=True,
+            supports_checkpoint=True,
         )
     )
     register_algorithm(
@@ -425,13 +461,19 @@ def _register_builtins() -> None:
             name="ppscan",
             display_name="ppSCAN",
             runner=_runner(
-                ppscan, backend=True, exec_mode=True, kernel=True, cache=True
+                ppscan,
+                backend=True,
+                exec_mode=True,
+                kernel=True,
+                cache=True,
+                checkpoint=True,
             ),
             description="the paper's pruning-based parallel SCAN",
             supports_backend=True,
             supports_exec_mode=True,
             supports_kernel=True,
             supports_cache=True,
+            supports_checkpoint=True,
         )
     )
     register_algorithm(

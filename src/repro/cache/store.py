@@ -46,6 +46,7 @@ supervised phase-barrier commit, same as arc states.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 import zipfile
@@ -309,9 +310,19 @@ class SimilarityStore:
 
     def spill(self) -> int:
         """Persist every dirty entry to ``cache_dir``; returns how many
-        were written.  A no-op without a disk layer."""
+        were written.  A no-op without a disk layer.
+
+        Writes are crash-consistent: each file goes through the shared
+        temp+fsync+rename helper (:mod:`repro.checkpoint.atomic`), and the
+        payload lands before the sidecar that announces it — so a spill
+        interrupted at any instant leaves either the previous complete
+        state or the new complete state, never a torn entry (a torn or
+        orphaned sidecar is rejected as a clean miss by ``_load``).
+        """
         if self.cache_dir is None:
             return 0
+        from ..checkpoint.atomic import atomic_write_bytes, atomic_write_text
+
         written = 0
         tracer = current_tracer()
         for fingerprint, entry in self._entries.items():
@@ -319,13 +330,15 @@ class SimilarityStore:
                 continue
             npz_path, meta_path = self._paths(fingerprint)
             with tracer.span("cache:spill", fingerprint=fingerprint):
-                self.cache_dir.mkdir(parents=True, exist_ok=True)
+                buf = io.BytesIO()
                 np.savez_compressed(
-                    npz_path,
+                    buf,
                     overlap=entry.overlap,
                     coverage=np.packbits(entry.coverage),
                 )
-                meta_path.write_text(
+                atomic_write_bytes(npz_path, buf.getvalue())
+                atomic_write_text(
+                    meta_path,
                     json.dumps(
                         {
                             "version": STORE_VERSION,
@@ -338,7 +351,6 @@ class SimilarityStore:
                         sort_keys=True,
                     )
                     + "\n",
-                    encoding="utf-8",
                 )
             entry.dirty = False
             self.spills += 1

@@ -1,0 +1,19 @@
+"""Crash-safe run state: atomic writes, durable snapshots, resume."""
+
+from .atomic import atomic_write_bytes, atomic_write_text, fsync_directory
+from .manager import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointManager,
+    ResumeMismatchError,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointManager",
+    "ResumeMismatchError",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_directory",
+]

@@ -1,0 +1,74 @@
+"""Crash-consistent file writes shared by the checkpoint and cache layers.
+
+The durability contract is the classic three-step dance:
+
+1. write the full payload to a temporary file *in the destination
+   directory* (same filesystem, so the rename below is atomic),
+2. ``fsync`` the temporary file so the bytes are on stable storage,
+3. ``os.replace`` onto the final name, then ``fsync`` the directory so
+   the rename itself survives a power cut.
+
+A reader therefore observes either the previous complete file or the
+new complete file — never a torn mixture.  Anything that interrupts the
+sequence leaves at worst a stray ``.tmp`` file, which writers ignore
+and readers never open.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_directory",
+]
+
+
+def fsync_directory(path: str | os.PathLike) -> None:
+    """Flush a directory entry to stable storage (best-effort).
+
+    Some filesystems (and all of Windows) refuse ``open()`` on a
+    directory; those raise ``OSError``, which we swallow — the rename
+    already happened, we only lose the power-cut guarantee the platform
+    cannot give anyway.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Durably replace ``path`` with ``data`` (temp file + fsync + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    fd = os.open(os.fspath(tmp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+
+
+def atomic_write_text(
+    path: str | os.PathLike, text: str, *, encoding: str = "utf-8"
+) -> None:
+    """:func:`atomic_write_bytes` for text payloads."""
+    atomic_write_bytes(path, text.encode(encoding))

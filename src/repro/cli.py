@@ -27,6 +27,7 @@ import numpy as np
 
 from . import __version__, api
 from .bench.experiments import EXPERIMENTS
+from .checkpoint import ResumeMismatchError
 from .graph import graph_stats, load_graph, write_edge_list
 from .graph.generators import (
     REAL_WORLD_STANDINS,
@@ -35,13 +36,21 @@ from .graph.generators import (
 )
 from .obs import TRACE_FORMATS, Tracer, use_tracer, write_trace
 from .options import BackendKind, ExecMode, ExecutionOptions
-from .parallel import ExecutionFaultError, FaultPlan, PoisonTaskError
+from .parallel import (
+    ExecutionFaultError,
+    FaultPlan,
+    PoisonTaskError,
+    ResumableAbort,
+)
 from .similarity import EXEC_MODES
 from .types import CORE, HUB, OUTLIER, ScanParams
 
 #: Exit code for a run the fault-tolerance layer could not complete
 #: (retry budget exhausted or a task quarantined as poison).
 EXIT_EXECUTION_FAULT = 3
+#: Exit code for ``--resume`` against a checkpoint directory that records
+#: a different graph / parameters / algorithm.
+EXIT_RESUME_MISMATCH = 4
 
 
 def _cache_store(args: argparse.Namespace):
@@ -76,6 +85,30 @@ def _report_cache(store) -> None:
     print(line)
 
 
+def _checkpoint_manager(args: argparse.Namespace):
+    """The durable checkpoint manager the flags ask for, or ``None``.
+
+    ``--resume`` without ``--checkpoint-dir`` is a usage error: there is
+    no state to resume from.
+    """
+    ck_dir = getattr(args, "checkpoint_dir", None)
+    resume = bool(getattr(args, "resume", False))
+    if resume and ck_dir is None:
+        raise SystemExit(
+            "error: --resume requires --checkpoint-dir (there is no "
+            "checkpoint directory to resume from)"
+        )
+    if ck_dir is None:
+        return None
+    from .checkpoint import CheckpointManager
+
+    return CheckpointManager(
+        ck_dir,
+        every=getattr(args, "checkpoint_every", None),
+        resume=resume,
+    )
+
+
 def _execution_options(args: argparse.Namespace) -> ExecutionOptions:
     """Build the typed execution options one subcommand's flags describe."""
     workers = getattr(args, "workers", 0)
@@ -88,6 +121,7 @@ def _execution_options(args: argparse.Namespace) -> ExecutionOptions:
         task_timeout=getattr(args, "task_timeout", None),
         chaos=FaultPlan.parse(chaos_spec) if chaos_spec else None,
         cache=_cache_store(args),
+        checkpoint=_checkpoint_manager(args),
     )
 
 
@@ -96,6 +130,7 @@ _IGNORED_NOTES = {
     "exec_mode": "{name} has no batched mode; --exec-mode ignored",
     "kernel": "{name} has a fixed kernel; --kernel ignored",
     "cache": "{name} cannot use the similarity store; --cache-dir ignored",
+    "checkpoint": "{name} cannot checkpoint; --checkpoint-dir ignored",
 }
 
 
@@ -110,6 +145,13 @@ def _report_ignored(spec: api.AlgorithmSpec, options: ExecutionOptions) -> None:
 def _print_fault_report(exc: ExecutionFaultError) -> None:
     """Structured stderr report for a run the supervisor gave up on."""
     print(f"execution fault: {exc}", file=sys.stderr)
+    if isinstance(exc, ResumableAbort):
+        print(
+            f"  checkpoint: epoch {exc.epoch} saved to "
+            f"{exc.checkpoint_dir}; re-run with --resume to continue "
+            "from it",
+            file=sys.stderr,
+        )
     if isinstance(exc, PoisonTaskError):
         for line in exc.report.describe().splitlines():
             print(f"  {line}", file=sys.stderr)
@@ -149,6 +191,31 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
 def _export_trace(args: argparse.Namespace, tracer: Tracer, title: str) -> None:
     write_trace(args.trace, tracer, args.trace_format, title=title)
     print(f"wrote {args.trace_format} trace to {args.trace}")
+
+
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="snapshot durable run state under DIR at every phase barrier "
+        "(crash-safe: atomic writes, checksummed manifest)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also snapshot mid-phase every N tasks (finer-grained crash "
+        "recovery at the cost of more checkpoint writes)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest valid checkpoint in --checkpoint-dir; "
+        "refuses to run if the directory records a different graph, "
+        "parameters or algorithm",
+    )
 
 
 def _add_cache_args(parser: argparse.ArgumentParser) -> None:
@@ -224,6 +291,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save", default=None, help="save the clustering to an .npz file"
     )
     _add_cache_args(p_cluster)
+    _add_checkpoint_args(p_cluster)
     _add_trace_args(p_cluster)
     p_cluster.add_argument(
         "--sim-trace",
@@ -252,6 +320,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--eps", type=float, default=0.5)
     p_compare.add_argument("--mu", type=int, default=2)
     _add_cache_args(p_compare)
+    _add_checkpoint_args(p_compare)
     _add_trace_args(p_compare)
 
     p_sweep = sub.add_parser("sweep", help="cluster over an (eps, mu) grid")
@@ -273,10 +342,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--csv", default=None, help="also write the grid as CSV"
     )
     _add_cache_args(p_sweep)
+    _add_checkpoint_args(p_sweep)
     _add_trace_args(p_sweep)
 
     p_stats = sub.add_parser("stats", help="print graph statistics")
     p_stats.add_argument("graph")
+
+    p_validate = sub.add_parser(
+        "validate",
+        help="validate a graph file (format, ids, CSR structure)",
+    )
+    p_validate.add_argument("graph")
 
     p_gen = sub.add_parser("generate", help="write a synthetic graph")
     p_gen.add_argument(
@@ -338,6 +414,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if tracer is not None and args.trace:
             _export_trace(args, tracer, title=f"{args.algorithm} (faulted)")
         return EXIT_EXECUTION_FAULT
+    except ResumeMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RESUME_MISMATCH
     print(result.summary())
     classified = result.classify(graph)
     print(
@@ -403,15 +482,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         if name in api.available_algorithms()
     ]
     store = _cache_store(args)
-    options = ExecutionOptions(cache=store) if store is not None else None
+    checkpoint = _checkpoint_manager(args)
+    options = None
+    if store is not None or checkpoint is not None:
+        options = ExecutionOptions(cache=store, checkpoint=checkpoint)
     tracer = Tracer() if args.trace else None
-    if tracer is not None:
-        with use_tracer(tracer):
+    try:
+        if tracer is not None:
+            with use_tracer(tracer):
+                outcome = api.compare(
+                    graph, params, algorithms=names, options=options
+                )
+        else:
             outcome = api.compare(
                 graph, params, algorithms=names, options=options
             )
-    else:
-        outcome = api.compare(graph, params, algorithms=names, options=options)
+    except ExecutionFaultError as exc:
+        _print_fault_report(exc)
+        return EXIT_EXECUTION_FAULT
+    except ResumeMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RESUME_MISMATCH
     reference = outcome.results[outcome.reference]
     rows = []
     for name in names:
@@ -466,13 +557,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        checkpoint=_checkpoint_manager(args),
     )
     tracer = Tracer() if args.trace else None
-    if tracer is not None:
-        with use_tracer(tracer):
+    try:
+        if tracer is not None:
+            with use_tracer(tracer):
+                outcome = engine.run(eps_values, mu_values)
+        else:
             outcome = engine.run(eps_values, mu_values)
-    else:
-        outcome = engine.run(eps_values, mu_values)
+    except ExecutionFaultError as exc:
+        _print_fault_report(exc)
+        return EXIT_EXECUTION_FAULT
+    except ResumeMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RESUME_MISMATCH
     header = ["eps", "mu", "clusters", "cores", "CompSims", "wall_ms", "reuse"]
     rows = []
     for mu in mu_values:  # presentation order: as given, not execution order
@@ -519,6 +618,31 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         f"|V| = {stats.num_vertices:,}\n|E| = {stats.num_edges:,}\n"
         f"avg degree = {stats.average_degree:.2f}\n"
         f"max degree = {stats.max_degree:,}"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .core.validate import validate_graph
+    from .graph.io import GraphFormatError
+
+    try:
+        graph = load_graph(args.graph, strict=True)
+    except GraphFormatError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    except OSError as exc:
+        print(f"error: cannot read {args.graph}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_graph(graph)
+    if problems:
+        print(f"INVALID: {args.graph}")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"OK: {args.graph} — |V|={graph.num_vertices:,}, "
+        f"|E|={graph.num_edges:,}"
     )
     return 0
 
@@ -621,6 +745,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "stats": _cmd_stats,
+        "validate": _cmd_validate,
         "generate": _cmd_generate,
         "bench": _cmd_bench,
         "verify": _cmd_verify,

@@ -17,7 +17,7 @@ from .gsindex import GSIndex
 from .dynamic_index import DynamicGSIndex
 from .fastscan import fast_structural_clustering
 from .hubs import classify_peripherals
-from .validate import assert_same_clustering, brute_force_scan
+from .validate import assert_same_clustering, brute_force_scan, validate_graph
 from .verify import ClusteringVerificationError, verify_clustering
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "estimated_memory_bytes",
     "brute_force_scan",
     "assert_same_clustering",
+    "validate_graph",
     "verify_clustering",
     "ClusteringVerificationError",
 ]

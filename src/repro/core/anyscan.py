@@ -22,6 +22,7 @@ similarity reuse, after which clustering proceeds over known predicates.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,11 +30,14 @@ from ..graph.csr import CSRGraph
 from ..metrics.records import RunRecord, StageRecord, TaskCost
 from ..parallel.backend import ExecutionBackend, SerialBackend
 from ..parallel.scheduler import degree_based_tasks
-from ..parallel.supervisor import ExecutionFaultError
+from ..parallel.supervisor import ExecutionFaultError, ResumableAbort
 from ..types import CORE, NONCORE, NSIM, SIM, UNKNOWN, ScanParams
 from ..unionfind import AtomicUnionFind
 from .context import RunContext
 from .result import ClusteringResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..checkpoint import CheckpointManager
 
 __all__ = [
     "anyscan",
@@ -68,12 +72,19 @@ def anyscan(
     backend: ExecutionBackend | None = None,
     task_threshold: int | None = None,
     memory_limit_bytes: int | None = None,
+    checkpoint: "CheckpointManager | None" = None,
 ) -> ClusteringResult:
     """Run anySCAN; returns the canonical clustering result.
 
     Raises ``MemoryError`` when the modelled footprint exceeds
     ``memory_limit_bytes`` (used by the figure benches to reproduce the
     paper's RE entries at paper scale; ``None`` disables the check).
+
+    ``checkpoint`` attaches a :class:`~repro.checkpoint.CheckpointManager`.
+    anySCAN's natural barriers are its α-blocks: each summarization block
+    and the merging pass is one checkpoint site (plus mid-site snapshots
+    every ``every`` tasks), and the final labeling is pure derivation that
+    is always recomputed.  Resume is bit-identical.
     """
     if alpha < 1:
         raise ValueError("alpha must be >= 1")
@@ -99,6 +110,119 @@ def anyscan(
         else max(64, ctx.num_arcs // 2048)
     )
     stages: list[StageRecord] = []
+    uf = AtomicUnionFind(n)
+
+    # ==== Checkpoint/resume (same site protocol as ppscan) ===============
+    # Sites in execution order: one per α-block of summarization, then
+    # merging.  cursor == len(stages) == number of completed sites.
+    ck = checkpoint
+    restored_cursor = 0
+    restored_pending: list[tuple[int, int]] | None = None
+    partial_records: list[TaskCost] = []
+    phase_no = 0
+
+    def _save_ckpt(
+        phase: str,
+        pending: list[tuple[int, int]] | None = None,
+        partial: list[TaskCost] | None = None,
+    ) -> int:
+        arrays: dict[str, np.ndarray] = {
+            "sim": np.asarray(sim, dtype=np.int8),
+            "roles": np.asarray(roles, dtype=np.int8),
+            "uf_parent": uf.snapshot()["parent"],
+        }
+        meta: dict = {
+            "cursor": len(stages),
+            "stage_records": [s.as_dict() for s in stages],
+            "counter": counter.as_dict(),
+        }
+        if pending is not None:
+            arrays["pending"] = np.asarray(
+                pending, dtype=np.int64
+            ).reshape(-1, 2)
+            meta["partial_records"] = [
+                r.as_dict() for r in (partial or [])
+            ]
+        return ck.save(arrays=arrays, meta=meta, phase=phase)
+
+    if ck is not None:
+        ck.bind(
+            graph,
+            params,
+            algorithm="anyscan",
+            exec_mode="scalar",
+            extra={"alpha": int(alpha), "threshold": int(threshold)},
+        )
+        snap = ck.load_latest()
+        if snap is not None:
+            restored_cursor = int(snap.meta["cursor"])
+            sim[:] = np.asarray(snap.arrays["sim"], dtype=np.int8).tolist()
+            roles[:] = np.asarray(
+                snap.arrays["roles"], dtype=np.int8
+            ).tolist()
+            uf.restore({"parent": snap.arrays["uf_parent"]})
+            stages.extend(
+                StageRecord.from_dict(d)
+                for d in snap.meta.get("stage_records", [])
+            )
+            saved_counter = snap.meta.get("counter")
+            if isinstance(saved_counter, dict):
+                for field, value in saved_counter.items():
+                    if field in type(counter).__slots__:
+                        setattr(counter, field, int(value))
+            if "pending" in snap.arrays:
+                restored_pending = [
+                    (int(b), int(e))
+                    for b, e in np.asarray(snap.arrays["pending"])
+                    .reshape(-1, 2)
+                    .tolist()
+                ]
+                partial_records = [
+                    TaskCost.from_dict(d)
+                    for d in snap.meta.get("partial_records", [])
+                ]
+
+    def _run_site(name, derive_tasks, run_task, commit) -> None:
+        nonlocal restored_pending, partial_records, phase_no
+        this_phase = phase_no
+        phase_no += 1
+        if this_phase < restored_cursor:
+            return  # effects and record restored from the snapshot
+        t_stage = time.perf_counter()
+        if this_phase == restored_cursor and restored_pending is not None:
+            tasks = restored_pending
+            records = list(partial_records)
+            restored_pending = None
+            partial_records = []
+        else:
+            tasks = derive_tasks()
+            records = []
+        chunk = (
+            len(tasks)
+            if ck is None or ck.every is None
+            else max(1, ck.every)
+        )
+        pos = 0
+        try:
+            while pos < len(tasks):
+                batch = tasks[pos : pos + chunk]
+                records.extend(backend.run_phase(batch, run_task, commit))
+                pos += len(batch)
+                if ck is not None and pos < len(tasks):
+                    _save_ckpt(name, pending=tasks[pos:], partial=records)
+        except ExecutionFaultError as exc:
+            located = exc.locate(stage=name, algorithm="anyscan")
+            if ck is not None:
+                epoch = _save_ckpt(
+                    name, pending=tasks[pos:], partial=records
+                )
+                raise ResumableAbort.from_fault(
+                    located, epoch=epoch, directory=ck.directory
+                )
+            raise located
+        stages.append(StageRecord(name, records, time.perf_counter() - t_stage))
+        if ck is not None:
+            _save_ckpt(name)
 
     # -- Summarization: α-blocks of full ε-neighborhood evaluations -------
 
@@ -151,25 +275,23 @@ def anyscan(
         for u, role in role_writes:
             roles[u] = role
 
-    for block_beg in range(0, n, alpha):
-        block_end = min(block_beg + alpha, n)
-        t_stage = time.perf_counter()
+    def block_tasks(block_beg: int, block_end: int):
         block_deg = deg[block_beg:block_end]
-        tasks = [
+        return [
             (beg + block_beg, end + block_beg)
             for beg, end in degree_based_tasks(block_deg, None, threshold)
         ]
-        try:
-            records = backend.run_phase(tasks, block_task, commit_block)
-        except ExecutionFaultError as exc:
-            raise exc.locate(stage="summarization", algorithm="anyscan")
-        stages.append(
-            StageRecord("summarization", records, time.perf_counter() - t_stage)
+
+    for block_beg in range(0, n, alpha):
+        block_end = min(block_beg + alpha, n)
+        _run_site(
+            "summarization",
+            lambda b=block_beg, e=block_end: block_tasks(b, e),
+            block_task,
+            commit_block,
         )
 
     # -- Merging: union cores over known similar edges ---------------------
-
-    uf = AtomicUnionFind(n)
 
     def merge_task(beg: int, end: int):
         unions: list[tuple[int, int]] = []
@@ -195,13 +317,14 @@ def anyscan(
         for u, v in unions:
             uf.union(u, v)
 
-    t_stage = time.perf_counter()
-    tasks = degree_based_tasks(deg, [r == CORE for r in roles], threshold)
-    try:
-        records = backend.run_phase(tasks, merge_task, commit_merge)
-    except ExecutionFaultError as exc:
-        raise exc.locate(stage="merging", algorithm="anyscan")
-    stages.append(StageRecord("merging", records, time.perf_counter() - t_stage))
+    _run_site(
+        "merging",
+        lambda: degree_based_tasks(
+            deg, [r == CORE for r in roles], threshold
+        ),
+        merge_task,
+        commit_merge,
+    )
 
     # -- Final: cluster ids + non-core memberships ------------------------
 

@@ -53,7 +53,7 @@ from ..metrics.records import RunRecord, StageRecord, TaskCost
 from ..obs.tracer import current_tracer
 from ..parallel.backend import ExecutionBackend, SerialBackend, commit_arc_states
 from ..parallel.scheduler import degree_based_tasks
-from ..parallel.supervisor import ExecutionFaultError
+from ..parallel.supervisor import ExecutionFaultError, ResumableAbort
 from ..similarity.bulk import predicate_prune_arcs
 from ..similarity.engine import EXEC_MODES
 from ..types import CORE, NONCORE, NSIM, ROLE_UNKNOWN, SIM, UNKNOWN, ScanParams
@@ -63,6 +63,7 @@ from .result import ClusteringResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import SimilarityStore
+    from ..checkpoint import CheckpointManager
 
 __all__ = [
     "ppscan",
@@ -122,6 +123,7 @@ def ppscan(
     algorithm_name: str | None = None,
     exec_mode: str = "scalar",
     store: "SimilarityStore | None" = None,
+    checkpoint: "CheckpointManager | None" = None,
 ) -> ClusteringResult:
     """Run ppSCAN and return the canonical clustering result.
 
@@ -139,6 +141,19 @@ def ppscan(
     exact overlaps and every freshly computed overlap is recorded, so
     repeated runs (and (ε, µ) sweeps) skip the intersections.  Decisions
     are bit-identical with or without it.
+
+    ``checkpoint`` attaches a
+    :class:`~repro.checkpoint.CheckpointManager`: the full resumable
+    state (similarity/role arrays, union-find parents, cluster ids,
+    non-core pairs, store coverage, stage records) is snapshotted at
+    every phase barrier — and, with ``checkpoint.every`` set, after
+    every N scheduler tasks inside a phase — so a killed run resumed
+    from the same directory reproduces the uninterrupted clustering
+    bit-for-bit (the phase commits are deterministic facts, so
+    re-running the un-committed suffix is Theorems 4.1–4.5 territory).
+    A fatal :class:`~repro.parallel.supervisor.ExecutionFaultError`
+    first writes a final snapshot and re-raises as
+    :class:`~repro.parallel.supervisor.ResumableAbort`.
     """
     if exec_mode not in EXEC_MODES:
         raise ValueError(
@@ -194,6 +209,128 @@ def ppscan(
     sim_np = np.full(ctx.num_arcs, UNKNOWN, dtype=np.int8)
     uf = AtomicUnionFind(n)
     stages: list[StageRecord] = []
+    cluster_id: dict[int, int] = {}  # phase 6 (CAS-min per root)
+    pairs: list[tuple[int, int]] = []  # phase 7 (cid, non-core vertex)
+
+    # ==== Checkpoint/resume ==============================================
+    # Each phase appends exactly one StageRecord, in order, so the resume
+    # cursor is simply len(stages): a snapshot taken mid-phase (before the
+    # append) says "re-run this phase's remaining tasks", one at a barrier
+    # (after the append) says "start the next phase".
+    ck = checkpoint
+    restored_cursor = 0
+    restored_pending: list[tuple[int, int]] | None = None
+    partial_records: list[TaskCost] = []
+    phase_no = 0  # index of the next phase *site* in execution order
+
+    def _save_ckpt(
+        phase: str,
+        pending: list[tuple[int, int]] | None = None,
+        partial: list[TaskCost] | None = None,
+    ) -> int:
+        arrays: dict[str, np.ndarray] = {
+            "roles": roles.copy(),
+            "sim": (
+                sim_np.copy()
+                if batched
+                else np.asarray(ctx.sim, dtype=np.int8)
+            ),
+            "uf_parent": uf.snapshot()["parent"],
+            "pairs": np.asarray(pairs, dtype=np.int64).reshape(-1, 2),
+        }
+        if cluster_id:
+            roots = sorted(cluster_id)
+            arrays["cid_roots"] = np.asarray(roots, dtype=np.int64)
+            arrays["cid_vids"] = np.asarray(
+                [cluster_id[r] for r in roots], dtype=np.int64
+            )
+        if use_store:
+            entry = store.entry_for(graph)
+            arrays["store_overlap"] = entry.overlap
+            arrays["store_coverage"] = np.packbits(entry.coverage)
+        meta: dict = {
+            "cursor": len(stages),
+            "stage_records": [s.as_dict() for s in stages],
+            "counter": counter.as_dict(),
+        }
+        if pending is not None:
+            arrays["pending"] = np.asarray(
+                pending, dtype=np.int64
+            ).reshape(-1, 2)
+            meta["partial_records"] = [
+                r.as_dict() for r in (partial or [])
+            ]
+        return ck.save(arrays=arrays, meta=meta, phase=phase)
+
+    if ck is not None:
+        ck.bind(
+            graph,
+            params,
+            algorithm="ppscan",
+            exec_mode=exec_mode,
+            extra={
+                "kernel": kernel,
+                "prune_phase": bool(prune_phase),
+                "two_phase_clustering": bool(two_phase_clustering),
+                "threshold": int(threshold),
+            },
+        )
+        snap = ck.load_latest()
+        if snap is not None:
+            restored_cursor = int(snap.meta["cursor"])
+            roles[:] = np.asarray(snap.arrays["roles"], dtype=np.int8)
+            snap_sim = np.asarray(snap.arrays["sim"], dtype=np.int8)
+            if batched:
+                sim_np = snap_sim.copy()
+            else:
+                ctx.sim[:] = snap_sim.tolist()
+                sim = ctx.sim
+            uf.restore({"parent": snap.arrays["uf_parent"]})
+            if "cid_roots" in snap.arrays:
+                cluster_id.update(
+                    zip(
+                        np.asarray(snap.arrays["cid_roots"]).tolist(),
+                        np.asarray(snap.arrays["cid_vids"]).tolist(),
+                    )
+                )
+            pairs.extend(
+                (int(a), int(b))
+                for a, b in np.asarray(snap.arrays["pairs"])
+                .reshape(-1, 2)
+                .tolist()
+            )
+            if use_store and "store_overlap" in snap.arrays:
+                entry = store.entry_for(graph)
+                entry.overlap = np.asarray(
+                    snap.arrays["store_overlap"], dtype=np.int64
+                ).copy()
+                entry.coverage = np.unpackbits(
+                    np.asarray(
+                        snap.arrays["store_coverage"], dtype=np.uint8
+                    ),
+                    count=entry.num_arcs,
+                ).astype(bool)
+                entry.dirty = True
+            stages.extend(
+                StageRecord.from_dict(d)
+                for d in snap.meta.get("stage_records", [])
+            )
+            saved_counter = snap.meta.get("counter")
+            if isinstance(saved_counter, dict):
+                for field, value in saved_counter.items():
+                    if field in type(counter).__slots__:
+                        setattr(counter, field, int(value))
+            if "pending" in snap.arrays:
+                restored_pending = [
+                    (int(b), int(e))
+                    for b, e in np.asarray(snap.arrays["pending"])
+                    .reshape(-1, 2)
+                    .tolist()
+                ]
+                partial_records = [
+                    TaskCost.from_dict(d)
+                    for d in snap.meta.get("partial_records", [])
+                ]
 
     def _snap() -> tuple[int, int, int, int]:
         return (
@@ -221,72 +358,124 @@ def ppscan(
         run_task: Callable[[int, int], tuple[object, TaskCost]],
         commit: Callable[[object], None],
     ) -> None:
-        """Schedule (Algorithm 5), execute, commit, and record one phase."""
+        """Schedule (Algorithm 5), execute, commit, and record one phase.
+
+        With a checkpoint manager attached the phase's task list is
+        executed in chunks of ``checkpoint.every`` tasks (the whole
+        phase when unset), snapshotting between chunks with the
+        *remaining* tasks stored explicitly — they cannot be re-derived
+        on resume because committed chunks already mutated the roles
+        the schedule was cut from.
+        """
+        nonlocal restored_pending, partial_records, phase_no
+        this_phase = phase_no
+        phase_no += 1
+        if this_phase < restored_cursor:
+            return  # effects and record restored from the snapshot
         t_stage = time.perf_counter()
-        needs = None if needs_role is None else roles == needs_role
-        tasks = degree_based_tasks(deg_np, needs, threshold)
+        if this_phase == restored_cursor and restored_pending is not None:
+            tasks = restored_pending
+            records = list(partial_records)
+            restored_pending = None
+            partial_records = []
+        else:
+            needs = None if needs_role is None else roles == needs_role
+            tasks = degree_based_tasks(deg_np, needs, threshold)
+            records = []
+        chunk = (
+            len(tasks)
+            if ck is None or ck.every is None
+            else max(1, ck.every)
+        )
+        pos = 0
         try:
-            if tracer.enabled:
-                with tracer.span(name, lane=0, tasks=len(tasks)):
-                    records = backend.run_phase(tasks, run_task, commit)
-            else:
-                records = backend.run_phase(tasks, run_task, commit)
+            while pos < len(tasks):
+                batch = tasks[pos : pos + chunk]
+                if tracer.enabled:
+                    with tracer.span(name, lane=0, tasks=len(batch)):
+                        recs = backend.run_phase(batch, run_task, commit)
+                else:
+                    recs = backend.run_phase(batch, run_task, commit)
+                records.extend(recs)
+                pos += len(batch)
+                if ck is not None and pos < len(tasks):
+                    _save_ckpt(name, pending=tasks[pos:], partial=records)
         except ExecutionFaultError as exc:
-            raise exc.locate(stage=name, algorithm="ppscan")
+            located = exc.locate(stage=name, algorithm="ppscan")
+            if ck is not None:
+                # Everything committed so far is durable; the failed
+                # chunk never committed, so its tasks stay pending.
+                epoch = _save_ckpt(
+                    name, pending=tasks[pos:], partial=records
+                )
+                raise ResumableAbort.from_fault(
+                    located, epoch=epoch, directory=ck.directory
+                )
+            raise located
         stages.append(
             StageRecord(name, records, time.perf_counter() - t_stage)
         )
+        if ck is not None:
+            _save_ckpt(name)
 
     # ==== Step 1: role computing (Algorithm 3) ==========================
 
     # -- Phase 1: similarity pruning --------------------------------------
-    t_stage = time.perf_counter()
-    state0: np.ndarray | None = None
-    if prune_phase:
-        state0 = predicate_prune_arcs(graph, mcn_np)
-    if use_store:
-        # Fold store-covered arcs alongside the degree-pruned ones: one
-        # vectorized overlap-vs-threshold comparison per covered arc, so
-        # a warm store resolves the similarity work before any kernel
-        # runs.  Bounds only get tighter; the role fold below stays exact.
-        if state0 is None:
-            state0 = sim_np
-        engine.prefold_cached(state0, mcn_np)
-    if state0 is not None:
-        if batched:
-            sim_np = state0
-        else:
-            ctx.sim[:] = state0.tolist()
-            sim = ctx.sim
-        sd0 = np.bincount(src_np[state0 == SIM], minlength=n)
-        nsim0 = np.bincount(src_np[state0 == NSIM], minlength=n)
-        ed0 = graph.degrees - nsim0
-        roles[ed0 < mu] = NONCORE
-        roles[sd0 >= mu] = CORE
-    # The phase is pure per-arc arithmetic executed as one data-parallel
-    # kernel; its per-task costs are synthesized from the same ranges the
-    # scheduler would cut (1 arc scan + 1 bound update per arc).
-    prune_tasks: list[TaskCost] = []
-    for beg, end in degree_based_tasks(deg_np, None, threshold):
-        arcs_in_range = int(off_np[end] - off_np[beg])
-        prune_tasks.append(
-            TaskCost(arcs=arcs_in_range, bound_updates=arcs_in_range)
+    # The phase is one inline data-parallel kernel with no task barrier
+    # inside, so resume granularity is the whole phase: it runs only when
+    # no snapshot covers it (a crash mid-prune replays it from scratch).
+    phase_no += 1  # this is site 0, restored iff any snapshot exists
+    if restored_cursor == 0:
+        t_stage = time.perf_counter()
+        state0: np.ndarray | None = None
+        if prune_phase:
+            state0 = predicate_prune_arcs(graph, mcn_np)
+        if use_store:
+            # Fold store-covered arcs alongside the degree-pruned ones: one
+            # vectorized overlap-vs-threshold comparison per covered arc, so
+            # a warm store resolves the similarity work before any kernel
+            # runs.  Bounds only get tighter; the role fold below stays
+            # exact.
+            if state0 is None:
+                state0 = sim_np
+            engine.prefold_cached(state0, mcn_np)
+        if state0 is not None:
+            if batched:
+                sim_np = state0
+            else:
+                ctx.sim[:] = state0.tolist()
+                sim = ctx.sim
+            sd0 = np.bincount(src_np[state0 == SIM], minlength=n)
+            nsim0 = np.bincount(src_np[state0 == NSIM], minlength=n)
+            ed0 = graph.degrees - nsim0
+            roles[ed0 < mu] = NONCORE
+            roles[sd0 >= mu] = CORE
+        # The phase is pure per-arc arithmetic executed as one data-parallel
+        # kernel; its per-task costs are synthesized from the same ranges the
+        # scheduler would cut (1 arc scan + 1 bound update per arc).
+        prune_tasks: list[TaskCost] = []
+        for beg, end in degree_based_tasks(deg_np, None, threshold):
+            arcs_in_range = int(off_np[end] - off_np[beg])
+            prune_tasks.append(
+                TaskCost(arcs=arcs_in_range, bound_updates=arcs_in_range)
+            )
+        stages.append(
+            StageRecord(
+                "similarity pruning", prune_tasks, time.perf_counter() - t_stage
+            )
         )
-    stages.append(
-        StageRecord(
-            "similarity pruning", prune_tasks, time.perf_counter() - t_stage
-        )
-    )
-    if tracer.enabled:
-        tracer.add_span(
-            "similarity pruning",
-            t_stage,
-            time.perf_counter(),
-            lane=0,
-            depth=1,
-            tasks=len(prune_tasks),
-            enabled=prune_phase,
-        )
+        if tracer.enabled:
+            tracer.add_span(
+                "similarity pruning",
+                t_stage,
+                time.perf_counter(),
+                lane=0,
+                depth=1,
+                tasks=len(prune_tasks),
+                enabled=prune_phase,
+            )
+        if ck is not None:
+            _save_ckpt("similarity pruning")
 
     # -- Phases 2 & 3: core checking, core consolidating -----------------
 
@@ -635,14 +824,20 @@ def ppscan(
             cluster_commit,
         )
     else:
-        stages.append(StageRecord("core clustering (no compsim)", []))
+        # Single-phase ablation: the placeholder record still occupies a
+        # phase slot so the resume cursor arithmetic stays uniform.
+        if phase_no >= restored_cursor:
+            stages.append(StageRecord("core clustering (no compsim)", []))
+            if ck is not None:
+                _save_ckpt("core clustering (no compsim)")
+        phase_no += 1
     _run_stage(
         "core clustering (compsim)", CORE, compsim_task, cluster_commit
     )
 
     # -- Phase 6: cluster id initialization (CAS-min per root) ------------
-
-    cluster_id: dict[int, int] = {}
+    # (``cluster_id`` itself is declared with the run state above so a
+    # resumed run repopulates it from the snapshot.)
 
     def init_cluster_id_task(beg: int, end: int):
         mins: dict[int, int] = {}
@@ -668,8 +863,7 @@ def ppscan(
     _run_stage("cluster id init", CORE, init_cluster_id_task, commit_cluster_id)
 
     # -- Phase 7: non-core clustering --------------------------------------
-
-    pairs: list[tuple[int, int]] = []
+    # (``pairs`` is declared with the run state above for the same reason.)
 
     def noncore_task(beg: int, end: int):
         snap = _snap()

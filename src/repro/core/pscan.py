@@ -38,6 +38,7 @@ from .result import ClusteringResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import SimilarityStore
+    from ..checkpoint import CheckpointManager
 
 __all__ = ["pscan"]
 
@@ -49,6 +50,7 @@ def pscan(
     use_ed_order: bool = True,
     exec_mode: str = "scalar",
     store: "SimilarityStore | None" = None,
+    checkpoint: "CheckpointManager | None" = None,
 ) -> ClusteringResult:
     """Run sequential pSCAN; returns the canonical clustering result.
 
@@ -68,6 +70,15 @@ def pscan(
     arcs seed the sd/ed bounds before the first vertex is popped (the
     ed-order heap starts from the tightened bounds) and fresh overlaps
     are recorded for future runs.  Clustering is bit-identical.
+
+    ``checkpoint`` attaches a :class:`~repro.checkpoint.CheckpointManager`.
+    pSCAN is a single sequential vertex loop, so snapshots are taken every
+    ``every`` processed vertices (cursor 0) and once at loop exit (cursor
+    1); each snapshot captures the full loop state — sim/roles, sd/ed
+    bounds, the lazy heap, processed flags, the union-find forest — so a
+    resumed run pops the exact same vertex sequence and produces a
+    bit-identical clustering.  The final labeling pass is pure derivation
+    and is always recomputed.
     """
     if exec_mode not in EXEC_MODES:
         raise ValueError(
@@ -183,6 +194,104 @@ def pscan(
     order_static = sorted(range(n), key=lambda u: -deg[u])
     static_pos = 0
 
+    # ==== Checkpoint/resume ==============================================
+    # pSCAN has no phase barriers — the whole algorithm is one vertex
+    # loop — so the cursor is binary: 0 while the loop runs (snapshots
+    # carry the complete loop state), 1 once it has drained.  The final
+    # labeling pass is pure derivation from sim/roles/uf and is always
+    # recomputed on resume.
+    ck = checkpoint
+    restored_cursor = 0
+    done = 0  # vertices processed so far (drives the snapshot cadence)
+
+    def _save_ckpt(phase: str, cursor: int) -> int:
+        arrays: dict[str, np.ndarray] = {
+            "sim": (
+                sim_np.copy()
+                if batched
+                else np.asarray(sim, dtype=np.int8)
+            ),
+            "roles": np.asarray(roles, dtype=np.int8),
+            "sd": np.asarray(sd, dtype=np.int64),
+            "ed": np.asarray(ed, dtype=np.int64),
+            "processed": np.asarray(processed, dtype=bool),
+            "heap": np.asarray(heap, dtype=np.int64).reshape(-1, 2),
+        }
+        uf_state = uf.snapshot()
+        arrays["uf_parent"] = uf_state["parent"]
+        arrays["uf_size"] = uf_state["size"]
+        if use_store:
+            entry = store.entry_for(graph)
+            arrays["store_overlap"] = entry.overlap
+            arrays["store_coverage"] = np.packbits(entry.coverage)
+        meta = {
+            "cursor": cursor,
+            "static_pos": static_pos,
+            "reduction_ops": reduction_ops,
+            "other_arcs": other_arcs,
+            "done": done,
+            "counter": counter.as_dict(),
+        }
+        return ck.save(arrays=arrays, meta=meta, phase=phase)
+
+    if ck is not None:
+        ck.bind(
+            graph,
+            params,
+            algorithm="pscan",
+            exec_mode=exec_mode,
+            extra={"kernel": kernel, "ed_order": bool(use_ed_order)},
+        )
+        snap = ck.load_latest()
+        if snap is not None:
+            restored_cursor = int(snap.meta["cursor"])
+            snap_sim = np.asarray(snap.arrays["sim"], dtype=np.int8)
+            if batched:
+                sim_np[:] = snap_sim
+            else:
+                sim[:] = snap_sim.tolist()
+            roles[:] = np.asarray(
+                snap.arrays["roles"], dtype=np.int8
+            ).tolist()
+            sd[:] = np.asarray(snap.arrays["sd"], dtype=np.int64).tolist()
+            ed[:] = np.asarray(snap.arrays["ed"], dtype=np.int64).tolist()
+            processed[:] = np.asarray(
+                snap.arrays["processed"], dtype=bool
+            ).tolist()
+            heap[:] = [
+                (int(a), int(b))
+                for a, b in np.asarray(snap.arrays["heap"])
+                .reshape(-1, 2)
+                .tolist()
+            ]
+            uf.restore(
+                {
+                    "parent": snap.arrays["uf_parent"],
+                    "size": snap.arrays["uf_size"],
+                }
+            )
+            if use_store and "store_overlap" in snap.arrays:
+                entry = store.entry_for(graph)
+                entry.overlap = np.asarray(
+                    snap.arrays["store_overlap"], dtype=np.int64
+                ).copy()
+                entry.coverage = np.unpackbits(
+                    np.asarray(
+                        snap.arrays["store_coverage"], dtype=np.uint8
+                    ),
+                    count=entry.num_arcs,
+                ).astype(bool)
+                entry.dirty = True
+            static_pos = int(snap.meta["static_pos"])
+            reduction_ops = int(snap.meta["reduction_ops"])
+            other_arcs = int(snap.meta["other_arcs"])
+            done = int(snap.meta["done"])
+            saved_counter = snap.meta.get("counter")
+            if isinstance(saved_counter, dict):
+                for field, value in saved_counter.items():
+                    if field in type(counter).__slots__:
+                        setattr(counter, field, int(value))
+
     def next_vertex() -> int | None:
         nonlocal static_pos, reduction_ops
         if use_ed_order:
@@ -282,11 +391,21 @@ def pscan(
     do_check = check_core_batched if batched else check_core
     do_cluster = cluster_core_batched if batched else cluster_core
 
-    while (u := next_vertex()) is not None:
-        processed[u] = True
-        do_check(u)
-        if roles[u] == CORE:
-            do_cluster(u)
+    if restored_cursor < 1:
+        while (u := next_vertex()) is not None:
+            processed[u] = True
+            do_check(u)
+            if roles[u] == CORE:
+                do_cluster(u)
+            done += 1
+            if (
+                ck is not None
+                and ck.every is not None
+                and done % ck.every == 0
+            ):
+                _save_ckpt("vertex loop", cursor=0)
+        if ck is not None:
+            _save_ckpt("vertex loop", cursor=1)
 
     # -- cluster id init + non-core clustering (Algorithm 2 line 8) -------
 

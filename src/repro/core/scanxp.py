@@ -21,7 +21,7 @@ from ..metrics.records import RunRecord, StageRecord, TaskCost
 from ..obs.tracer import current_tracer
 from ..parallel.backend import ExecutionBackend, SerialBackend
 from ..parallel.scheduler import degree_based_tasks
-from ..parallel.supervisor import ExecutionFaultError
+from ..parallel.supervisor import ExecutionFaultError, ResumableAbort
 from ..similarity.engine import EXEC_MODES
 from ..types import CORE, NONCORE, NSIM, SIM, UNKNOWN, ScanParams
 from ..unionfind import AtomicUnionFind
@@ -31,6 +31,7 @@ from .result import ClusteringResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import SimilarityStore
+    from ..checkpoint import CheckpointManager
 
 __all__ = ["scanxp"]
 
@@ -44,6 +45,7 @@ def scanxp(
     task_threshold: int | None = None,
     exec_mode: str = "scalar",
     store: "SimilarityStore | None" = None,
+    checkpoint: "CheckpointManager | None" = None,
 ) -> ClusteringResult:
     """Run SCAN-XP; returns the canonical clustering result.
 
@@ -119,21 +121,155 @@ def scanxp(
         off, dst, adj, deg = ctx.off, ctx.dst, ctx.adj, ctx.deg
         sim, roles, mcn = ctx.sim, ctx.roles, ctx.mcn
     stages: list[StageRecord] = []
+    #: roles as int8 end-to-end; zeros until phase 2 computes (or a
+    #: snapshot restores) them.
+    roles_np = np.zeros(n, dtype=np.int8)
+    uf = AtomicUnionFind(n)
+
+    # ==== Checkpoint/resume (same protocol as ppscan) ====================
+    ck = checkpoint
+    restored_cursor = 0
+    restored_pending: list[tuple[int, int]] | None = None
+    partial_records: list[TaskCost] = []
+    phase_no = 0
+
+    def _save_ckpt(
+        phase: str,
+        pending: list[tuple[int, int]] | None = None,
+        partial: list[TaskCost] | None = None,
+    ) -> int:
+        arrays: dict[str, np.ndarray] = {
+            "sim": (
+                sim_np.copy()
+                if batched
+                else np.asarray(ctx.sim, dtype=np.int8)
+            ),
+            "roles": roles_np.copy(),
+            "uf_parent": uf.snapshot()["parent"],
+        }
+        if use_store:
+            entry = store.entry_for(graph)
+            arrays["store_overlap"] = entry.overlap
+            arrays["store_coverage"] = np.packbits(entry.coverage)
+        meta: dict = {
+            "cursor": len(stages),
+            "stage_records": [s.as_dict() for s in stages],
+            "counter": counter.as_dict(),
+        }
+        if pending is not None:
+            arrays["pending"] = np.asarray(
+                pending, dtype=np.int64
+            ).reshape(-1, 2)
+            meta["partial_records"] = [
+                r.as_dict() for r in (partial or [])
+            ]
+        return ck.save(arrays=arrays, meta=meta, phase=phase)
+
+    if ck is not None:
+        ck.bind(
+            graph,
+            params,
+            algorithm="scanxp",
+            exec_mode=exec_mode,
+            extra={"threshold": int(threshold)},
+        )
+        snap = ck.load_latest()
+        if snap is not None:
+            restored_cursor = int(snap.meta["cursor"])
+            snap_sim = np.asarray(snap.arrays["sim"], dtype=np.int8)
+            roles_np = np.asarray(
+                snap.arrays["roles"], dtype=np.int8
+            ).copy()
+            if batched:
+                sim_np = snap_sim.copy()
+            else:
+                ctx.sim[:] = snap_sim.tolist()
+                sim = ctx.sim
+                roles[:] = roles_np.tolist()
+            uf.restore({"parent": snap.arrays["uf_parent"]})
+            if use_store and "store_overlap" in snap.arrays:
+                entry = store.entry_for(graph)
+                entry.overlap = np.asarray(
+                    snap.arrays["store_overlap"], dtype=np.int64
+                ).copy()
+                entry.coverage = np.unpackbits(
+                    np.asarray(
+                        snap.arrays["store_coverage"], dtype=np.uint8
+                    ),
+                    count=entry.num_arcs,
+                ).astype(bool)
+                entry.dirty = True
+            stages.extend(
+                StageRecord.from_dict(d)
+                for d in snap.meta.get("stage_records", [])
+            )
+            saved_counter = snap.meta.get("counter")
+            if isinstance(saved_counter, dict):
+                for field, value in saved_counter.items():
+                    if field in type(counter).__slots__:
+                        setattr(counter, field, int(value))
+            if "pending" in snap.arrays:
+                restored_pending = [
+                    (int(b), int(e))
+                    for b, e in np.asarray(snap.arrays["pending"])
+                    .reshape(-1, 2)
+                    .tolist()
+                ]
+                partial_records = [
+                    TaskCost.from_dict(d)
+                    for d in snap.meta.get("partial_records", [])
+                ]
 
     def _run_stage(name, needs, run_task, commit) -> None:
+        nonlocal restored_pending, partial_records, phase_no
+        this_phase = phase_no
+        phase_no += 1
+        if this_phase < restored_cursor:
+            return  # effects and record restored from the snapshot
         t_stage = time.perf_counter()
-        tasks = degree_based_tasks(
-            deg_np if batched else deg, needs, threshold
+        if this_phase == restored_cursor and restored_pending is not None:
+            tasks = restored_pending
+            records = list(partial_records)
+            restored_pending = None
+            partial_records = []
+        else:
+            tasks = degree_based_tasks(
+                deg_np if batched else deg, needs, threshold
+            )
+            records = []
+        chunk = (
+            len(tasks)
+            if ck is None or ck.every is None
+            else max(1, ck.every)
         )
+        pos = 0
         try:
-            if tracer.enabled:
-                with tracer.span(name, lane=0, tasks=len(tasks)):
-                    records = backend.run_phase(tasks, run_task, commit)
-            else:
-                records = backend.run_phase(tasks, run_task, commit)
+            while pos < len(tasks):
+                batch_tasks = tasks[pos : pos + chunk]
+                if tracer.enabled:
+                    with tracer.span(name, lane=0, tasks=len(batch_tasks)):
+                        recs = backend.run_phase(
+                            batch_tasks, run_task, commit
+                        )
+                else:
+                    recs = backend.run_phase(batch_tasks, run_task, commit)
+                records.extend(recs)
+                pos += len(batch_tasks)
+                if ck is not None and pos < len(tasks):
+                    _save_ckpt(name, pending=tasks[pos:], partial=records)
         except ExecutionFaultError as exc:
-            raise exc.locate(stage=name, algorithm="scanxp")
+            located = exc.locate(stage=name, algorithm="scanxp")
+            if ck is not None:
+                epoch = _save_ckpt(
+                    name, pending=tasks[pos:], partial=records
+                )
+                raise ResumableAbort.from_fault(
+                    located, epoch=epoch, directory=ck.directory
+                )
+            raise located
         stages.append(StageRecord(name, records, time.perf_counter() - t_stage))
+        if ck is not None:
+            _save_ckpt(name)
 
     # -- Phase 1: exhaustive similarity, one full intersection per arc ----
 
@@ -227,35 +363,41 @@ def scanxp(
 
     # -- Phase 2: roles from exact similar-degree counts -------------------
 
-    t_stage = time.perf_counter()
-    if not batched:
+    if phase_no >= restored_cursor:
+        t_stage = time.perf_counter()
+        if not batched:
+            sim_np = ctx.sim_array()
+        sd = np.bincount(src_np[sim_np == SIM], minlength=n)
+        roles_np = np.where(sd >= mu, CORE, NONCORE).astype(np.int8)
+        if not batched:
+            roles[:] = roles_np.tolist()
+        role_tasks = [
+            TaskCost(arcs=int(off_np[end] - off_np[beg]))
+            for beg, end in degree_based_tasks(
+                deg_np if batched else deg, None, threshold
+            )
+        ]
+        stages.append(
+            StageRecord(
+                "role computation", role_tasks, time.perf_counter() - t_stage
+            )
+        )
+        if tracer.enabled:
+            tracer.add_span(
+                "role computation",
+                t_stage,
+                time.perf_counter(),
+                lane=0,
+                depth=1,
+                tasks=len(role_tasks),
+            )
+        if ck is not None:
+            _save_ckpt("role computation")
+    elif not batched:
         sim_np = ctx.sim_array()
-    sd = np.bincount(src_np[sim_np == SIM], minlength=n)
-    roles_np = np.where(sd >= mu, CORE, NONCORE).astype(np.int8)
-    if not batched:
-        roles[:] = roles_np.tolist()
-    role_tasks = [
-        TaskCost(arcs=int(off_np[end] - off_np[beg]))
-        for beg, end in degree_based_tasks(
-            deg_np if batched else deg, None, threshold
-        )
-    ]
-    stages.append(
-        StageRecord("role computation", role_tasks, time.perf_counter() - t_stage)
-    )
-    if tracer.enabled:
-        tracer.add_span(
-            "role computation",
-            t_stage,
-            time.perf_counter(),
-            lane=0,
-            depth=1,
-            tasks=len(role_tasks),
-        )
+    phase_no += 1
 
     # -- Phase 3: core clustering over known similar edges ----------------
-
-    uf = AtomicUnionFind(n)
 
     def cluster_task(beg: int, end: int):
         unions: list[tuple[int, int]] = []

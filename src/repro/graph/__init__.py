@@ -13,6 +13,7 @@ from .builders import (
     star_graph,
 )
 from .io import (
+    GraphFormatError,
     load_graph,
     read_csr_binary,
     read_edge_list,
@@ -48,6 +49,7 @@ __all__ = [
     "path_graph",
     "cycle_graph",
     "star_graph",
+    "GraphFormatError",
     "read_edge_list",
     "write_edge_list",
     "read_csr_binary",

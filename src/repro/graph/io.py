@@ -18,6 +18,7 @@ from .csr import CSRGraph, VERTEX_DTYPE
 from .builders import from_edge_array
 
 __all__ = [
+    "GraphFormatError",
     "read_edge_list",
     "write_edge_list",
     "read_csr_binary",
@@ -30,10 +31,38 @@ __all__ = [
 _MAGIC = b"PPSCANG1"
 
 
+class GraphFormatError(ValueError):
+    """A malformed graph file.
+
+    Subclasses ``ValueError`` so historical ``except ValueError`` call
+    sites keep working; the message is prefixed with ``path:line:``
+    context whenever it is known, so the offending input is one click
+    away.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | os.PathLike | None = None,
+        line: int | None = None,
+    ) -> None:
+        self.path = str(path) if path is not None else None
+        self.line = line
+        prefix = ""
+        if self.path is not None:
+            prefix = self.path
+            if line is not None:
+                prefix += f":{line}"
+            prefix += ": "
+        super().__init__(prefix + message)
+
+
 def read_edge_list(
     path: str | os.PathLike,
     comment: str = "#",
     compact_ids: bool = False,
+    strict: bool = False,
 ) -> CSRGraph:
     """Read a whitespace-separated edge list (SNAP format).
 
@@ -43,18 +72,53 @@ def read_edge_list(
     non-contiguous ids — pass ``compact_ids=True`` to remap them densely
     to ``0..n-1`` (ascending original-id order) instead of materializing
     ``max(id) + 1`` vertices.
+
+    Malformed input raises :class:`GraphFormatError` with ``path:line:``
+    context.  ``strict=True`` additionally rejects what normalization
+    would otherwise silently repair: self-loops and duplicate edges.
     """
     rows: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] | None = set() if strict else None
     opener = gzip.open if Path(path).suffix == ".gz" else open
     with opener(path, "rt", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line or line.startswith(comment):
                 continue
             parts = line.split()
             if len(parts) < 2:
-                raise ValueError(f"malformed edge line: {line!r}")
-            rows.append((int(parts[0]), int(parts[1])))
+                raise GraphFormatError(
+                    f"malformed edge line: {line!r} (expected at least "
+                    "two whitespace-separated vertex ids)",
+                    path=path,
+                    line=lineno,
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise GraphFormatError(
+                    f"non-integer vertex id in line: {line!r}",
+                    path=path,
+                    line=lineno,
+                ) from None
+            if u < 0 or v < 0:
+                raise GraphFormatError(
+                    f"negative vertex id in line: {line!r}",
+                    path=path,
+                    line=lineno,
+                )
+            if seen is not None:
+                if u == v:
+                    raise GraphFormatError(
+                        f"self-loop {u}-{v}", path=path, line=lineno
+                    )
+                key = (u, v) if u < v else (v, u)
+                if key in seen:
+                    raise GraphFormatError(
+                        f"duplicate edge {u}-{v}", path=path, line=lineno
+                    )
+                seen.add(key)
+            rows.append((u, v))
     edges = np.array(rows, dtype=VERTEX_DTYPE).reshape(-1, 2)
     if compact_ids and edges.size:
         unique_ids, edges_flat = np.unique(edges, return_inverse=True)
@@ -84,15 +148,66 @@ def write_csr_binary(graph: CSRGraph, path: str | os.PathLike) -> None:
 
 
 def read_csr_binary(path: str | os.PathLike) -> CSRGraph:
-    """Read a graph written by :func:`write_csr_binary`."""
+    """Read a graph written by :func:`write_csr_binary`.
+
+    Truncated files, corrupt headers, non-monotonic offset arrays and
+    out-of-range destinations all raise :class:`GraphFormatError`
+    (naming the file) instead of silently constructing a wrong graph.
+    """
     with open(path, "rb") as fh:
         magic = fh.read(len(_MAGIC))
+        if len(magic) < len(_MAGIC):
+            raise GraphFormatError("truncated header", path=path)
         if magic != _MAGIC:
-            raise ValueError(f"{path}: bad magic {magic!r}")
-        header = np.frombuffer(fh.read(16), dtype=np.int64)
+            raise GraphFormatError(f"bad magic {magic!r}", path=path)
+        header_bytes = fh.read(16)
+        if len(header_bytes) < 16:
+            raise GraphFormatError("truncated header", path=path)
+        header = np.frombuffer(header_bytes, dtype=np.int64)
         n, arcs = int(header[0]), int(header[1])
-        offsets = np.frombuffer(fh.read(8 * (n + 1)), dtype=np.int64).copy()
-        dst = np.frombuffer(fh.read(8 * arcs), dtype=np.int64).copy()
+        if n < 0 or arcs < 0:
+            raise GraphFormatError(
+                f"corrupt header: num_vertices={n}, num_arcs={arcs}",
+                path=path,
+            )
+        offsets_bytes = fh.read(8 * (n + 1))
+        if len(offsets_bytes) < 8 * (n + 1):
+            raise GraphFormatError(
+                f"truncated offsets array (expected {n + 1} entries, "
+                f"got {len(offsets_bytes) // 8})",
+                path=path,
+            )
+        offsets = np.frombuffer(offsets_bytes, dtype=np.int64).copy()
+        dst_bytes = fh.read(8 * arcs)
+        if len(dst_bytes) < 8 * arcs:
+            raise GraphFormatError(
+                f"truncated destination array (expected {arcs} entries, "
+                f"got {len(dst_bytes) // 8})",
+                path=path,
+            )
+        dst = np.frombuffer(dst_bytes, dtype=np.int64).copy()
+    if offsets.size and int(offsets[0]) != 0:
+        raise GraphFormatError(
+            f"offsets must start at 0, got {int(offsets[0])}", path=path
+        )
+    if offsets.size and int(offsets[-1]) != arcs:
+        raise GraphFormatError(
+            f"final offset {int(offsets[-1])} != num_arcs {arcs}",
+            path=path,
+        )
+    if offsets.size and bool(np.any(np.diff(offsets) < 0)):
+        bad = int(np.flatnonzero(np.diff(offsets) < 0)[0])
+        raise GraphFormatError(
+            f"non-monotonic offsets at vertex {bad} "
+            f"({int(offsets[bad])} -> {int(offsets[bad + 1])})",
+            path=path,
+        )
+    if dst.size and (int(dst.min()) < 0 or int(dst.max()) >= n):
+        raise GraphFormatError(
+            "destination vertex id out of range "
+            f"[0, {n}): min={int(dst.min())}, max={int(dst.max())}",
+            path=path,
+        )
     return CSRGraph(offsets=offsets, dst=dst)
 
 
@@ -140,13 +255,18 @@ def write_matrix_market(graph: CSRGraph, path: str | os.PathLike) -> None:
             fh.write(f"{v + 1} {u + 1}\n")
 
 
-def load_graph(path: str | os.PathLike) -> CSRGraph:
+def load_graph(path: str | os.PathLike, *, strict: bool = False) -> CSRGraph:
     """Load a graph, dispatching on extension: ``.bin`` binary CSR,
     ``.mtx`` MatrixMarket, else a whitespace edge list (optionally
-    gzip-compressed, the format SNAP distributes)."""
+    gzip-compressed, the format SNAP distributes).
+
+    ``strict=True`` rejects input that normalization would silently
+    repair (self-loops, duplicate edges in text formats); binary CSR is
+    always fully validated on read.
+    """
     suffix = Path(path).suffix
     if suffix == ".bin":
         return read_csr_binary(path)
     if suffix == ".mtx":
         return read_matrix_market(path)
-    return read_edge_list(path)
+    return read_edge_list(path, strict=strict)

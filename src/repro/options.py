@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .cache import SimilarityStore
+    from .checkpoint import CheckpointManager
     from .graph import CSRGraph
     from .parallel.backend import ExecutionBackend
 
@@ -129,6 +130,11 @@ class ExecutionOptions:
     #: that support it reuse cached exact overlaps and record fresh ones;
     #: clustering stays bit-identical.  ``None`` disables caching.
     cache: "SimilarityStore | None" = None
+    #: Durable run state (see :mod:`repro.checkpoint`): algorithms that
+    #: support it snapshot their phase state through the manager and can
+    #: resume a crashed run bit-identically.  ``None`` disables
+    #: checkpointing.
+    checkpoint: "CheckpointManager | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(

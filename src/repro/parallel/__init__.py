@@ -8,13 +8,21 @@ from .scheduler import (
     uniform_tasks,
 )
 from .simthread import assign_tasks, greedy_makespan
-from .chaos import ChaosError, Fault, FaultKind, FaultPlan
+from .chaos import (
+    CRASH_EXIT_CODE,
+    ChaosError,
+    Fault,
+    FaultKind,
+    FaultPlan,
+    ProcessCrashPoint,
+)
 from .supervisor import (
     ExecutionFaultError,
     FaultTolerancePolicy,
     PoisonTaskError,
     QuarantineReport,
     RecoveryEvent,
+    ResumableAbort,
     RetryBudgetExhaustedError,
     Supervisor,
     TaskFailure,
@@ -52,9 +60,12 @@ __all__ = [
     "ExecutionFaultError",
     "RetryBudgetExhaustedError",
     "PoisonTaskError",
+    "ResumableAbort",
     # fault injection
     "FaultKind",
     "Fault",
     "FaultPlan",
     "ChaosError",
+    "ProcessCrashPoint",
+    "CRASH_EXIT_CODE",
 ]

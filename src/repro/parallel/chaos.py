@@ -31,6 +31,19 @@ Fault kinds
 A fault with ``attempt=0`` (the default) fires only on the first
 execution attempt, so the retry recovers; ``attempt=None`` fires on
 *every* attempt, which is how a poison task is modelled.
+
+Whole-process crashes
+---------------------
+The faults above kill *workers*; the supervisor survives them.  A
+:class:`ProcessCrashPoint` kills the *driving process itself* at a
+chosen checkpoint epoch — either just before the snapshot is written
+(``before-save``, i.e. crash-mid-phase: the previous epoch must carry
+the resume) or just after (``after-save``, i.e. crash-at-barrier: the
+fresh epoch must).  The crash-restart harness arms one via the
+``REPRO_CRASH_EPOCH`` / ``REPRO_CRASH_MODE`` environment variables and
+SIGKILL-equivalently ``os._exit``\\ s the real CLI process; in-process
+tests inject an ``exit_fn`` that raises instead, so the Python state
+dies but the checkpoint files remain inspectable.
 """
 
 from __future__ import annotations
@@ -48,7 +61,69 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "ChaosError",
+    "ProcessCrashPoint",
+    "CRASH_EXIT_CODE",
 ]
+
+#: Exit status of an armed :class:`ProcessCrashPoint` — the classic
+#: 128+SIGKILL value, so the harness can tell an injected crash from
+#: any ordinary failure.
+CRASH_EXIT_CODE = 137
+
+
+@dataclass(frozen=True)
+class ProcessCrashPoint:
+    """Kill the whole driving process at one checkpoint epoch.
+
+    ``mode`` selects which side of the durable write dies:
+    ``"after-save"`` (crash-at-barrier — epoch ``epoch`` is on disk)
+    or ``"before-save"`` (crash-mid-phase — epoch ``epoch`` is *not*).
+    ``epoch=None`` disarms the point entirely, which is the default a
+    :class:`~repro.checkpoint.CheckpointManager` runs with.
+
+    ``exit_fn`` exists for in-process tests: the default ``None`` means
+    ``os._exit(CRASH_EXIT_CODE)`` (no atexit, no finally blocks — as
+    close to SIGKILL as Python gets), while a test can substitute a
+    function that raises, leaving the checkpoint directory behind for
+    a resume assertion.
+    """
+
+    epoch: int | None = None
+    mode: str = "after-save"
+    exit_fn: object = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("after-save", "before-save"):
+            raise ValueError(
+                f"crash mode must be 'after-save' or 'before-save', "
+                f"got {self.mode!r}"
+            )
+
+    @classmethod
+    def from_env(cls, environ: dict | None = None) -> "ProcessCrashPoint":
+        """An armed point from ``REPRO_CRASH_EPOCH``/``REPRO_CRASH_MODE``,
+        or a disarmed one when the variables are absent or malformed."""
+        env = os.environ if environ is None else environ
+        raw = env.get("REPRO_CRASH_EPOCH")
+        if raw is None:
+            return cls()
+        try:
+            epoch = int(raw)
+        except ValueError:
+            return cls()
+        mode = env.get("REPRO_CRASH_MODE", "after-save")
+        if mode not in ("after-save", "before-save"):
+            mode = "after-save"
+        return cls(epoch=epoch, mode=mode)
+
+    def fire(self, mode: str, epoch: int) -> None:
+        """Die iff this point is armed for exactly (``mode``, ``epoch``)."""
+        if self.epoch is None or self.epoch != epoch or self.mode != mode:
+            return
+        if self.exit_fn is not None:
+            self.exit_fn(CRASH_EXIT_CODE)
+            return
+        os._exit(CRASH_EXIT_CODE)
 
 
 class ChaosError(RuntimeError):

@@ -44,6 +44,7 @@ import time
 import traceback
 from multiprocessing import connection
 from dataclasses import dataclass, field
+from random import Random
 from typing import Any, Callable, Sequence
 
 from ..metrics.records import TaskCost
@@ -58,6 +59,7 @@ __all__ = [
     "ExecutionFaultError",
     "RetryBudgetExhaustedError",
     "PoisonTaskError",
+    "ResumableAbort",
     "Supervisor",
 ]
 
@@ -85,6 +87,17 @@ class FaultTolerancePolicy:
     poison_threshold: int = 3
     backoff_base: float = 0.05
     backoff_cap: float = 2.0
+    #: Multiplicative jitter fraction on each backoff delay (0 disables).
+    #: Jitter is drawn deterministically from ``jitter_seed`` keyed by
+    #: (task, attempt), so a seeded chaos run retries on an identical
+    #: schedule every time — delays never influence the clustering, only
+    #: when retries land.
+    backoff_jitter: float = 0.0
+    jitter_seed: int = 0
+    #: Cap on the *total* backoff wall-clock one task may accumulate; a
+    #: retry whose delay would exceed it fails fatally (the existing
+    #: retry budget, expressed in seconds instead of attempts).
+    max_retry_wall: float | None = None
     heartbeat_interval: float = 0.2
     heartbeat_timeout: float | None = None
     max_respawns: int | None = None
@@ -97,9 +110,20 @@ class FaultTolerancePolicy:
             return self.max_respawns
         return 4 * workers
 
-    def backoff(self, attempt: int) -> float:
+    def backoff(self, attempt: int, *, task: int = 0) -> float:
         """Delay before dispatching ``attempt`` (attempt 1 = first retry)."""
-        return min(self.backoff_base * (2 ** max(attempt - 1, 0)), self.backoff_cap)
+        delay = min(
+            self.backoff_base * (2 ** max(attempt - 1, 0)), self.backoff_cap
+        )
+        if self.backoff_jitter > 0.0:
+            # random.Random wants an int seed; mix (seed, task, attempt)
+            # with distinct odd multipliers so nearby keys decorrelate.
+            mixed = (
+                self.jitter_seed * 1_000_003 + task * 8191 + attempt
+            ) & 0x7FFFFFFFFFFFFFFF
+            frac = Random(mixed).random()
+            delay *= 1.0 + self.backoff_jitter * frac
+        return delay
 
 
 @dataclass(frozen=True)
@@ -221,6 +245,41 @@ class PoisonTaskError(ExecutionFaultError):
         self.report = report
 
 
+class ResumableAbort(ExecutionFaultError):
+    """A fatal execution fault *after* a final checkpoint was written.
+
+    Raised by checkpoint-aware phase loops in place of the underlying
+    :class:`ExecutionFaultError` (kept as ``__cause__``) once the run's
+    progress up to the failed phase is durably on disk: the caller can
+    re-run with ``--resume`` and lose only the phase suffix that never
+    committed.  Carries the saved ``epoch`` and ``checkpoint_dir``.
+    """
+
+    def __init__(
+        self, message: str, *, epoch: int, checkpoint_dir, **kwargs
+    ) -> None:
+        super().__init__(message, **kwargs)
+        self.epoch = epoch
+        self.checkpoint_dir = checkpoint_dir
+
+    @classmethod
+    def from_fault(
+        cls, fault: ExecutionFaultError, *, epoch: int, directory
+    ) -> "ResumableAbort":
+        out = cls(
+            f"{RuntimeError.__str__(fault)} — checkpoint epoch {epoch} "
+            f"saved to {directory}; re-run with --resume to continue",
+            epoch=epoch,
+            checkpoint_dir=directory,
+            failures=list(fault.failures),
+            events=list(fault.events),
+        )
+        out.stage = fault.stage
+        out.algorithm = fault.algorithm
+        out.__cause__ = fault
+        return out
+
+
 # ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
@@ -313,6 +372,7 @@ class _TaskState:
     consecutive_kills: int = 0
     completed: bool = False
     speculated: bool = False
+    backoff_spent: float = 0.0  # total backoff wall-clock accumulated
     failures: list[TaskFailure] = field(default_factory=list)
 
 
@@ -520,7 +580,22 @@ class Supervisor:
                         events=self.events,
                     )
                 return
-            delay = policy.backoff(state.attempts)
+            delay = policy.backoff(state.attempts, task=state.index)
+            if (
+                policy.max_retry_wall is not None
+                and state.backoff_spent + delay > policy.max_retry_wall
+            ):
+                if fatal is None:
+                    fatal = RetryBudgetExhaustedError(
+                        f"task {state.index} exhausted its retry "
+                        f"wall-clock budget ({policy.max_retry_wall:.2f}s: "
+                        f"{state.backoff_spent:.2f}s spent + {delay:.2f}s "
+                        f"next backoff); last: {kind} — {detail}",
+                        failures=list(state.failures),
+                        events=self.events,
+                    )
+                return
+            state.backoff_spent += delay
             self._event(
                 "retry",
                 task=state.index,

@@ -25,14 +25,21 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from .bench.reporting import format_table
 from .cache import CacheStats, SimilarityStore
 from .core.result import ClusteringResult
 from .graph.csr import CSRGraph
+from .metrics.records import RunRecord
 from .obs.tracer import current_tracer
 from .options import ExecutionOptions
 from .types import ScanParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .checkpoint import CheckpointManager
 
 __all__ = ["SweepEngine", "SweepOutcome", "SweepPoint"]
 
@@ -126,6 +133,7 @@ class SweepEngine:
         store: SimilarityStore | None = None,
         cache_dir=None,
         use_cache: bool = True,
+        checkpoint: "CheckpointManager | None" = None,
     ) -> None:
         self.graph = graph
         self.algorithm = algorithm
@@ -135,6 +143,15 @@ class SweepEngine:
         if store is None and use_cache:
             store = SimilarityStore(cache_dir=cache_dir)
         self.store = store if use_cache else None
+        #: Per-grid-point durable resume: after each point the cumulative
+        #: results (plus the store's coverage) are snapshotted, so a
+        #: crashed sweep restarts at the first unfinished point with at
+        #: least the reuse the interrupted run had accumulated.
+        self.checkpoint = (
+            checkpoint
+            if checkpoint is not None
+            else self.options.checkpoint
+        )
 
     @staticmethod
     def grid_order(
@@ -159,9 +176,117 @@ class SweepEngine:
             opts = opts.evolve(cache=self.store)
         elif opts.cache is not None:
             opts = opts.evolve(cache=None)
+        # The sweep owns the checkpoint: each grid point is one epoch.
+        # Inner cluster() calls must NOT see the manager, or they would
+        # rebind it to their own (eps, mu) identity mid-sweep.
+        if opts.checkpoint is not None:
+            opts = opts.evolve(checkpoint=None)
         tracer = current_tracer()
         points: list[SweepPoint] = []
-        for eps, mu in self.grid_order(eps_values, mu_values):
+        spilled = 0
+        order = [
+            (float(e), int(m))
+            for e, m in self.grid_order(eps_values, mu_values)
+        ]
+        ck = self.checkpoint
+        if ck is not None and order:
+            ck.bind(
+                self.graph,
+                ScanParams(order[0][0], order[0][1]),
+                algorithm=f"sweep:{self.algorithm}",
+                exec_mode=str(opts.exec_mode.value),
+                extra={
+                    "grid": [[e, m] for e, m in order],
+                    "cached": self.store is not None,
+                },
+            )
+            snap = ck.load_latest()
+            if snap is not None:
+                for i, info in enumerate(snap.meta.get("points", [])):
+                    pairs_arr = (
+                        np.asarray(snap.arrays[f"pt{i}_pairs"])
+                        .reshape(-1, 2)
+                        .tolist()
+                    )
+                    result = ClusteringResult(
+                        algorithm=str(info["algorithm"]),
+                        params=ScanParams(
+                            float(info["eps"]), int(info["mu"])
+                        ),
+                        roles=np.asarray(
+                            snap.arrays[f"pt{i}_roles"], dtype=np.int8
+                        ),
+                        core_labels=np.asarray(
+                            snap.arrays[f"pt{i}_labels"], dtype=np.int64
+                        ),
+                        noncore_pairs=[
+                            (int(a), int(b)) for a, b in pairs_arr
+                        ],
+                        record=RunRecord(
+                            algorithm=str(info["algorithm"]),
+                            stages=[],
+                            wall_seconds=float(info["wall"]),
+                        ),
+                    )
+                    points.append(
+                        SweepPoint(
+                            eps=float(info["eps"]),
+                            mu=int(info["mu"]),
+                            result=result,
+                            hits=int(info["hits"]),
+                            misses=int(info["misses"]),
+                            wall_seconds=float(info["wall"]),
+                        )
+                    )
+                if self.store is not None and "store_overlap" in snap.arrays:
+                    entry = self.store.entry_for(self.graph)
+                    entry.overlap = np.asarray(
+                        snap.arrays["store_overlap"], dtype=np.int64
+                    ).copy()
+                    entry.coverage = np.unpackbits(
+                        np.asarray(
+                            snap.arrays["store_coverage"], dtype=np.uint8
+                        ),
+                        count=entry.num_arcs,
+                    ).astype(bool)
+                    entry.dirty = True
+
+        def _save_points() -> None:
+            arrays: dict[str, np.ndarray] = {}
+            infos = []
+            for i, p in enumerate(points):
+                arrays[f"pt{i}_roles"] = np.asarray(
+                    p.result.roles, dtype=np.int8
+                )
+                arrays[f"pt{i}_labels"] = np.asarray(
+                    p.result.core_labels, dtype=np.int64
+                )
+                arrays[f"pt{i}_pairs"] = np.asarray(
+                    p.result.noncore_pairs, dtype=np.int64
+                ).reshape(-1, 2)
+                infos.append(
+                    {
+                        "eps": p.eps,
+                        "mu": p.mu,
+                        "hits": p.hits,
+                        "misses": p.misses,
+                        "wall": p.wall_seconds,
+                        "algorithm": p.result.algorithm,
+                    }
+                )
+            if self.store is not None:
+                entry = self.store.entry_for(self.graph)
+                arrays["store_overlap"] = entry.overlap
+                arrays["store_coverage"] = np.packbits(entry.coverage)
+            ck.save(
+                arrays=arrays,
+                meta={"cursor": len(points), "points": infos},
+                phase=f"sweep point {len(points)}/{len(order)}",
+            )
+
+        for idx, (eps, mu) in enumerate(order):
+            if idx < len(points):
+                continue  # restored from the checkpoint
             before = self.store.stats() if self.store is not None else None
             t_point = time.perf_counter()
             with tracer.span("sweep:point", eps=float(eps), mu=int(mu)):
@@ -187,12 +312,29 @@ class SweepEngine:
                     wall_seconds=wall,
                 )
             )
-        spilled = self.store.spill() if self.store is not None else 0
+            if ck is not None:
+                if self.store is not None:
+                    spilled += self.store.spill()
+                _save_points()
+        spilled += self.store.spill() if self.store is not None else 0
+        if self.store is not None:
+            live = self.store.stats()
+            # Aggregate over the whole grid, including points restored
+            # from a checkpoint (whose traffic happened before the crash
+            # and is not visible in this process's store counters).
+            stats = CacheStats(
+                hits=sum(p.hits for p in points),
+                misses=sum(p.misses for p in points),
+                spills=live.spills,
+                rejects=live.rejects,
+            )
+        else:
+            stats = CacheStats()
         return SweepOutcome(
             algorithm=self.algorithm,
             points=points,
             wall_seconds=time.perf_counter() - t0,
-            stats=self.store.stats() if self.store is not None else CacheStats(),
+            stats=stats,
             cached=self.store is not None,
             spilled=spilled,
         )

@@ -67,3 +67,19 @@ class AtomicUnionFind:
     def snapshot_parents(self) -> list[int]:
         """Copy of the parent array (for BSP shipping to worker processes)."""
         return list(self._parent)
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """The full resumable state as checkpoint-ready arrays.
+
+        Link-by-index needs no size array; the parent slots (including
+        any path-halving compressions, which never change roots) are
+        the whole state.
+        """
+        return {"parent": np.asarray(self._parent, dtype=np.int64)}
+
+    def restore(self, state: dict[str, np.ndarray]) -> None:
+        """Overwrite this forest with a :meth:`snapshot`."""
+        parent = np.asarray(state["parent"], dtype=np.int64)
+        if parent.shape != (len(self._parent),):
+            raise ValueError("union-find snapshot shape mismatch")
+        self._parent = parent.tolist()

@@ -53,3 +53,24 @@ class UnionFind:
     def component_labels(self) -> np.ndarray:
         """``labels[v]`` = root of ``v``'s set (fully compressed)."""
         return np.array([self.find(v) for v in range(len(self._parent))])
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """The full resumable state as checkpoint-ready arrays.
+
+        Path-halving compressions are part of the state (they only
+        shorten future finds, never change roots), so a restored forest
+        answers every ``find``/``union`` identically to the original.
+        """
+        return {
+            "parent": np.asarray(self._parent, dtype=np.int64),
+            "size": np.asarray(self._size, dtype=np.int64),
+        }
+
+    def restore(self, state: dict[str, np.ndarray]) -> None:
+        """Overwrite this forest with a :meth:`snapshot`."""
+        parent = np.asarray(state["parent"], dtype=np.int64)
+        size = np.asarray(state["size"], dtype=np.int64)
+        if parent.shape != (len(self._parent),) or size.shape != parent.shape:
+            raise ValueError("union-find snapshot shape mismatch")
+        self._parent = parent.tolist()
+        self._size = size.tolist()

@@ -299,3 +299,53 @@ class TestThresholdBoundary:
         folded = ctx.engine.prefold_cached(states, ctx.mcn_np)
         assert folded == 2  # the arc and its mirror
         assert states[arc] == SIM
+
+
+class TestSpillDurability:
+    """Spills go through the shared atomic-write helper: no temp files
+    left behind, and a torn write of either file is a clean miss."""
+
+    def _warm_disk(self, tmp_path, graph):
+        store = SimilarityStore(cache_dir=tmp_path)
+        api.cluster(graph, PARAMS, options=ExecutionOptions(cache=store))
+        assert store.spill() == 1
+        return store
+
+    def test_no_temp_droppings(self, tmp_path):
+        self._warm_disk(tmp_path, small_graph())
+        suffixes = {p.suffix for p in tmp_path.iterdir()}
+        assert suffixes == {".npz", ".json"}
+
+    def test_torn_sidecar_is_a_clean_miss(self, tmp_path):
+        graph = small_graph()
+        self._warm_disk(tmp_path, graph)
+        sidecar = next(tmp_path.glob("*.json"))
+        text = sidecar.read_text()
+        sidecar.write_text(text[: len(text) // 2])
+        cold = SimilarityStore(cache_dir=tmp_path)
+        entry = cold.entry_for(graph)
+        assert entry.covered == 0
+        assert cold.rejects == 1
+
+    def test_torn_payload_is_a_clean_miss(self, tmp_path):
+        graph = small_graph()
+        self._warm_disk(tmp_path, graph)
+        payload = next(tmp_path.glob("*.npz"))
+        raw = payload.read_bytes()
+        payload.write_bytes(raw[: len(raw) // 2])
+        cold = SimilarityStore(cache_dir=tmp_path)
+        entry = cold.entry_for(graph)
+        assert entry.covered == 0
+        assert cold.rejects == 1
+
+    def test_respill_after_torn_write_recovers(self, tmp_path):
+        graph = small_graph()
+        self._warm_disk(tmp_path, graph)
+        sidecar = next(tmp_path.glob("*.json"))
+        sidecar.write_text("{")
+        cold = SimilarityStore(cache_dir=tmp_path)
+        api.cluster(graph, PARAMS, options=ExecutionOptions(cache=cold))
+        assert cold.spill() == 1
+        warm = SimilarityStore(cache_dir=tmp_path)
+        assert warm.entry_for(graph).covered > 0
+        assert warm.rejects == 0

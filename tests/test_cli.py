@@ -257,3 +257,129 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["--version"])
         assert capsys.readouterr().out.strip()
+
+
+class TestValidateCommand:
+    def test_valid_graph_ok(self, graph_file, capsys):
+        assert main(["validate", graph_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_malformed_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n1 -2\n")
+        assert main(["validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out and f"{path}:2" in out
+
+    def test_truncated_binary(self, tmp_path, capsys):
+        from repro.graph import write_csr_binary
+        from repro.graph.generators import erdos_renyi as er
+
+        path = tmp_path / "g.bin"
+        write_csr_binary(er(30, 90, seed=2), path)
+        path.write_bytes(path.read_bytes()[:40])
+        assert main(["validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "nope.txt")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestCheckpointFlags:
+    def test_cluster_writes_checkpoints(self, graph_file, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        assert (
+            main(
+                [
+                    "cluster",
+                    graph_file,
+                    "--checkpoint-dir",
+                    str(ck),
+                    "--checkpoint-every",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        assert (ck / "manifest.json").exists()
+        assert list(ck.glob("ckpt-*.npz"))
+
+    def test_resume_reproduces_output(self, graph_file, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        args = ["cluster", graph_file, "--checkpoint-dir", str(ck)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+
+        def stable(text):
+            return [
+                line
+                for line in text.splitlines()
+                if "wall time" not in line
+            ]
+
+        assert stable(first) == stable(second)
+
+    def test_resume_requires_checkpoint_dir(self, graph_file):
+        with pytest.raises(SystemExit, match="--checkpoint-dir"):
+            main(["cluster", graph_file, "--resume"])
+
+    def test_resume_mismatch_exit_code(self, graph_file, tmp_path, capsys):
+        from repro.graph import write_edge_list as wel
+        from repro.graph.generators import erdos_renyi as er
+
+        ck = tmp_path / "ck"
+        assert (
+            main(["cluster", graph_file, "--checkpoint-dir", str(ck)]) == 0
+        )
+        other = tmp_path / "other.txt"
+        wel(er(40, 160, seed=2), other)
+        code = main(
+            [
+                "cluster",
+                str(other),
+                "--checkpoint-dir",
+                str(ck),
+                "--resume",
+            ]
+        )
+        assert code == 4
+        assert "refusing to resume" in capsys.readouterr().err
+
+    def test_checkpoint_ignored_for_unsupported_algorithm(
+        self, graph_file, tmp_path, capsys
+    ):
+        assert (
+            main(
+                [
+                    "cluster",
+                    graph_file,
+                    "--algorithm",
+                    "scan",
+                    "--checkpoint-dir",
+                    str(tmp_path / "ck"),
+                ]
+            )
+            == 0
+        )
+        assert "ignored" in capsys.readouterr().err
+
+    def test_sweep_checkpoint_resume(self, graph_file, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        args = [
+            "sweep",
+            graph_file,
+            "--eps",
+            "0.3,0.5",
+            "--mu",
+            "2",
+            "--checkpoint-dir",
+            str(ck),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0.3" in out and "0.5" in out

@@ -164,3 +164,132 @@ class TestLoadDispatch:
         path = tmp_path / "g.mtx"
         write_matrix_market(sample, path)
         assert load_graph(path).num_edges == sample.num_edges
+
+
+class TestFormatErrors:
+    """Malformed input raises GraphFormatError with path:line context."""
+
+    def test_negative_id_located(self, tmp_path):
+        from repro.graph import GraphFormatError
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 -3\n")
+        with pytest.raises(GraphFormatError) as excinfo:
+            read_edge_list(path)
+        assert excinfo.value.line == 3
+        assert excinfo.value.path == str(path)
+        assert f"{path}:3:" in str(excinfo.value)
+
+    def test_non_integer_id_located(self, tmp_path):
+        from repro.graph import GraphFormatError
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\nfoo bar\n")
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_edge_list(path)
+
+    def test_is_a_value_error(self, tmp_path):
+        # Historical call sites catch ValueError; the subclass keeps them.
+        path = tmp_path / "g.txt"
+        path.write_text("oops\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_strict_rejects_self_loop(self, tmp_path):
+        from repro.graph import GraphFormatError
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 1\n")
+        with pytest.raises(GraphFormatError, match="self-loop"):
+            read_edge_list(path, strict=True)
+        # Non-strict silently normalizes it away.
+        assert read_edge_list(path).num_edges == 1
+
+    def test_strict_rejects_duplicate_edge(self, tmp_path):
+        from repro.graph import GraphFormatError
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n")
+        with pytest.raises(GraphFormatError, match="duplicate"):
+            read_edge_list(path, strict=True)
+        assert read_edge_list(path).num_edges == 1
+
+    def test_truncated_binary_header(self, tmp_path):
+        from repro.graph import GraphFormatError
+
+        path = tmp_path / "g.bin"
+        path.write_bytes(b"PPSCANG1" + b"\x01")
+        with pytest.raises(GraphFormatError, match="truncated header"):
+            read_csr_binary(path)
+
+    def test_truncated_binary_arrays(self, sample, tmp_path):
+        from repro.graph import GraphFormatError
+
+        path = tmp_path / "g.bin"
+        write_csr_binary(sample, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 16])
+        with pytest.raises(GraphFormatError, match="truncated destination"):
+            read_csr_binary(path)
+
+    def test_corrupt_binary_offsets(self, sample, tmp_path):
+        from repro.graph import GraphFormatError
+
+        path = tmp_path / "g.bin"
+        write_csr_binary(sample, path)
+        raw = bytearray(path.read_bytes())
+        # Offsets start right after the 8-byte magic + 16-byte header;
+        # scribble a huge value into offsets[1].
+        offset_base = 8 + 16
+        raw[offset_base + 8 : offset_base + 16] = np.int64(1 << 40).tobytes()
+        path.write_bytes(bytes(raw))
+        with pytest.raises(GraphFormatError):
+            read_csr_binary(path)
+
+    def test_strict_load_graph_dispatch(self, tmp_path):
+        from repro.graph import GraphFormatError
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n")
+        with pytest.raises(GraphFormatError):
+            load_graph(path, strict=True)
+
+
+class TestValidateGraph:
+    def test_clean_graph_no_problems(self, sample):
+        from repro.core import validate_graph
+
+        assert validate_graph(sample) == []
+
+    def test_asymmetric_arcs_detected(self):
+        from repro.core import validate_graph
+        from repro.graph import CSRGraph
+
+        graph = CSRGraph(
+            offsets=np.array([0, 1, 1], dtype=np.int64),
+            dst=np.array([1], dtype=np.int64),
+        )
+        problems = validate_graph(graph)
+        assert any("symmetric" in p for p in problems)
+
+    def test_self_loop_detected(self):
+        from repro.core import validate_graph
+        from repro.graph import CSRGraph
+
+        graph = CSRGraph(
+            offsets=np.array([0, 1, 2], dtype=np.int64),
+            dst=np.array([0, 1], dtype=np.int64),
+        )
+        problems = validate_graph(graph)
+        assert any("self-loop" in p for p in problems)
+
+    def test_unsorted_adjacency_detected(self):
+        from repro.core import validate_graph
+        from repro.graph import CSRGraph
+
+        graph = CSRGraph(
+            offsets=np.array([0, 2, 3, 4], dtype=np.int64),
+            dst=np.array([2, 1, 0, 0], dtype=np.int64),
+        )
+        problems = validate_graph(graph)
+        assert any("sorted" in p for p in problems)
