@@ -1,0 +1,312 @@
+#!/usr/bin/env python
+"""Accuracy-vs-speed frontier of the sketch similarity backend.
+
+Sweeps the sketch configuration grid (Bloom bits × error band) on two
+stand-ins where exact intersections dominate runtime:
+
+* the **twitter** powerlaw stand-in — heavy hubs, the workload the
+  ISSUE's motivation names: every pruning survivor still pays
+  ``O(deg(u)+deg(v))`` exactly where degrees are largest;
+* a **dense-community planted partition** — high uniform degree, so
+  every arc is expensive and the communities give the ARI/NMI gate real
+  structure to score.
+
+The exact baseline is SCAN-XP in batched execution mode — the exhaustive
+all-arc resolver, i.e. "exact batched mode" with no pruning to hide
+behind.  A ppSCAN row is included for context: its pruning already skips
+most arcs, so the sketch's headroom there is structurally smaller.
+
+Running directly sweeps the full frontier, writes
+``bench_results/sketch_accuracy.json`` and appends one summary line to
+``bench_results/trajectory.jsonl`` (the committed benchmark trajectory).
+
+Running with ``--smoke`` executes the CI gate on the twitter stand-in:
+
+* the conservative band (``error=0``) must be **bit-identical** to exact
+  resolution *and* ≥ 2x faster end-to-end;
+* the aggressive band (``error=0.05``) must be ≥ 2x faster at
+  **ARI ≥ 0.99** (scored by the sentinel-aware quality helpers).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import api  # noqa: E402 - path setup first
+from repro.core import assert_same_clustering  # noqa: E402
+from repro.graph.generators import (  # noqa: E402
+    planted_partition,
+    real_world_standin,
+)
+from repro.options import ExecMode, ExecutionOptions, Kernel  # noqa: E402
+from repro.quality import (  # noqa: E402
+    adjusted_rand_index,
+    normalized_mutual_information,
+    primary_labels,
+)
+from repro.sketch import SketchParams  # noqa: E402
+from repro.types import ScanParams  # noqa: E402
+
+RESULTS = REPO_ROOT / "bench_results"
+OUT_JSON = RESULTS / "sketch_accuracy.json"
+TRAJECTORY = RESULTS / "trajectory.jsonl"
+
+ROUNDS = 2
+#: The frontier grid: Bloom width × error band.  ``error=0`` rows are
+#: the conservative band (bit-identical by construction, asserted).
+GRID = [
+    (bits, error)
+    for bits in (256, 1024, 2048)
+    for error in (0.0, 0.05, 0.2)
+]
+
+SPEEDUP_FLOOR = 2.0
+ARI_FLOOR = 0.99
+
+BATCHED = ExecutionOptions(exec_mode=ExecMode.BATCHED)
+
+
+def _sketch_options(sp: SketchParams) -> ExecutionOptions:
+    return ExecutionOptions(
+        exec_mode=ExecMode.BATCHED, kernel=Kernel.SKETCH, sketch=sp
+    )
+
+
+def _timed(graph, params, algorithm, options, rounds=ROUNDS):
+    """Best-of-``rounds`` wall time plus the (deterministic) result."""
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = api.cluster(
+            graph, params, algorithm=algorithm, options=options
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _quality(exact, approx) -> dict:
+    """Sentinel-aware external indices between two clusterings.
+
+    ``primary_labels`` marks unclustered vertices (hubs/outliers) with
+    ``-1``; the indices consume that sentinel directly instead of the
+    hand-remapping older benchmarks used.
+    """
+    a = primary_labels(exact).tolist()
+    b = primary_labels(approx).tolist()
+    return {
+        "ari": adjusted_rand_index(a, b, noise=-1),
+        "nmi": normalized_mutual_information(a, b, noise=-1),
+    }
+
+
+def _frontier(graph, params, workload: dict) -> dict:
+    exact_s, exact = _timed(graph, params, "scanxp", BATCHED)
+    ppscan_s, ppscan_res = _timed(graph, params, "ppscan", BATCHED)
+    rows = []
+    for bits, error in GRID:
+        sp = SketchParams(bits=bits, error=error)
+        sketch_s, result = _timed(
+            graph, params, "scanxp", _sketch_options(sp)
+        )
+        row = {
+            "bits": bits,
+            "error": error,
+            "config": sp.key(),
+            "seconds": sketch_s,
+            "speedup": exact_s / sketch_s,
+            **_quality(exact, result),
+        }
+        if sp.conservative:
+            assert_same_clustering(exact, result)
+            row["bit_identical"] = True
+        rows.append(row)
+        print(
+            f"  {sp.key():>28}: {sketch_s:.3f}s "
+            f"({row['speedup']:.2f}x) ARI={row['ari']:.4f}"
+        )
+    # ppSCAN context row: the pruning baseline with the default sketch.
+    pp_sketch_s, pp_sketch = _timed(
+        graph, params, "ppscan",
+        _sketch_options(SketchParams(bits=1024, error=0.05)),
+    )
+    return {
+        "workload": workload,
+        "exact_scanxp_seconds": exact_s,
+        "exact_ppscan_seconds": ppscan_s,
+        "ppscan_sketch_seconds": pp_sketch_s,
+        "ppscan_sketch_ari": _quality(ppscan_res, pp_sketch)["ari"],
+        "frontier": rows,
+    }
+
+
+def _merge_json(path: Path, update: dict) -> None:
+    path.parent.mkdir(exist_ok=True)
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data.update(update)
+    path.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+
+
+def _check_gate(rows: list[dict]) -> list[str]:
+    """The acceptance gate over one heavy-hub frontier's rows."""
+    failures = []
+    conservative = [r for r in rows if r["error"] == 0.0]
+    if not any(r["speedup"] >= SPEEDUP_FLOOR for r in conservative):
+        failures.append(
+            "no conservative (bit-identical) config reached "
+            f"{SPEEDUP_FLOOR}x: best "
+            f"{max(r['speedup'] for r in conservative):.2f}x"
+        )
+    aggressive = [
+        r for r in rows if r["error"] > 0.0 and r["ari"] >= ARI_FLOOR
+    ]
+    if not any(r["speedup"] >= SPEEDUP_FLOOR for r in aggressive):
+        best = max((r["speedup"] for r in aggressive), default=0.0)
+        failures.append(
+            f"no aggressive config reached {SPEEDUP_FLOOR}x at "
+            f"ARI >= {ARI_FLOOR}: best {best:.2f}x"
+        )
+    return failures
+
+
+def run_full() -> int:
+    t_start = time.time()
+    workloads = {
+        "twitter": (
+            real_world_standin("twitter", scale=6, seed=7),
+            ScanParams(0.5, 5),
+            {"graph": "twitter", "scale": 6, "eps": 0.5, "mu": 5},
+        ),
+        "planted": (
+            planted_partition(8, 600, 0.5, 0.01, seed=4)[0],
+            ScanParams(0.2, 5),
+            {
+                "graph": "planted_partition",
+                "blocks": 8,
+                "block_size": 600,
+                "eps": 0.2,
+                "mu": 5,
+            },
+        ),
+    }
+    out = {}
+    for name, (graph, params, meta) in workloads.items():
+        meta = {
+            **meta,
+            "num_vertices": graph.num_vertices,
+            "num_arcs": graph.num_arcs,
+        }
+        print(f"{name}: |V|={graph.num_vertices} arcs={graph.num_arcs}")
+        out[name] = _frontier(graph, params, meta)
+    failures = _check_gate(out["twitter"]["frontier"])
+    _merge_json(OUT_JSON, out)
+    print(f"frontier written to {OUT_JSON}")
+
+    best = max(
+        (
+            r
+            for r in out["twitter"]["frontier"]
+            if r["error"] > 0.0 and r["ari"] >= ARI_FLOOR
+        ),
+        key=lambda r: r["speedup"],
+        default=None,
+    )
+    entry = {
+        "bench": "sketch_accuracy",
+        "recorded_unix": int(t_start),
+        "workload": "twitter-standin-s6",
+        "exact_scanxp_seconds": round(
+            out["twitter"]["exact_scanxp_seconds"], 4
+        ),
+        "best_aggressive": (
+            {
+                "config": best["config"],
+                "speedup": round(best["speedup"], 2),
+                "ari": round(best["ari"], 4),
+            }
+            if best
+            else None
+        ),
+        "conservative_speedup": round(
+            max(
+                r["speedup"]
+                for r in out["twitter"]["frontier"]
+                if r["error"] == 0.0
+            ),
+            2,
+        ),
+    }
+    TRAJECTORY.parent.mkdir(exist_ok=True)
+    with open(TRAJECTORY, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"trajectory entry appended to {TRAJECTORY}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+# -- CI smoke gate (python benchmarks/bench_sketch_accuracy.py --smoke) ------
+
+SMOKE_SCALE = 3
+
+
+def run_smoke() -> int:
+    """The CI gate: conservative bit-identical ≥ 2x, aggressive ≥ 2x at
+    ARI ≥ 0.99, on a CI-sized slice of the heavy-hub stand-in."""
+    graph = real_world_standin("twitter", scale=SMOKE_SCALE, seed=7)
+    params = ScanParams(0.5, 5)
+    exact_s, exact = _timed(graph, params, "scanxp", BATCHED)
+    rows = []
+    for error in (0.0, 0.05):
+        sp = SketchParams(bits=1024, error=error)
+        sketch_s, result = _timed(
+            graph, params, "scanxp", _sketch_options(sp)
+        )
+        row = {
+            "bits": sp.bits,
+            "error": error,
+            "config": sp.key(),
+            "seconds": sketch_s,
+            "speedup": exact_s / sketch_s,
+            **_quality(exact, result),
+        }
+        if sp.conservative:
+            assert_same_clustering(exact, result)
+            row["bit_identical"] = True
+        rows.append(row)
+        print(
+            f"smoke {sp.key()}: exact {exact_s:.3f}s / sketch "
+            f"{sketch_s:.3f}s ({row['speedup']:.2f}x) "
+            f"ARI={row['ari']:.4f}"
+        )
+    failures = _check_gate(rows)
+    _merge_json(
+        OUT_JSON,
+        {
+            "smoke": {
+                "workload": {
+                    "graph": "twitter",
+                    "scale": SMOKE_SCALE,
+                    "eps": params.eps,
+                    "mu": params.mu,
+                    "num_arcs": graph.num_arcs,
+                },
+                "exact_scanxp_seconds": exact_s,
+                "legs": rows,
+            }
+        },
+    )
+    print(f"smoke results merged into {OUT_JSON}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke() if "--smoke" in sys.argv[1:] else run_full())

@@ -49,7 +49,13 @@ from .core import (
 )
 from .graph import CSRGraph
 from .obs.tracer import current_tracer
-from .options import BackendKind, ExecMode, ExecutionOptions, coerce_enum
+from .options import (
+    BackendKind,
+    ExecMode,
+    ExecutionOptions,
+    Kernel,
+    coerce_enum,
+)
 from .types import ScanParams
 
 __all__ = [
@@ -88,6 +94,7 @@ class AlgorithmSpec:
     supports_kernel: bool = False
     supports_cache: bool = False
     supports_checkpoint: bool = False
+    supports_sketch: bool = False
     in_compare: bool = True
 
     def ignored_options(self, options: ExecutionOptions) -> list[str]:
@@ -104,12 +111,25 @@ class AlgorithmSpec:
             and not self.supports_exec_mode
         ):
             ignored.append("exec_mode")
-        if options.kernel is not None and not self.supports_kernel:
+        if (
+            options.kernel is not None
+            and not self.supports_kernel
+            # Kernel.SKETCH is honoured through the sketch plumbing even
+            # by algorithms with a fixed CompSim kernel (e.g. scanxp).
+            and not (
+                options.kernel is Kernel.SKETCH and self.supports_sketch
+            )
+        ):
             ignored.append("kernel")
         if options.cache is not None and not self.supports_cache:
             ignored.append("cache")
         if options.checkpoint is not None and not self.supports_checkpoint:
             ignored.append("checkpoint")
+        if (
+            options.effective_sketch() is not None
+            and not self.supports_sketch
+        ):
+            ignored.append("sketch")
         return ignored
 
     def run(
@@ -336,6 +356,7 @@ def _runner(
     kernel: bool,
     cache: bool = False,
     checkpoint: bool = False,
+    sketch: bool = False,
 ) -> RunnerFn:
     """Adapt a core algorithm function to the ``runner`` protocol."""
 
@@ -355,6 +376,10 @@ def _runner(
             kwargs["kernel"] = options.kernel.value
         if checkpoint and options.checkpoint is not None:
             kwargs["checkpoint"] = options.checkpoint
+        if sketch:
+            sketch_params = options.effective_sketch()
+            if sketch_params is not None:
+                kwargs["sketch"] = sketch_params
         if cache and options.cache is not None:
             kwargs["store"] = options.cache
             return _with_cache_counters(
@@ -369,15 +394,19 @@ def _run_gsindex(
     graph: CSRGraph, params: ScanParams, options: ExecutionOptions
 ) -> ClusteringResult:
     """Build (or cache-warm) a GS*-Index and answer one (ε, µ) query."""
+    sketch_params = options.effective_sketch()
     if options.cache is not None:
+        kwargs: dict = {"store": options.cache}
+        if sketch_params is not None:
+            kwargs["sketch"] = sketch_params
         return _with_cache_counters(
             lambda g, p, **kw: GSIndex(g, **kw).query(p),
             graph,
             params,
-            {"store": options.cache},
+            kwargs,
             options.cache,
         )
-    return GSIndex(graph).query(params)
+    return GSIndex(graph, sketch=sketch_params).query(params)
 
 
 def _register_builtins() -> None:
@@ -403,12 +432,14 @@ def _register_builtins() -> None:
                 kernel=True,
                 cache=True,
                 checkpoint=True,
+                sketch=True,
             ),
             description="pruning-based sequential SCAN",
             supports_exec_mode=True,
             supports_kernel=True,
             supports_cache=True,
             supports_checkpoint=True,
+            supports_sketch=True,
         )
     )
     register_algorithm(
@@ -431,10 +462,12 @@ def _register_builtins() -> None:
                 exec_mode=False,
                 kernel=False,
                 checkpoint=True,
+                sketch=True,
             ),
             description="anytime block-summarizing parallel SCAN",
             supports_backend=True,
             supports_checkpoint=True,
+            supports_sketch=True,
         )
     )
     register_algorithm(
@@ -448,12 +481,14 @@ def _register_builtins() -> None:
                 kernel=False,
                 cache=True,
                 checkpoint=True,
+                sketch=True,
             ),
             description="exhaustive vectorized parallel SCAN",
             supports_backend=True,
             supports_exec_mode=True,
             supports_cache=True,
             supports_checkpoint=True,
+            supports_sketch=True,
         )
     )
     register_algorithm(
@@ -467,6 +502,7 @@ def _register_builtins() -> None:
                 kernel=True,
                 cache=True,
                 checkpoint=True,
+                sketch=True,
             ),
             description="the paper's pruning-based parallel SCAN",
             supports_backend=True,
@@ -474,6 +510,7 @@ def _register_builtins() -> None:
             supports_kernel=True,
             supports_cache=True,
             supports_checkpoint=True,
+            supports_sketch=True,
         )
     )
     register_algorithm(
@@ -484,6 +521,7 @@ def _register_builtins() -> None:
             description="index-based query (built per graph, queried at "
             "(eps, mu))",
             supports_cache=True,
+            supports_sketch=True,
             in_compare=False,
         )
     )

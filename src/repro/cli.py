@@ -35,14 +35,14 @@ from .graph.generators import (
     roll_graph,
 )
 from .obs import TRACE_FORMATS, Tracer, use_tracer, write_trace
-from .options import BackendKind, ExecMode, ExecutionOptions
+from .options import BackendKind, ExecMode, ExecutionOptions, Kernel
 from .parallel import (
     ExecutionFaultError,
     FaultPlan,
     PoisonTaskError,
     ResumableAbort,
 )
-from .similarity import EXEC_MODES
+from .similarity import EXEC_MODES, KERNELS
 from .types import CORE, HUB, OUTLIER, ScanParams
 
 #: Exit code for a run the fault-tolerance layer could not complete
@@ -109,14 +109,35 @@ def _checkpoint_manager(args: argparse.Namespace):
     )
 
 
+def _sketch_params(args: argparse.Namespace):
+    """The :class:`SketchParams` the flags describe, or ``None``.
+
+    Sketch tuning flags only take effect under ``--kernel sketch``; the
+    estimators never run behind any other kernel, so silently building
+    params there would suggest an approximation that does not happen.
+    """
+    if getattr(args, "kernel", None) != "sketch":
+        return None
+    from .sketch import SketchParams
+
+    return SketchParams(
+        bits=getattr(args, "sketch_bits", None) or 256,
+        error=getattr(args, "sketch_error", None) or 0.0,
+        gate=getattr(args, "sketch_gate", None),
+    )
+
+
 def _execution_options(args: argparse.Namespace) -> ExecutionOptions:
     """Build the typed execution options one subcommand's flags describe."""
     workers = getattr(args, "workers", 0)
     chaos_spec = getattr(args, "chaos_plan", None)
+    kernel = getattr(args, "kernel", None)
     return ExecutionOptions(
         backend=BackendKind.PROCESS if workers > 0 else BackendKind.SERIAL,
         workers=workers if workers > 0 else None,
         exec_mode=ExecMode(getattr(args, "exec_mode", "scalar")),
+        kernel=Kernel(kernel) if kernel else None,
+        sketch=_sketch_params(args),
         max_retries=getattr(args, "max_retries", None),
         task_timeout=getattr(args, "task_timeout", None),
         chaos=FaultPlan.parse(chaos_spec) if chaos_spec else None,
@@ -131,6 +152,7 @@ _IGNORED_NOTES = {
     "kernel": "{name} has a fixed kernel; --kernel ignored",
     "cache": "{name} cannot use the similarity store; --cache-dir ignored",
     "checkpoint": "{name} cannot checkpoint; --checkpoint-dir ignored",
+    "sketch": "{name} has no sketch pre-pass; sketch options ignored",
 }
 
 
@@ -218,6 +240,41 @@ def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sketch_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=sorted(KERNELS),
+        default=None,
+        help="similarity kernel override; 'sketch' enables the Bloom+KMV "
+        "pre-pass with exact fallback on uncertain arcs",
+    )
+    parser.add_argument(
+        "--sketch-bits",
+        type=int,
+        default=256,
+        metavar="BITS",
+        help="Bloom filter bits per vertex (power of two; --kernel sketch)",
+    )
+    parser.add_argument(
+        "--sketch-error",
+        type=float,
+        default=0.0,
+        metavar="EPS",
+        help="per-arc misclassification tolerance; 0 keeps the sketch "
+        "pass conservative and the clustering bit-identical "
+        "(--kernel sketch)",
+    )
+    parser.add_argument(
+        "--sketch-gate",
+        type=int,
+        default=None,
+        metavar="DEG",
+        help="min endpoint degree for an arc to be sketch-classified; "
+        "cheaper arcs go straight to the exact kernel (default: "
+        "8 x bloom words; 0 sketches everything)",
+    )
+
+
 def _add_cache_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
@@ -263,6 +320,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arc-resolution strategy: per-arc scalar kernels or batched "
         "vectorized resolution (ppscan/pscan/scanxp)",
     )
+    _add_sketch_args(p_cluster)
     p_cluster.add_argument(
         "--max-retries",
         type=int,
@@ -319,6 +377,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("graph")
     p_compare.add_argument("--eps", type=float, default=0.5)
     p_compare.add_argument("--mu", type=int, default=2)
+    _add_sketch_args(p_compare)
+    p_compare.add_argument(
+        "--csv", default=None, help="also write the comparison table as CSV"
+    )
     _add_cache_args(p_compare)
     _add_checkpoint_args(p_compare)
     _add_trace_args(p_compare)
@@ -483,9 +545,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     ]
     store = _cache_store(args)
     checkpoint = _checkpoint_manager(args)
+    kernel = getattr(args, "kernel", None)
     options = None
-    if store is not None or checkpoint is not None:
-        options = ExecutionOptions(cache=store, checkpoint=checkpoint)
+    if store is not None or checkpoint is not None or kernel is not None:
+        options = ExecutionOptions(
+            cache=store,
+            checkpoint=checkpoint,
+            kernel=Kernel(kernel) if kernel else None,
+            sketch=_sketch_params(args),
+        )
+    probe = options or ExecutionOptions()
+
+    def _kernel_label(spec: api.AlgorithmSpec) -> str:
+        if kernel is None or "kernel" in spec.ignored_options(probe):
+            return "exact"
+        if kernel == "sketch":
+            sk = probe.effective_sketch()
+            band = "exact" if sk is None or sk.conservative else "approx"
+            return f"sketch/{band}"
+        return kernel
+
     tracer = Tracer() if args.trace else None
     try:
         if tracer is not None:
@@ -503,15 +582,36 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     except ResumeMismatchError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_RESUME_MISMATCH
+    except AssertionError as exc:
+        # Only reachable when an aggressive sketch band was requested:
+        # approximate legs may legitimately diverge from the exact ones.
+        print(f"DISAGREE: {exc}", file=sys.stderr)
+        print(
+            "note: --sketch-error > 0 permits misclassified arcs; rerun "
+            "with --sketch-error 0 for the bit-identical conservative band",
+            file=sys.stderr,
+        )
+        return 1
     reference = outcome.results[outcome.reference]
+    header = [
+        "algorithm",
+        "kernel",
+        "CompSims",
+        "scalar ops",
+        "vector ops",
+        "wall",
+        "stage wall",
+    ]
     rows = []
     for name in names:
-        display = api.get_algorithm(name).display_name
+        spec = api.get_algorithm(name)
+        display = spec.display_name
         record = outcome.results[name].record
         total = record.total()
         rows.append(
             [
                 display,
+                _kernel_label(spec),
                 f"{record.compsim_invocations}",
                 f"{total.scalar_cmp + total.branchless_cmp}",
                 f"{total.vector_ops}",
@@ -525,17 +625,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         format_table(
             f"all algorithms agree on {args.graph} ({params}): "
             f"{reference.num_clusters} clusters, {reference.num_cores} cores",
-            [
-                "algorithm",
-                "CompSims",
-                "scalar ops",
-                "vector ops",
-                "wall",
-                "stage wall",
-            ],
+            header,
             rows,
         )
     )
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(",".join(header) + "\n")
+            for row in rows:
+                fh.write(",".join(row) + "\n")
+        print(f"wrote {args.csv}")
     if tracer is not None:
         _export_trace(args, tracer, title=f"compare on {args.graph}")
     _report_cache(store)

@@ -38,6 +38,7 @@ from .result import ClusteringResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..checkpoint import CheckpointManager
+    from ..sketch import SketchParams
 
 __all__ = [
     "anyscan",
@@ -73,6 +74,7 @@ def anyscan(
     task_threshold: int | None = None,
     memory_limit_bytes: int | None = None,
     checkpoint: "CheckpointManager | None" = None,
+    sketch: "SketchParams | None" = None,
 ) -> ClusteringResult:
     """Run anySCAN; returns the canonical clustering result.
 
@@ -96,11 +98,18 @@ def anyscan(
                 f"{memory_limit_bytes / 1e9:.1f} GB"
             )
     t0 = time.perf_counter()
-    ctx = RunContext(graph, params, kernel="merge")
+    ctx = RunContext(graph, params, kernel="merge", sketch=sketch)
     backend = backend if backend is not None else SerialBackend()
     counter = ctx.engine.counter
     off, dst, adj, deg = ctx.off, ctx.dst, ctx.adj, ctx.deg
     sim, roles, mcn, rev = ctx.sim, ctx.roles, ctx.mcn, ctx.rev
+    if ctx.engine.sketch is not None:
+        # Prefold every sketch-decidable arc before the α-block loop; the
+        # block tasks already skip non-UNKNOWN arcs, so only the exact
+        # fallback remainder reaches the merge kernel.
+        state0 = np.full(ctx.num_arcs, UNKNOWN, dtype=np.int8)
+        if ctx.engine.sketch_prefold(state0, ctx.mcn_np):
+            sim[:] = state0.tolist()
     kernel_fn = ctx.engine.kernel
     mu = ctx.mu
     n = ctx.n
@@ -151,7 +160,12 @@ def anyscan(
             params,
             algorithm="anyscan",
             exec_mode="scalar",
-            extra={"alpha": int(alpha), "threshold": int(threshold)},
+            extra={"alpha": int(alpha), "threshold": int(threshold)}
+            | (
+                {"sketch": ctx.engine.sketch.key()}
+                if ctx.engine.sketch is not None
+                else {}
+            ),
         )
         snap = ck.load_latest()
         if snap is not None:

@@ -55,11 +55,13 @@ class RunContext:
         kernel: str = "vectorized",
         lanes: int = 16,
         store: "SimilarityStore | None" = None,
+        sketch=None,
     ) -> None:
         self.graph = graph
         self.params = params
         self.engine = SimilarityEngine(
-            graph, params, kernel=kernel, lanes=lanes, store=store
+            graph, params, kernel=kernel, lanes=lanes, store=store,
+            sketch=sketch,
         )
 
         self.n = graph.num_vertices

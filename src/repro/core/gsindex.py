@@ -40,6 +40,7 @@ from .result import ClusteringResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import SimilarityStore
+    from ..sketch import SketchParams
 
 __all__ = ["GSIndex"]
 
@@ -49,10 +50,21 @@ _CORE_ORDER_MAX_K = 64
 
 
 class GSIndex:
-    """Similarity index supporting exact SCAN queries at any (ε, µ)."""
+    """Similarity index supporting exact SCAN queries at any (ε, µ).
+
+    With ``sketch=SketchParams(error>0)`` the construction stores sketch
+    *estimates* instead of exhaustive exact overlaps (see
+    ``docs/approximate.md``): construction drops from O(Σ deg(u)+deg(v))
+    to O(m · sketch) while queries keep their exact integer comparison
+    machinery — against approximate values.  A conservative sketch
+    (``error == 0``) keeps the construction exact and is a no-op.
+    """
 
     def __init__(
-        self, graph: CSRGraph, store: "SimilarityStore | None" = None
+        self,
+        graph: CSRGraph,
+        store: "SimilarityStore | None" = None,
+        sketch: "SketchParams | None" = None,
     ) -> None:
         t0 = time.perf_counter()
         self.graph = graph
@@ -65,43 +77,74 @@ class GSIndex:
         adj = [dst[off[u] : off[u + 1]] for u in range(n)]
         rev = reverse_arc_index(graph).tolist()
 
-        # The index construction IS an exhaustive overlap pass, so it
-        # both profits from and fully populates a similarity store.
-        entry = store.entry_for(graph) if store is not None else None
-        cov = entry.coverage.tolist() if entry is not None else None
-        cached = entry.overlap.tolist() if entry is not None else None
-        missed_arcs: list[int] = []
-        missed_over: list[int] = []
-        hits = 0
+        #: With ``sketch`` and ``error > 0`` the stored overlaps are
+        #: sketch *estimates*, so the whole index — and every query made
+        #: through it — is approximate.  ``error == 0`` keeps the exact
+        #: exhaustive construction: the index has no per-query ε to gate
+        #: against, so a conservative sketch cannot certify its overlap
+        #: values and the sketch is a documented no-op.
+        self.approximate = sketch is not None and sketch.error > 0.0
 
-        # Exact closed-neighborhood overlap per arc (computed once per
-        # undirected edge, mirrored through the reverse-arc index).
-        overlap = [0] * graph.num_arcs
-        arcs_scanned = 0
-        for u in range(n):
-            adj_u = adj[u]
-            for arc in range(off[u], off[u + 1]):
-                v = dst[arc]
-                if u < v:
-                    arcs_scanned += 1
-                    if cov is not None and cov[arc]:
-                        common = cached[arc]
-                        hits += 1
-                    else:
-                        common = merge_count(adj_u, adj[v], counter) + 2
-                        if cov is not None:
-                            missed_arcs.append(arc)
-                            missed_over.append(common)
-                    overlap[arc] = common
-                    overlap[rev[arc]] = common
-        if entry is not None:
-            entry.hits += hits
-            if missed_arcs:
-                entry.record(
-                    np.asarray(missed_arcs, dtype=np.int64),
-                    np.asarray(missed_over, dtype=np.int64),
-                )
-                entry.misses += len(missed_arcs)
+        if self.approximate:
+            # Estimate every undirected edge's overlap from the sketches
+            # in one vectorized pass and mirror it.  The store is left
+            # untouched in both directions: estimates must never be
+            # recorded as exact overlaps, and folding cached exact values
+            # into an approximate index would make its accuracy depend on
+            # cache warmth.
+            from ..sketch import build_sketches, estimate_overlaps
+
+            src_np = graph.arc_source()
+            upper = np.flatnonzero(src_np < graph.dst)
+            est = estimate_overlaps(
+                build_sketches(graph, sketch), graph, upper, src=src_np
+            )
+            overlap_np = np.zeros(graph.num_arcs, dtype=np.int64)
+            overlap_np[upper] = est
+            rev_np = reverse_arc_index(graph)
+            overlap_np[rev_np[upper]] = est
+            overlap = overlap_np.tolist()
+            arcs_scanned = int(upper.size)
+            counter.invocations += arcs_scanned
+        else:
+            # The exact index construction IS an exhaustive overlap pass,
+            # so it both profits from and fully populates a similarity
+            # store.
+            entry = store.entry_for(graph) if store is not None else None
+            cov = entry.coverage.tolist() if entry is not None else None
+            cached = entry.overlap.tolist() if entry is not None else None
+            missed_arcs: list[int] = []
+            missed_over: list[int] = []
+            hits = 0
+
+            # Exact closed-neighborhood overlap per arc (computed once per
+            # undirected edge, mirrored through the reverse-arc index).
+            overlap = [0] * graph.num_arcs
+            arcs_scanned = 0
+            for u in range(n):
+                adj_u = adj[u]
+                for arc in range(off[u], off[u + 1]):
+                    v = dst[arc]
+                    if u < v:
+                        arcs_scanned += 1
+                        if cov is not None and cov[arc]:
+                            common = cached[arc]
+                            hits += 1
+                        else:
+                            common = merge_count(adj_u, adj[v], counter) + 2
+                            if cov is not None:
+                                missed_arcs.append(arc)
+                                missed_over.append(common)
+                        overlap[arc] = common
+                        overlap[rev[arc]] = common
+            if entry is not None:
+                entry.hits += hits
+                if missed_arcs:
+                    entry.record(
+                        np.asarray(missed_arcs, dtype=np.int64),
+                        np.asarray(missed_over, dtype=np.int64),
+                    )
+                    entry.misses += len(missed_arcs)
 
         # Neighbor order: arcs of u sorted by descending similarity.
         # Exact sort key per arc: overlap^2 / ((d(u)+1)(d(v)+1)) compared
@@ -247,6 +290,7 @@ class GSIndex:
         np.cumsum([len(o) for o in self._core_orders], out=core_offsets[1:])
         np.savez_compressed(
             path,
+            approximate=np.array([int(self.approximate)], dtype=np.int64),
             fingerprint=self._fingerprint(self.graph),
             overlap=np.array(self._overlap, dtype=np.int64),
             sim_num=np.array(self._sim_num, dtype=np.int64),
@@ -267,6 +311,9 @@ class GSIndex:
                 )
             index = cls.__new__(cls)
             index.graph = graph
+            index.approximate = bool(
+                "approximate" in data.files and int(data["approximate"][0])
+            )
             index._overlap = data["overlap"].tolist()
             index._sim_num = data["sim_num"].tolist()
             index._sim_den = data["sim_den"].tolist()

@@ -64,6 +64,7 @@ from .result import ClusteringResult
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import SimilarityStore
     from ..checkpoint import CheckpointManager
+    from ..sketch import SketchParams
 
 __all__ = [
     "ppscan",
@@ -124,6 +125,7 @@ def ppscan(
     exec_mode: str = "scalar",
     store: "SimilarityStore | None" = None,
     checkpoint: "CheckpointManager | None" = None,
+    sketch: "SketchParams | None" = None,
 ) -> ClusteringResult:
     """Run ppSCAN and return the canonical clustering result.
 
@@ -160,7 +162,9 @@ def ppscan(
             f"unknown exec_mode {exec_mode!r}; known: {list(EXEC_MODES)}"
         )
     t0 = time.perf_counter()
-    ctx = RunContext(graph, params, kernel=kernel, lanes=lanes, store=store)
+    ctx = RunContext(
+        graph, params, kernel=kernel, lanes=lanes, store=store, sketch=sketch
+    )
     backend = backend if backend is not None else SerialBackend()
     batched = exec_mode == "batched"
     tracer = current_tracer()
@@ -263,17 +267,23 @@ def ppscan(
         return ck.save(arrays=arrays, meta=meta, phase=phase)
 
     if ck is not None:
+        extra = {
+            "kernel": kernel,
+            "prune_phase": bool(prune_phase),
+            "two_phase_clustering": bool(two_phase_clustering),
+            "threshold": int(threshold),
+        }
+        if engine.sketch is not None:
+            # Part of the resume identity: a run folded through sketches
+            # must not resume a snapshot from a different sketch config
+            # (or from an exact run, and vice versa).
+            extra["sketch"] = engine.sketch.key()
         ck.bind(
             graph,
             params,
             algorithm="ppscan",
             exec_mode=exec_mode,
-            extra={
-                "kernel": kernel,
-                "prune_phase": bool(prune_phase),
-                "two_phase_clustering": bool(two_phase_clustering),
-                "threshold": int(threshold),
-            },
+            extra=extra,
         )
         snap = ck.load_latest()
         if snap is not None:
@@ -439,6 +449,13 @@ def ppscan(
             if state0 is None:
                 state0 = sim_np
             engine.prefold_cached(state0, mcn_np)
+        if engine.sketch is not None:
+            # Sketch prefold after the exact folds (degrees, store): one
+            # vectorized classification of every still-unknown arc; only
+            # the uncertain remainder reaches the exact kernels below.
+            if state0 is None:
+                state0 = sim_np
+            engine.sketch_prefold(state0, mcn_np)
         if state0 is not None:
             if batched:
                 sim_np = state0

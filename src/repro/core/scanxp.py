@@ -32,6 +32,7 @@ from .result import ClusteringResult
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import SimilarityStore
     from ..checkpoint import CheckpointManager
+    from ..sketch import SketchParams
 
 __all__ = ["scanxp"]
 
@@ -46,6 +47,7 @@ def scanxp(
     exec_mode: str = "scalar",
     store: "SimilarityStore | None" = None,
     checkpoint: "CheckpointManager | None" = None,
+    sketch: "SketchParams | None" = None,
 ) -> ClusteringResult:
     """Run SCAN-XP; returns the canonical clustering result.
 
@@ -68,7 +70,14 @@ def scanxp(
         )
     batched = exec_mode == "batched"
     t0 = time.perf_counter()
-    ctx = RunContext(graph, params, kernel="vectorized", lanes=lanes, store=store)
+    ctx = RunContext(
+        graph,
+        params,
+        kernel="vectorized",
+        lanes=lanes,
+        store=store,
+        sketch=sketch,
+    )
     backend = backend if backend is not None else SerialBackend()
     tracer = current_tracer()
     root_span = (
@@ -100,22 +109,30 @@ def scanxp(
     off_np, dst_np = graph.offsets, graph.dst
     src_np, mcn_np = ctx.src_np, ctx.mcn_np
     # Every arc's state is computed in phase 1, so no UNKNOWN seed is
-    # needed — unless a store is attached, in which case covered arcs are
-    # prefolded and only the UNKNOWN remainder is intersected.
+    # needed — unless a store or sketch gate is attached, in which case
+    # decided arcs are prefolded and only the UNKNOWN remainder is
+    # intersected.
+    use_fold = use_store or engine.sketch is not None
     if batched:
         sim_np = (
             np.full(ctx.num_arcs, UNKNOWN, dtype=np.int8)
-            if use_store
+            if use_fold
             else np.empty(ctx.num_arcs, dtype=np.int8)
         )
     else:
         sim_np = None
-    if use_store:
+    if use_fold:
         if batched:
-            engine.prefold_cached(sim_np, mcn_np)
+            if use_store:
+                engine.prefold_cached(sim_np, mcn_np)
+            if engine.sketch is not None:
+                engine.sketch_prefold(sim_np, mcn_np)
         else:
             state0 = np.full(ctx.num_arcs, UNKNOWN, dtype=np.int8)
-            engine.prefold_cached(state0, mcn_np)
+            if use_store:
+                engine.prefold_cached(state0, mcn_np)
+            if engine.sketch is not None:
+                engine.sketch_prefold(state0, mcn_np)
             ctx.sim[:] = state0.tolist()
     if not batched:
         off, dst, adj, deg = ctx.off, ctx.dst, ctx.adj, ctx.deg
@@ -171,7 +188,12 @@ def scanxp(
             params,
             algorithm="scanxp",
             exec_mode=exec_mode,
-            extra={"threshold": int(threshold)},
+            extra={"threshold": int(threshold)}
+            | (
+                {"sketch": engine.sketch.key()}
+                if engine.sketch is not None
+                else {}
+            ),
         )
         snap = ck.load_latest()
         if snap is not None:
@@ -281,14 +303,25 @@ def scanxp(
             adj_u = adj[u]
             for arc in range(off[u], off[u + 1]):
                 arcs += 1
-                if use_store:
-                    # Prefolded arcs are already decided; the rest go
-                    # through the store (a miss runs an exact merge count
-                    # and records it, so the mirror arc becomes a hit).
+                if use_fold:
+                    # Prefolded arcs (store- or sketch-decided) are done;
+                    # the rest go through the store when attached (a miss
+                    # runs an exact merge count and records it, so the
+                    # mirror arc becomes a hit) or a plain exact count.
                     if sim[arc] == UNKNOWN:
-                        writes.append(
-                            (arc, cached_arc(arc, adj_u, adj[dst[arc]], mcn[arc]))
-                        )
+                        if use_store:
+                            state = cached_arc(
+                                arc, adj_u, adj[dst[arc]], mcn[arc]
+                            )
+                        else:
+                            common = pivot_vectorized_count(
+                                adj_u,
+                                adj[dst[arc]],
+                                lanes=lanes,
+                                counter=counter,
+                            )
+                            state = SIM if common + 2 >= mcn[arc] else NSIM
+                        writes.append((arc, state))
                     continue
                 common = pivot_vectorized_count(
                     adj_u, adj[dst[arc]], lanes=lanes, counter=counter
@@ -351,9 +384,9 @@ def scanxp(
         _run_stage(
             "similarity computation",
             None,
-            similarity_task_batched_cached if use_store else similarity_task_batched,
+            similarity_task_batched_cached if use_fold else similarity_task_batched,
             commit_similarity_batched_cached
-            if use_store
+            if use_fold
             else commit_similarity_batched,
         )
     else:

@@ -212,14 +212,23 @@ def run_smoke(
     graph = real_world_standin("livejournal", scale=scale)
     calib = calibrate()
 
+    legs = (
+        ("scalar", dict(exec_mode="scalar")),
+        ("batched", dict(exec_mode="batched")),
+        # Conservative sketch band: decisions must stay bit-identical,
+        # and the CompSim/fallback counts are deterministic, so the
+        # sketch path gets the same tight count gating as the exact legs.
+        ("sketch", dict(exec_mode="batched", kernel="sketch")),
+    )
     results: dict[str, Any] = {}
-    walls = {"scalar": float("inf"), "batched": float("inf")}
+    walls = {name: float("inf") for name, _ in legs}
     for _ in range(max(rounds, 1)):
-        for mode in ("scalar", "batched"):
+        for mode, kwargs in legs:
             t0 = time.perf_counter()
-            results[mode] = ppscan(graph, params, exec_mode=mode)
+            results[mode] = ppscan(graph, params, **kwargs)
             walls[mode] = min(walls[mode], time.perf_counter() - t0)
     assert_same_clustering(results["scalar"], results["batched"])
+    assert_same_clustering(results["scalar"], results["sketch"])
 
     if trace_path is not None:
         tracer = Tracer()
@@ -252,6 +261,11 @@ def run_smoke(
             **_record_counts(results["batched"].record),
             "wall_units": walls["batched"] / calib,
             "speedup": walls["scalar"] / walls["batched"],
+        },
+        "sketch": {
+            **_record_counts(results["sketch"].record),
+            "wall_units": walls["sketch"] / calib,
+            "speedup": walls["scalar"] / walls["sketch"],
         },
     }
     return data

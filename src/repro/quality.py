@@ -48,18 +48,90 @@ def contingency(
     return dict(table)
 
 
+_NOISE_POLICIES = ("singletons", "exclude")
+
+
+def _resolve_noise(
+    labels_a: Sequence[int],
+    labels_b: Sequence[int],
+    noise,
+    noise_policy: str,
+) -> tuple[list[int], list[int]]:
+    """Fold SCAN's hub/outlier sentinel ids into comparable labelings.
+
+    SCAN leaves unclustered vertices with sentinel labels (e.g. ``-1``
+    from :func:`primary_labels`); feeding those to an external index as
+    if they formed one big "noise cluster" inflates agreement.  Callers
+    pass the sentinel id(s) via ``noise`` and choose how to treat them:
+
+    ``singletons``
+        every noise vertex becomes its own fresh one-element cluster
+        (the scikit-learn-style treatment — disagreement on noise
+        counts against the score);
+    ``exclude``
+        positions where *either* labeling is noise are dropped, scoring
+        recovery on the mutually clustered vertices only.
+    """
+    if len(labels_a) != len(labels_b):
+        raise ValueError("label arrays must have equal length")
+    if noise_policy not in _NOISE_POLICIES:
+        raise ValueError(
+            f"noise_policy must be one of {_NOISE_POLICIES}, "
+            f"got {noise_policy!r}"
+        )
+    if isinstance(noise, (int, np.integer)):
+        sentinels = {int(noise)}
+    else:
+        sentinels = {int(x) for x in noise}
+    a = [int(x) for x in labels_a]
+    b = [int(x) for x in labels_b]
+    if noise_policy == "exclude":
+        kept = [
+            (x, y)
+            for x, y in zip(a, b)
+            if x not in sentinels and y not in sentinels
+        ]
+        return [x for x, _ in kept], [y for _, y in kept]
+    fresh = max(a + b, default=0) + 1
+    for i, x in enumerate(a):
+        if x in sentinels:
+            a[i] = fresh
+            fresh += 1
+    for i, y in enumerate(b):
+        if y in sentinels:
+            b[i] = fresh
+            fresh += 1
+    return a, b
+
+
 def _comb2(x: int) -> int:
     return x * (x - 1) // 2
 
 
 def adjusted_rand_index(
-    labels_a: Sequence[int], labels_b: Sequence[int]
+    labels_a: Sequence[int],
+    labels_b: Sequence[int],
+    *,
+    noise=None,
+    noise_policy: str = "singletons",
 ) -> float:
     """Adjusted Rand index in [-1, 1]; 1 means identical partitions.
 
+    ``noise`` (an int or a collection of ints) marks sentinel labels for
+    unclustered vertices — SCAN hubs/outliers — handled per
+    ``noise_policy`` (see :func:`_resolve_noise`) instead of being
+    counted as one shared cluster.
+
     >>> adjusted_rand_index([0, 0, 1, 1], [5, 5, 9, 9])
     1.0
+    >>> adjusted_rand_index([0, 0, 1, 1], [0, 0, 1, -1], noise=-1,
+    ...                     noise_policy="exclude")
+    1.0
     """
+    if noise is not None:
+        labels_a, labels_b = _resolve_noise(
+            labels_a, labels_b, noise, noise_policy
+        )
     n = len(labels_a)
     if n == 0:
         return 1.0
@@ -81,9 +153,21 @@ def adjusted_rand_index(
 
 
 def normalized_mutual_information(
-    labels_a: Sequence[int], labels_b: Sequence[int]
+    labels_a: Sequence[int],
+    labels_b: Sequence[int],
+    *,
+    noise=None,
+    noise_policy: str = "singletons",
 ) -> float:
-    """NMI with arithmetic-mean normalization, in [0, 1]."""
+    """NMI with arithmetic-mean normalization, in [0, 1].
+
+    ``noise`` / ``noise_policy`` treat sentinel-labelled (unclustered)
+    vertices as in :func:`adjusted_rand_index`.
+    """
+    if noise is not None:
+        labels_a, labels_b = _resolve_noise(
+            labels_a, labels_b, noise, noise_policy
+        )
     n = len(labels_a)
     if n == 0:
         return 1.0

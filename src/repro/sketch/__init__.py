@@ -1,0 +1,26 @@
+"""Sketch-based approximate similarity with exact boundary fallback.
+
+Per-vertex probabilistic set representations (Bloom bitsets and
+k-minimum-values sketches, à la ProbGraph) estimate the closed-
+neighborhood overlap ``|N[u] ∩ N[v]|`` in O(sketch) instead of
+O(deg(u)+deg(v)).  A confidence gate classifies each surviving arc as
+definitely-similar / definitely-dissimilar / uncertain; only uncertain
+arcs fall back to the exact intersectors.  With ``error == 0`` every
+sketch decision is *certified* by deterministic bounds and the
+clustering is bit-identical to exact mode; see ``docs/approximate.md``.
+"""
+
+from .build import SENTINEL, VertexSketches, build_sketches, hash_vertices
+from .config import SketchParams
+from .estimate import classify_arcs, estimate_overlaps, overlap_bounds
+
+__all__ = [
+    "SketchParams",
+    "VertexSketches",
+    "build_sketches",
+    "hash_vertices",
+    "classify_arcs",
+    "estimate_overlaps",
+    "overlap_bounds",
+    "SENTINEL",
+]

@@ -1,0 +1,219 @@
+"""Vectorized per-vertex sketch construction from the CSR arrays.
+
+Two sketches exist per vertex, built in whole-graph NumPy passes (no
+per-vertex Python loop):
+
+* a **Bloom bitset** of ``params.bits`` bits (one hash function): bit
+  ``h(w) mod bits`` is set for every neighbor ``w``.  Built *eagerly* —
+  a single unbuffered scatter-OR over the arc array, a few milliseconds
+  per million arcs;
+* a **k-minimum-values (KMV)** sketch: the ``k`` smallest neighbor
+  hashes, sorted ascending and padded with a sentinel.  Built *lazily*,
+  per vertex subset, on first demand: the staged classifier
+  (:mod:`repro.sketch.estimate`) resolves the vast majority of arcs
+  from the Bloom stage alone, so paying an O(m log m) sort for KMV rows
+  that are never read would often dominate the whole sketch budget.
+
+Both consume the *same* 64-bit hash of the neighbor vertex id, produced
+by the splitmix64 finalizer.  The finalizer is bijective on uint64, so
+``h(w) == h(x)  ⇔  w == x`` — which is what makes the KMV match count a
+*certificate*: every value shared by two KMV sketches corresponds to one
+real common neighbor (see :mod:`repro.sketch.estimate`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .config import SketchParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.csr import CSRGraph
+
+__all__ = ["VertexSketches", "build_sketches", "SENTINEL", "hash_vertices"]
+
+#: KMV padding value for vertices with degree < k.  Real hashes are
+#: guaranteed distinct from it (re-mixed at build time if needed), so a
+#: sentinel never counts as a sketch match.
+SENTINEL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer — a bijection on uint64."""
+    with np.errstate(over="ignore"):
+        x = (x + _GOLDEN).astype(np.uint64)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return x ^ (x >> np.uint64(31))
+
+
+def hash_vertices(num_vertices: int, seed: int) -> np.ndarray:
+    """One 64-bit hash per vertex id, distinct from :data:`SENTINEL`.
+
+    ``id + seed·golden`` is bijective in ``id`` for a fixed seed, and
+    splitmix64 is bijective, so distinct ids always get distinct hashes.
+    In the astronomically unlikely event a hash collides with the KMV
+    sentinel, the whole graph is deterministically re-mixed with the
+    next seed (decisions stay reproducible: the rehash depends only on
+    ``(num_vertices, seed)``).
+    """
+    ids = np.arange(num_vertices, dtype=np.uint64)
+    mix = np.uint64(seed)
+    with np.errstate(over="ignore"):
+        while True:
+            hv = _splitmix64(ids + mix * _GOLDEN)
+            if not np.any(hv == SENTINEL):  # pragma: no branch
+                return hv
+            mix = mix + np.uint64(1)  # pragma: no cover - p ≈ n/2^64
+
+
+class VertexSketches:
+    """Per-vertex Bloom + KMV sketches for one ``(graph, params)`` pair.
+
+    The Bloom side (``bloom``, ``bloom_pop``) is materialized at
+    construction.  The KMV side is materialized per vertex subset by
+    :meth:`ensure_kmv`; reading :attr:`kmv` builds every remaining row
+    first, so external consumers always observe the complete array.
+    Instances hold references to the owning graph's CSR arrays (cheap:
+    no copies) and are session-memoization objects — they are never
+    serialized (see ``SimilarityStore.put_sketches``).
+    """
+
+    def __init__(
+        self,
+        params: SketchParams,
+        bloom: np.ndarray,
+        bloom_pop: np.ndarray,
+        degrees: np.ndarray,
+        hv: np.ndarray,
+        offsets: np.ndarray,
+        dst: np.ndarray,
+    ) -> None:
+        self.params = params
+        #: (n, words) uint64 Bloom bitsets.
+        self.bloom = bloom
+        #: (n,) int64 popcounts of each Bloom bitset.
+        self.bloom_pop = bloom_pop
+        #: (n,) int64 vertex degrees (open neighborhoods).
+        self.degrees = degrees
+        self._hv = hv
+        self._offsets = offsets
+        self._dst = dst
+        self._kmv: np.ndarray | None = None
+        self._kmv_built: np.ndarray | None = None
+
+    @property
+    def num_vertices(self) -> int:
+        return self.degrees.size
+
+    @property
+    def kmv(self) -> np.ndarray:
+        """(n, k) uint64 KMV sketches, ascending, sentinel-padded.
+
+        Accessing the attribute materializes every not-yet-built row.
+        """
+        return self.ensure_kmv()
+
+    @property
+    def kmv_len(self) -> np.ndarray:
+        """(n,) number of real (non-sentinel) KMV values = min(deg, k)."""
+        return np.minimum(self.degrees, self.params.k)
+
+    def ensure_kmv(self, vertices: np.ndarray | None = None) -> np.ndarray:
+        """Materialize the KMV rows of ``vertices`` (all when ``None``).
+
+        Rows are built at most once; repeated calls with overlapping
+        subsets only pay for the not-yet-built remainder.  Each batch
+        sorts hashes segment-by-segment with ONE flat sort of a packed
+        (segment, hash-prefix) key — cheaper than a two-key lexsort.
+        Truncating the hash to its top bits only blurs the order of
+        prefix-tied values, so the selected k values may differ from the
+        true k minima in (astronomically rare) tie cases; every selected
+        value is still a real neighbor hash, which is all the matching
+        certificate requires.  A final k-wide row sort restores exact
+        ascending order for the estimators.
+        """
+        n = self.degrees.size
+        k = self.params.k
+        if self._kmv is None:
+            self._kmv = np.full((n, k), SENTINEL, dtype=np.uint64)
+            self._kmv_built = np.zeros(n, dtype=bool)
+        if vertices is None:
+            need = np.flatnonzero(~self._kmv_built)
+        else:
+            vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+            need = vertices[~self._kmv_built[vertices]]
+        if need.size == 0:
+            return self._kmv
+        deg = self.degrees[need]
+        total = int(deg.sum())
+        if total:
+            starts = self._offsets[need].astype(np.int64, copy=False)
+            seg_off = np.zeros(need.size, dtype=np.int64)
+            np.cumsum(deg[:-1], out=seg_off[1:])
+            pos = np.arange(total, dtype=np.int64) - np.repeat(seg_off, deg)
+            harc = self._hv[self._dst[np.repeat(starts, deg) + pos]]
+            seg = np.repeat(np.arange(need.size, dtype=np.int64), deg)
+            shift = np.uint64(max(1, int(max(need.size - 1, 1)).bit_length()))
+            pack = (seg.astype(np.uint64) << (np.uint64(64) - shift)) | (
+                harc >> shift
+            )
+            order = np.argsort(pack)
+            keep = pos < k  # pos doubles as the within-segment sorted rank
+            self._kmv[need[seg[keep]], pos[keep]] = harc[order][keep]
+            rows = self._kmv[need]
+            rows.sort(axis=1)
+            self._kmv[need] = rows
+        self._kmv_built[need] = True
+        return self._kmv
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the materialized arrays."""
+        return (
+            self.bloom.nbytes
+            + self.bloom_pop.nbytes
+            + (self._kmv.nbytes if self._kmv is not None else 0)
+            + self.degrees.nbytes
+            + self._hv.nbytes
+        )
+
+
+def build_sketches(graph: "CSRGraph", params: SketchParams) -> VertexSketches:
+    """Build the Bloom sketches eagerly; arm the KMV side for lazy build."""
+    n = graph.num_vertices
+    words = params.words
+    degrees = graph.degrees.astype(np.int64, copy=False)
+    offsets = graph.offsets.astype(np.int64, copy=False)
+    if n == 0:
+        zero = np.zeros(0, dtype=np.int64)
+        return VertexSketches(
+            params,
+            np.zeros((0, words), dtype=np.uint64),
+            zero,
+            degrees,
+            np.zeros(0, dtype=np.uint64),
+            offsets,
+            graph.dst,
+        )
+    hv = hash_vertices(n, params.seed)
+    m = graph.num_arcs
+
+    # Bloom: one unbuffered scatter-OR over all arcs — OR is idempotent,
+    # so colliding (row, word) pairs need no grouping pass at all.
+    bloom = np.zeros((n, words), dtype=np.uint64)
+    if m:
+        src = graph.arc_source()
+        harc = hv[graph.dst]
+        bit = (harc & np.uint64(params.bits - 1)).astype(np.int64)
+        word = bit >> 6
+        value = np.uint64(1) << (bit & 63).astype(np.uint64)
+        keys = src.astype(np.int64) * words + word
+        np.bitwise_or.at(bloom.reshape(-1), keys, value)
+    bloom_pop = np.bitwise_count(bloom).sum(axis=1).astype(np.int64)
+    return VertexSketches(
+        params, bloom, bloom_pop, degrees, hv, offsets, graph.dst
+    )

@@ -1,0 +1,108 @@
+"""Configuration for the sketch-based approximate similarity backend.
+
+:class:`SketchParams` is deliberately dependency-free (stdlib only) so
+``repro.options`` can import it without pulling NumPy or the graph layer
+into the configuration module's import graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SketchParams", "DEFAULT_BITS", "DEFAULT_K", "DEFAULT_SEED"]
+
+#: Default Bloom-bitset width per vertex (bits; power of two, >= 64).
+DEFAULT_BITS = 256
+#: Default k-minimum-values sketch size per vertex.
+DEFAULT_K = 32
+#: Default hash seed.
+DEFAULT_SEED = 1
+
+
+@dataclass(frozen=True)
+class SketchParams:
+    """Per-vertex sketch configuration for approximate CompSim.
+
+    ``bits``
+        Bloom-bitset width per vertex.  Must be a power of two and a
+        multiple of 64 (the bitset is stored as ``bits // 64`` uint64
+        words and hashed with a mask, not a modulo).
+    ``k``
+        k-minimum-values (KMV / bottom-k MinHash) sketch size.  Vertices
+        with degree ≤ ``k`` carry their *complete* hashed neighborhood,
+        which makes sketch intersections between two such vertices exact.
+    ``error``
+        Width of the uncertainty band around the ε decision boundary, as
+        a two-sided miss probability in ``[0, 1)``.  ``0.0`` selects the
+        conservative mode: only arcs *certified* by deterministic bounds
+        are decided from sketches, everything else falls back to the
+        exact intersector, and the clustering is bit-identical to exact
+        mode.  Positive values accept estimates whose distance from the
+        boundary exceeds ``z · σ`` with ``z = sqrt(2·ln(2/error))`` —
+        larger ``error`` means a narrower band, fewer exact fallbacks,
+        and more approximation.
+    ``gate``
+        Degree gate of the cost model: an arc is sketch-classified only
+        when ``min(d(u), d(v)) >= gate``.  Below the gate the exact
+        kernel touches at most ``min(d(u), d(v))`` neighborhood elements
+        — cheaper than gathering two Bloom bitsets — so sketching those
+        arcs *loses* time even when it decides them.  ``None`` (the
+        default) derives the break-even point from the bitset width as
+        ``8 · words``; ``0`` disables the gate and classifies every arc.
+    ``seed``
+        Seed mixed into the 64-bit vertex hash.
+    """
+
+    bits: int = DEFAULT_BITS
+    k: int = DEFAULT_K
+    error: float = 0.0
+    gate: int | None = None
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.bits < 64 or self.bits & (self.bits - 1):
+            raise ValueError(
+                f"bits must be a power of two >= 64, got {self.bits}"
+            )
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if not (0.0 <= self.error < 1.0):
+            raise ValueError(
+                f"error must be in [0, 1), got {self.error}"
+            )
+        if self.gate is not None and self.gate < 0:
+            raise ValueError(f"gate must be >= 0, got {self.gate}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+
+    @property
+    def words(self) -> int:
+        """Bloom bitset width in uint64 words."""
+        return self.bits // 64
+
+    @property
+    def effective_gate(self) -> int:
+        """Resolved degree gate (``8 · words`` when ``gate is None``)."""
+        if self.gate is not None:
+            return self.gate
+        return 8 * self.words
+
+    @property
+    def conservative(self) -> bool:
+        """True when only certified decisions are taken from sketches."""
+        return self.error == 0.0
+
+    @property
+    def z_score(self) -> float:
+        """Half-width of the fallback band in σ units (∞ when exact)."""
+        if self.error == 0.0:
+            return math.inf
+        return math.sqrt(2.0 * math.log(2.0 / self.error))
+
+    def key(self) -> str:
+        """Stable identity string (sketch memoization, checkpoint binds)."""
+        return (
+            f"b{self.bits}.k{self.k}.e{self.error!r}"
+            f".g{self.effective_gate}.s{self.seed}"
+        )

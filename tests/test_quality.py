@@ -81,6 +81,65 @@ class TestNMI:
         assert normalized_mutual_information([0, 0], [0, 0]) == 1.0
 
 
+class TestNoisePolicies:
+    def test_exclude_matches_hand_masking(self):
+        rng = np.random.default_rng(7)
+        truth = rng.integers(0, 4, 300)
+        labels = truth.copy()
+        labels[rng.random(300) < 0.3] = -1  # unclustered
+        mask = labels >= 0
+        by_hand = adjusted_rand_index(
+            truth[mask].tolist(), labels[mask].tolist()
+        )
+        by_kwarg = adjusted_rand_index(
+            truth.tolist(),
+            labels.tolist(),
+            noise=-1,
+            noise_policy="exclude",
+        )
+        assert by_kwarg == pytest.approx(by_hand)
+
+    def test_singletons_penalize_noise(self):
+        perfect = adjusted_rand_index([0, 0, 1, 1], [0, 0, 1, 1])
+        noisy = adjusted_rand_index(
+            [0, 0, 1, 1], [0, 0, 1, -1], noise=-1
+        )
+        assert perfect == 1.0 and noisy < 1.0
+
+    def test_multiple_sentinels(self):
+        # HUB/OUTLIER-style distinct sentinel ids are excluded together.
+        assert (
+            adjusted_rand_index(
+                [0, 0, -2, 1],
+                [0, 0, 1, -3],
+                noise=(-2, -3),
+                noise_policy="exclude",
+            )
+            == 1.0
+        )
+
+    def test_nmi_accepts_noise(self):
+        nmi = normalized_mutual_information(
+            [0, 0, 1, 1], [0, 0, 1, -1], noise=-1, noise_policy="exclude"
+        )
+        assert nmi == pytest.approx(1.0)
+
+    def test_bad_policy_raises(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0], [0], noise=-1, noise_policy="drop")
+
+    @given(labels_strategy)
+    def test_singletons_self_ari_unaffected_without_noise(self, labels):
+        # No sentinel present: both policies are the identity transform.
+        base = adjusted_rand_index(labels, labels)
+        assert adjusted_rand_index(
+            labels, labels, noise=-1
+        ) == pytest.approx(base)
+        assert adjusted_rand_index(
+            labels, labels, noise=-1, noise_policy="exclude"
+        ) == pytest.approx(base)
+
+
 class TestPrimaryLabels:
     def test_recovers_planted_partition(self):
         graph, truth = planted_partition(5, 30, 0.5, 0.005, seed=21)
