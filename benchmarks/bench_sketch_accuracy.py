@@ -39,6 +39,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import api  # noqa: E402 - path setup first
+from repro.obs.ledger import (  # noqa: E402
+    migrate_legacy_line,
+    migrate_trajectory,
+)
 from repro.core import assert_same_clustering  # noqa: E402
 from repro.graph.generators import (  # noqa: E402
     planted_partition,
@@ -242,9 +246,15 @@ def run_full() -> int:
         ),
     }
     TRAJECTORY.parent.mkdir(exist_ok=True)
-    with open(TRAJECTORY, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(entry, sort_keys=True) + "\n")
-    print(f"trajectory entry appended to {TRAJECTORY}")
+    # The trajectory is a run ledger: migrate any legacy lines in place
+    # (idempotent), then append this summary as a versioned record so
+    # `repro-scan history`/`report` and the trend gate can read it.
+    ledger = migrate_trajectory(TRAJECTORY)
+    record = ledger.append(migrate_legacy_line(entry))
+    print(
+        f"trajectory entry appended to {TRAJECTORY} "
+        f"(seq={record['seq']}, workload {record['workload_key']})"
+    )
 
     for failure in failures:
         print(f"FAIL: {failure}")

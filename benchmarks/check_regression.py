@@ -1,32 +1,44 @@
 #!/usr/bin/env python
-"""Gate fresh benchmark results against committed baselines.
+"""Gate fresh benchmark results against history (trend) or baselines.
 
 Usage
 -----
-Run the deterministic smoke workload and compare it against the
-committed baseline (the CI gate)::
+Run the deterministic smoke workload, gate it, and append the outcome to
+the run ledger (the CI gate)::
 
     PYTHONPATH=src python benchmarks/check_regression.py --smoke
 
-Record a new baseline after an intentional change::
+The gate is *trend-aware*: when the run ledger
+(``bench_results/ledger.jsonl`` by default) holds at least
+``--min-history`` comparable passing runs — same workload fingerprint,
+same options fingerprint — every metric is gated against robust
+median/MAD bands computed over that history.  With thin history the gate
+falls back to the committed static baseline
+(``benchmarks/baselines/smoke.json``) exactly as before.  Either way the
+fresh result is appended to the ledger (with its gate verdict) so the
+bands tighten over time; ``--no-append`` suppresses the append for
+read-only what-if checks.
+
+Record a new static baseline after an intentional change::
 
     PYTHONPATH=src python benchmarks/check_regression.py --smoke \
         --update-baseline
 
-Compare two arbitrary result JSONs (e.g. a fresh ``bench_results`` file
-against a saved copy)::
+Compare an arbitrary result JSON against the ledger history / baseline::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
-        --baseline benchmarks/baselines/smoke.json \
         --fresh bench_results/smoke.json
 
-Exit status is non-zero when any metric regresses beyond its tolerance.
+Exit codes (shared with ``benchmarks/run_checks.py``): 0 = gate passed,
+1 = regression detected, 2 = missing baseline/usage error.
+
 Metric kinds and default tolerances are documented in
 :mod:`repro.obs.regression`: counts are gated tightly in both directions
 (deterministic seeds), wall metrics are calibrated (divided by a fixed
-reference workload's time on the same host) and gated one-sided with a
-generous tolerance, speedups are gated from below, and calibration info
-metrics are never gated.
+reference workload's time on the same host) and gated one-sided, and
+speedups are gated from below.  The trend gate applies the same kind
+classification, with bands of ``median + nsigma * 1.4826 * MAD`` (a
+relative floor guards against near-zero MAD from quiet histories).
 """
 
 from __future__ import annotations
@@ -39,17 +51,28 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.obs.ledger import RunLedger, build_record  # noqa: E402
 from repro.obs.regression import (  # noqa: E402 - path setup first
     DEFAULT_COUNT_TOL,
+    DEFAULT_MIN_HISTORY,
+    DEFAULT_NSIGMA,
     DEFAULT_SPEEDUP_TOL,
     DEFAULT_WALL_TOL,
     compare_results,
+    flatten,
     run_smoke,
+    trend_gate,
 )
 
 BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 SMOKE_BASELINE = BASELINE_DIR / "smoke.json"
 RESULTS_DIR = REPO_ROOT / "bench_results"
+DEFAULT_LEDGER = RESULTS_DIR / "ledger.jsonl"
+
+#: Exit codes, shared across the ``check_*.py`` gates (see run_checks.py).
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
 
 
 def _load(path: Path) -> dict:
@@ -64,9 +87,128 @@ def _dump(path: Path, data: dict) -> None:
         fh.write("\n")
 
 
+def _smoke_record(fresh: dict, gate: dict) -> dict:
+    """A ledger record for one smoke result.
+
+    The workload block (graph/scale/eps/mu/sizes) keys comparability;
+    the leg names key the options fingerprint.  ``calibration_seconds``
+    is carried in the metrics (classified ``info``, never gated) so the
+    record documents the host speed that normalised its wall units.
+    """
+    workload = dict(fresh.get("workload", {}))
+    workload["bench"] = "smoke"
+    legs = sorted(
+        key
+        for key, value in fresh.items()
+        if isinstance(value, dict) and key != "workload"
+    )
+    metrics = {
+        key: value
+        for key, value in flatten(fresh).items()
+        if not key.startswith("workload.")
+    }
+    return build_record(
+        "bench",
+        workload=workload,
+        options={"legs": legs},
+        metrics=metrics,
+        extra={"gate": gate},
+    )
+
+
+def gate_fresh(
+    fresh: dict,
+    *,
+    ledger: RunLedger,
+    baseline_path: Path,
+    min_history: int,
+    nsigma: float,
+    count_tol: float,
+    wall_tol: float,
+    speedup_tol: float,
+) -> tuple[int, dict]:
+    """Gate ``fresh``, trend-first with static fallback.
+
+    Returns ``(exit_code, gate_dict)`` where the gate dict records the
+    mode used, the verdict, and human-readable violation strings — the
+    shape appended to the ledger alongside the metrics.
+    """
+    probe = _smoke_record(fresh, {})
+    history = ledger.history(
+        workload_key=probe["workload_key"],
+        options_key=probe["options_key"],
+        kind="bench",
+        passed_only=True,
+    )
+    if len(history) >= min_history:
+        violations = trend_gate(
+            [record.get("metrics", {}) for record in history],
+            probe["metrics"],
+            min_history=min_history,
+            nsigma=nsigma,
+            count_tol=count_tol,
+        )
+        gate = {
+            "mode": "trend",
+            "history": len(history),
+            "passed": not violations,
+            "violations": [v.describe() for v in violations],
+        }
+        if violations:
+            print(f"REGRESSIONS vs ledger history (n={len(history)}):")
+            for violation in violations:
+                print(f"  {violation.describe()}")
+            return EXIT_REGRESSION, gate
+        print(
+            f"OK: within median/MAD bands of {len(history)} "
+            f"comparable run(s) in {ledger.path}"
+        )
+        return EXIT_OK, gate
+
+    # Thin history: static baseline fallback.
+    if not baseline_path.exists():
+        print(
+            f"no baseline at {baseline_path} and only {len(history)} "
+            f"comparable ledger run(s) (< {min_history}); run with "
+            "--update-baseline to record one",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE, {
+            "mode": "none",
+            "history": len(history),
+            "passed": False,
+            "violations": ["no baseline and thin history"],
+        }
+    baseline = _load(baseline_path)
+    regressions = compare_results(
+        baseline,
+        fresh,
+        count_tol=count_tol,
+        wall_tol=wall_tol,
+        speedup_tol=speedup_tol,
+    )
+    gate = {
+        "mode": "static",
+        "history": len(history),
+        "passed": not regressions,
+        "violations": [r.describe() for r in regressions],
+    }
+    if regressions:
+        print(f"REGRESSIONS vs {baseline_path}:")
+        for reg in regressions:
+            print(f"  {reg.describe()}")
+        return EXIT_REGRESSION, gate
+    print(
+        f"OK: no regressions vs {baseline_path} "
+        f"(ledger history {len(history)}/{min_history}, static fallback)"
+    )
+    return EXIT_OK, gate
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="compare benchmark results against committed baselines"
+        description="gate benchmark results: ledger trend bands first, "
+        "committed static baseline as fallback"
     )
     parser.add_argument(
         "--smoke",
@@ -86,7 +228,7 @@ def main(argv: list[str] | None = None) -> int:
         "--baseline",
         type=Path,
         default=None,
-        help=f"baseline JSON (default: {SMOKE_BASELINE})",
+        help=f"static baseline JSON (default: {SMOKE_BASELINE})",
     )
     parser.add_argument(
         "--fresh",
@@ -95,9 +237,33 @@ def main(argv: list[str] | None = None) -> int:
         help="fresh result JSON (instead of running --smoke)",
     )
     parser.add_argument(
+        "--ledger",
+        type=Path,
+        default=DEFAULT_LEDGER,
+        help=f"run ledger for trend gating (default: {DEFAULT_LEDGER})",
+    )
+    parser.add_argument(
+        "--min-history",
+        type=int,
+        default=DEFAULT_MIN_HISTORY,
+        help="comparable ledger runs required before trend gating "
+        "replaces the static baseline",
+    )
+    parser.add_argument(
+        "--nsigma",
+        type=float,
+        default=DEFAULT_NSIGMA,
+        help="half-width of the MAD band, in robust sigmas",
+    )
+    parser.add_argument(
+        "--no-append",
+        action="store_true",
+        help="do not append the fresh result to the ledger",
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="write the fresh result over the baseline and exit 0",
+        help="write the fresh result over the static baseline and exit 0",
     )
     parser.add_argument(
         "--trace-out",
@@ -132,30 +298,27 @@ def main(argv: list[str] | None = None) -> int:
     if args.update_baseline:
         _dump(baseline_path, fresh)
         print(f"baseline updated: {baseline_path}")
-        return 0
-    if not baseline_path.exists():
-        print(
-            f"no baseline at {baseline_path}; run with --update-baseline "
-            "to record one",
-            file=sys.stderr,
-        )
-        return 2
+        return EXIT_OK
 
-    baseline = _load(baseline_path)
-    regressions = compare_results(
-        baseline,
+    ledger = RunLedger(args.ledger)
+    code, gate = gate_fresh(
         fresh,
+        ledger=ledger,
+        baseline_path=baseline_path,
+        min_history=args.min_history,
+        nsigma=args.nsigma,
         count_tol=args.count_tol,
         wall_tol=args.wall_tol,
         speedup_tol=args.speedup_tol,
     )
-    if regressions:
-        print(f"REGRESSIONS vs {baseline_path}:")
-        for reg in regressions:
-            print(f"  {reg.describe()}")
-        return 1
-    print(f"OK: no regressions vs {baseline_path}")
-    return 0
+    if not args.no_append and gate.get("mode") != "none":
+        record = ledger.append(_smoke_record(fresh, gate))
+        print(
+            f"ledger: appended seq={record['seq']} "
+            f"gate={'pass' if gate['passed'] else 'FAIL'} "
+            f"({gate['mode']}) to {ledger.path}"
+        )
+    return code
 
 
 if __name__ == "__main__":

@@ -20,6 +20,44 @@ import pytest
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
 
 
+#: Flattened metric leaves per ledger record are capped so a dense sweep
+#: grid cannot balloon the append-only history file.
+LEDGER_METRIC_CAP = 64
+
+
+def append_bench_ledger(exp_id: str, data) -> None:
+    """The shared ledger writer for every ``bench_*.py`` result.
+
+    One ``kind="bench"`` record per experiment lands in
+    ``bench_results/ledger.jsonl`` (the same schema-versioned store the
+    CLI and the trend gate read), keyed by the experiment id and the
+    session's ``REPRO_SCALE`` so only same-scale runs are comparable.
+    """
+    import os
+
+    sys.path.insert(0, str(RESULTS_DIR.parent / "src"))
+    from repro.obs.ledger import RunLedger, build_record
+    from repro.obs.regression import flatten
+
+    payload = _jsonable(data)
+    try:
+        metrics = flatten(payload) if isinstance(payload, dict) else {}
+    except (TypeError, ValueError):
+        metrics = {}
+    if len(metrics) > LEDGER_METRIC_CAP:
+        metrics = dict(sorted(metrics.items())[:LEDGER_METRIC_CAP])
+    RunLedger(RESULTS_DIR / "ledger.jsonl").append(
+        build_record(
+            "bench",
+            workload={
+                "bench": exp_id,
+                "scale": float(os.environ.get("REPRO_SCALE", 0.4)),
+            },
+            metrics=metrics or None,
+        )
+    )
+
+
 @pytest.fixture(scope="session")
 def save_result():
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -34,6 +72,7 @@ def save_result():
             )
         except TypeError:
             pass  # non-serializable payloads keep the .txt only
+        append_bench_ledger(result.exp_id, result.data)
         print(f"\n{result.text}\n[saved to {path}]", file=sys.stderr)
 
     return _save

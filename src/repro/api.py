@@ -32,6 +32,7 @@ the algorithm and stage that could not be completed.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
@@ -240,10 +241,19 @@ def cluster(
 
 @dataclass(frozen=True)
 class ComparisonOutcome:
-    """Result of :func:`compare`: per-algorithm results, verified equal."""
+    """Result of :func:`compare`: per-algorithm results, verified equal.
+
+    ``leg_stats`` carries per-algorithm run telemetry measured by the
+    facade itself — ``wall_seconds`` (facade-side wall of that leg) and
+    ``peak_rss_kb`` (the process's ``ru_maxrss`` after the leg; a
+    high-water mark, so it is monotone across legs and the first leg to
+    touch the peak owns it) — so the CLI's comparison table and CSV can
+    report cost columns without re-deriving them from traces.
+    """
 
     reference: str
     results: dict[str, ClusteringResult] = field(default_factory=dict)
+    leg_stats: dict[str, dict] = field(default_factory=dict)
 
     @property
     def num_clusters(self) -> int:
@@ -252,6 +262,14 @@ class ComparisonOutcome:
     @property
     def num_cores(self) -> int:
         return self.results[self.reference].num_cores
+
+
+def _process_peak_rss_kb() -> int | None:
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX hosts
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def compare(
@@ -276,6 +294,7 @@ def compare(
     if not names:
         raise ValueError("no algorithms to compare")
     results: dict[str, ClusteringResult] = {}
+    leg_stats: dict[str, dict] = {}
     reference_name = names[0]
     for name in names:
         opts = options
@@ -284,11 +303,20 @@ def compare(
             # give each leg its own sibling directory so a crashed compare
             # resumes every leg independently.
             opts = opts.evolve(checkpoint=opts.checkpoint.for_subrun(name))
+        t0 = time.perf_counter()
         result = cluster(graph, params, algorithm=name, options=opts)
+        wall = time.perf_counter() - t0
+        stats: dict = {"wall_seconds": wall}
+        rss = _process_peak_rss_kb()
+        if rss is not None:
+            stats["peak_rss_kb"] = rss
+        leg_stats[name] = stats
         if results:
             assert_same_clustering(results[reference_name], result)
         results[name] = result
-    return ComparisonOutcome(reference=reference_name, results=results)
+    return ComparisonOutcome(
+        reference=reference_name, results=results, leg_stats=leg_stats
+    )
 
 
 def sweep(

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack, contextmanager
 
 import numpy as np
 
@@ -210,6 +211,145 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live progress on stderr: per-phase completion with a "
+        "cost-model ETA (rewritten status line on a TTY, periodic log "
+        "lines otherwise)",
+    )
+    parser.add_argument(
+        "--profile-spans",
+        action="store_true",
+        help="sample the active span stack (~10ms period) and print a "
+        "self/cumulative time profile per span kind after the run",
+    )
+    parser.add_argument(
+        "--profile-memory",
+        action="store_true",
+        help="account tracemalloc allocation deltas and peaks per "
+        "top-level phase (slows the run; implies --profile-spans output)",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append this run's record (workload, options, stage walls, "
+        "counters, memory) to the run ledger at PATH (a directory or a "
+        ".jsonl file)",
+    )
+
+
+class _ObsSession:
+    """Per-invocation observability plumbing shared by the run commands.
+
+    Decides whether a tracer must exist (trace export, profiling and the
+    ledger all consume one), owns the optional profiler and progress
+    reporter, and installs everything ambiently for the run body.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.trace_path = getattr(args, "trace", None)
+        self.profile = bool(getattr(args, "profile_spans", False))
+        self.memory = bool(getattr(args, "profile_memory", False))
+        self.ledger_path = getattr(args, "ledger", None)
+        self.progress = bool(getattr(args, "progress", False))
+        need_tracer = bool(
+            self.trace_path
+            or self.profile
+            or self.memory
+            or self.ledger_path
+        )
+        self.tracer: Tracer | None = Tracer() if need_tracer else None
+        self.profiler = None
+        self._ingested = False
+
+    @contextmanager
+    def activate(self):
+        with ExitStack() as stack:
+            if self.tracer is not None:
+                stack.enter_context(use_tracer(self.tracer))
+                if self.profile or self.memory:
+                    from .obs.profiler import SpanProfiler
+
+                    self.profiler = stack.enter_context(
+                        SpanProfiler(self.tracer, memory=self.memory)
+                    )
+            if self.progress:
+                from .obs.progress import ProgressReporter, use_progress
+
+                reporter = ProgressReporter()
+                stack.enter_context(reporter)
+                stack.enter_context(use_progress(reporter))
+            yield self
+
+    def ingest(self, record) -> None:
+        """Fold a RunRecord's tallies into the tracer metrics (once)."""
+        if self.tracer is not None and record is not None and not self._ingested:
+            self.tracer.metrics.ingest_record(record)
+            self._ingested = True
+
+    def print_profile(self) -> None:
+        if self.profiler is None:
+            return
+        summary = self.profiler.as_dict()
+        print(
+            f"profile: {summary['samples']} samples at "
+            f"{summary['interval_seconds'] * 1e3:.0f}ms "
+            f"({summary['idle_samples']} idle)"
+        )
+        for name, seconds in self.profiler.hotspots(limit=8):
+            cum = summary["spans"][name]["cum_seconds"]
+            print(f"  {name:<32} self {seconds:7.3f}s  cum {cum:7.3f}s")
+        for name, entry in summary.get("memory", {}).items():
+            print(
+                f"  {name:<32} alloc {entry['alloc_delta_kb']:+.0f}kB"
+                + (
+                    f"  peak {entry['peak_kb']:.0f}kB"
+                    if entry.get("peak_kb")
+                    else ""
+                )
+            )
+
+    def append_ledger(
+        self,
+        kind: str,
+        *,
+        graph=None,
+        graph_label=None,
+        params=None,
+        options=None,
+        result=None,
+        wall_seconds=None,
+        algorithm=None,
+        extra=None,
+    ) -> None:
+        if not self.ledger_path:
+            return
+        from .obs.ledger import RunLedger, record_from_run
+
+        record = record_from_run(
+            kind,
+            graph=graph,
+            graph_label=graph_label,
+            params=params,
+            options=options,
+            result=result,
+            tracer=self.tracer,
+            profiler=self.profiler,
+            wall_seconds=wall_seconds,
+            algorithm=algorithm,
+            extra=extra,
+        )
+        sealed = RunLedger(self.ledger_path).append(record)
+        print(
+            f"ledger: appended {kind} record seq={sealed['seq']} "
+            f"(workload {sealed['workload_key']}, options "
+            f"{sealed['options_key']}) to {self.ledger_path}"
+        )
+
+
 def _export_trace(args: argparse.Namespace, tracer: Tracer, title: str) -> None:
     write_trace(args.trace, tracer, args.trace_format, title=title)
     print(f"wrote {args.trace_format} trace to {args.trace}")
@@ -351,6 +491,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_cache_args(p_cluster)
     _add_checkpoint_args(p_cluster)
     _add_trace_args(p_cluster)
+    _add_obs_args(p_cluster)
     p_cluster.add_argument(
         "--sim-trace",
         default=None,
@@ -384,6 +525,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_cache_args(p_compare)
     _add_checkpoint_args(p_compare)
     _add_trace_args(p_compare)
+    _add_obs_args(p_compare)
 
     p_sweep = sub.add_parser("sweep", help="cluster over an (eps, mu) grid")
     p_sweep.add_argument("graph")
@@ -406,6 +548,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_cache_args(p_sweep)
     _add_checkpoint_args(p_sweep)
     _add_trace_args(p_sweep)
+    _add_obs_args(p_sweep)
 
     p_stats = sub.add_parser("stats", help="print graph statistics")
     p_stats.add_argument("graph")
@@ -451,6 +594,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--eps", default="0.2,0.4,0.6,0.8", help="comma-separated eps values"
     )
 
+    p_history = sub.add_parser(
+        "history", help="list the records of a run ledger"
+    )
+    p_history.add_argument(
+        "ledger", help="ledger directory or .jsonl file (see --ledger)"
+    )
+    p_history.add_argument(
+        "--kind",
+        default=None,
+        help="only records of this kind (cluster/compare/sweep/bench/smoke)",
+    )
+    p_history.add_argument(
+        "--workload-key", default=None, help="only this workload fingerprint"
+    )
+    p_history.add_argument(
+        "--options-key", default=None, help="only this options fingerprint"
+    )
+    p_history.add_argument(
+        "--limit", type=int, default=None, help="only the last N records"
+    )
+    p_history.add_argument(
+        "--json", action="store_true", help="dump matching records as JSON"
+    )
+
+    p_report = sub.add_parser(
+        "report",
+        help="trend report over a run ledger (median/MAD per workload)",
+    )
+    p_report.add_argument(
+        "ledger", help="ledger directory or .jsonl file (see --ledger)"
+    )
+    p_report.add_argument(
+        "--openmetrics",
+        default=None,
+        metavar="PATH",
+        help="also export the latest record's metrics as an OpenMetrics "
+        "textfile at PATH",
+    )
+    p_report.add_argument(
+        "--json", action="store_true", help="dump the report as JSON"
+    )
+
     return parser
 
 
@@ -460,14 +645,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     spec = api.get_algorithm(args.algorithm)
     options = _execution_options(args)
     _report_ignored(spec, options)
-    tracer = Tracer() if args.trace else None
+    obs = _ObsSession(args)
+    tracer = obs.tracer
     try:
-        if tracer is not None:
-            with use_tracer(tracer):
-                result = api.cluster(
-                    graph, params, algorithm=args.algorithm, options=options
-                )
-        else:
+        with obs.activate():
             result = api.cluster(
                 graph, params, algorithm=args.algorithm, options=options
             )
@@ -495,12 +676,21 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.save:
         result.save(args.save)
         print(f"saved clustering to {args.save}")
+    obs.ingest(result.record)
+    obs.print_profile()
     if args.trace:
-        if result.record is not None:
-            tracer.metrics.ingest_record(result.record)
         _export_trace(
             args, tracer, title=f"{args.algorithm} on {args.graph}"
         )
+    obs.append_ledger(
+        "cluster",
+        graph=graph,
+        graph_label=args.graph,
+        params=params,
+        options=options,
+        result=result,
+        algorithm=args.algorithm,
+    )
     if args.sim_trace:
         if result.record is None:
             print("note: no run record; --sim-trace skipped", file=sys.stderr)
@@ -565,14 +755,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             return f"sketch/{band}"
         return kernel
 
-    tracer = Tracer() if args.trace else None
+    obs = _ObsSession(args)
+    tracer = obs.tracer
     try:
-        if tracer is not None:
-            with use_tracer(tracer):
-                outcome = api.compare(
-                    graph, params, algorithms=names, options=options
-                )
-        else:
+        with obs.activate():
             outcome = api.compare(
                 graph, params, algorithms=names, options=options
             )
@@ -601,6 +787,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         "vector ops",
         "wall",
         "stage wall",
+        "peak RSS",
     ]
     rows = []
     for name in names:
@@ -608,6 +795,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         display = spec.display_name
         record = outcome.results[name].record
         total = record.total()
+        stats = outcome.leg_stats.get(name, {})
+        rss_kb = stats.get("peak_rss_kb")
         rows.append(
             [
                 display,
@@ -617,6 +806,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 f"{total.vector_ops}",
                 f"{record.wall_seconds * 1e3:.1f}ms",
                 f"{record.stage_wall_seconds * 1e3:.1f}ms",
+                f"{rss_kb / 1024:.1f}MB" if rss_kb is not None else "-",
             ]
         )
         if tracer is not None:
@@ -635,8 +825,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             for row in rows:
                 fh.write(",".join(row) + "\n")
         print(f"wrote {args.csv}")
-    if tracer is not None:
+    obs.print_profile()
+    if args.trace:
         _export_trace(args, tracer, title=f"compare on {args.graph}")
+    obs.append_ledger(
+        "compare",
+        graph=graph,
+        graph_label=args.graph,
+        params=params,
+        options=options,
+        wall_seconds=sum(
+            stats.get("wall_seconds", 0.0)
+            for stats in outcome.leg_stats.values()
+        ),
+        extra={"legs": outcome.leg_stats},
+    )
     _report_cache(store)
     return 0
 
@@ -658,12 +861,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         checkpoint=_checkpoint_manager(args),
     )
-    tracer = Tracer() if args.trace else None
+    obs = _ObsSession(args)
+    tracer = obs.tracer
+    import time as _time
+
+    t0 = _time.perf_counter()
     try:
-        if tracer is not None:
-            with use_tracer(tracer):
-                outcome = engine.run(eps_values, mu_values)
-        else:
+        with obs.activate():
             outcome = engine.run(eps_values, mu_values)
     except ExecutionFaultError as exc:
         _print_fault_report(exc)
@@ -705,8 +909,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             for row in rows:
                 fh.write(",".join(row) + "\n")
         print(f"wrote {args.csv}")
-    if tracer is not None:
+    obs.print_profile()
+    if args.trace:
         _export_trace(args, tracer, title=f"sweep on {args.graph}")
+    obs.append_ledger(
+        "sweep",
+        graph=graph,
+        graph_label=args.graph,
+        wall_seconds=_time.perf_counter() - t0,
+        algorithm=args.algorithm,
+        extra={
+            "grid": {
+                "eps": eps_values,
+                "mu": mu_values,
+                "points": len(eps_values) * len(mu_values),
+            }
+        },
+    )
     return 0
 
 
@@ -837,6 +1056,194 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ledger_summary_label(record: dict) -> str:
+    workload = record.get("workload", {})
+    label = workload.get("graph") or workload.get("bench") or ""
+    if "eps" in workload and "mu" in workload:
+        label += f" (eps={workload['eps']:g}, mu={workload['mu']})"
+    return label.strip() or record.get("workload_key", "?")
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .bench.reporting import format_table
+    from .obs.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger)
+    records = ledger.history(
+        kind=args.kind,
+        workload_key=args.workload_key,
+        options_key=args.options_key,
+        passed_only=False,
+        limit=args.limit,
+    )
+    if args.json:
+        print(_json.dumps(records, indent=1, sort_keys=True, default=str))
+        return 0
+    if not records:
+        print(f"no matching records in {args.ledger}")
+        if ledger.last_skipped:
+            print(f"({ledger.last_skipped} invalid line(s) skipped)")
+        return 0
+    rows = []
+    for record in records:
+        import datetime
+
+        ts = datetime.datetime.fromtimestamp(
+            record.get("ts_unix", 0), datetime.timezone.utc
+        ).strftime("%Y-%m-%d %H:%M")
+        wall = record.get("wall_seconds")
+        gate = record.get("gate")
+        rows.append(
+            [
+                str(record.get("seq", "?")),
+                ts,
+                record.get("kind", "?"),
+                _ledger_summary_label(record),
+                record.get("workload_key", "?"),
+                record.get("options_key", "?"),
+                f"{wall:.3f}s" if isinstance(wall, (int, float)) else "-",
+                (
+                    ("pass" if gate.get("passed") else "FAIL")
+                    if isinstance(gate, dict)
+                    else "-"
+                ),
+            ]
+        )
+    title = f"run ledger {args.ledger}: {len(records)} record(s)"
+    if ledger.last_skipped:
+        title += f", {ledger.last_skipped} invalid line(s) skipped"
+    print(
+        format_table(
+            title,
+            [
+                "seq",
+                "recorded (UTC)",
+                "kind",
+                "workload",
+                "wkey",
+                "okey",
+                "wall",
+                "gate",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .bench.reporting import format_table
+    from .obs.ledger import RunLedger
+    from .obs.regression import median_mad
+
+    ledger = RunLedger(args.ledger)
+    records = ledger.read()
+    if not records:
+        print(f"no records in {args.ledger}")
+        return 0
+    groups: dict[tuple[str, str, str], list[dict]] = {}
+    for record in records:
+        key = (
+            record.get("kind", "?"),
+            record.get("workload_key", "?"),
+            record.get("options_key", "?"),
+        )
+        groups.setdefault(key, []).append(record)
+    report = []
+    for (kind, wkey, okey), members in sorted(groups.items()):
+        walls = [
+            r["wall_seconds"]
+            for r in members
+            if isinstance(r.get("wall_seconds"), (int, float))
+        ]
+        entry: dict = {
+            "kind": kind,
+            "workload_key": wkey,
+            "options_key": okey,
+            "workload": _ledger_summary_label(members[-1]),
+            "runs": len(members),
+        }
+        if walls:
+            med, mad = median_mad(walls)
+            entry.update(
+                {
+                    "wall_median_seconds": med,
+                    "wall_mad_seconds": mad,
+                    "wall_last_seconds": walls[-1],
+                }
+            )
+        report.append(entry)
+    if args.json:
+        print(_json.dumps(report, indent=1, sort_keys=True))
+    else:
+        rows = [
+            [
+                e["kind"],
+                e["workload"],
+                e["workload_key"],
+                e["options_key"],
+                str(e["runs"]),
+                (
+                    f"{e['wall_median_seconds']:.3f}s"
+                    if "wall_median_seconds" in e
+                    else "-"
+                ),
+                (
+                    f"{e['wall_mad_seconds']:.3f}s"
+                    if "wall_mad_seconds" in e
+                    else "-"
+                ),
+                (
+                    f"{e['wall_last_seconds']:.3f}s"
+                    if "wall_last_seconds" in e
+                    else "-"
+                ),
+            ]
+            for e in report
+        ]
+        print(
+            format_table(
+                f"trend report over {args.ledger} "
+                f"({len(records)} record(s), {len(groups)} workload(s))",
+                [
+                    "kind",
+                    "workload",
+                    "wkey",
+                    "okey",
+                    "runs",
+                    "wall median",
+                    "wall MAD",
+                    "wall last",
+                ],
+                rows,
+            )
+        )
+    if args.openmetrics:
+        from .obs.export import write_openmetrics
+
+        latest = records[-1]
+        metrics = dict(latest.get("metrics") or {})
+        if isinstance(latest.get("wall_seconds"), (int, float)):
+            metrics["run.wall_seconds"] = latest["wall_seconds"]
+        for stage, wall in (latest.get("stage_walls") or {}).items():
+            metrics[f"stage.{stage}.wall_seconds"] = wall
+        write_openmetrics(
+            args.openmetrics,
+            metrics,
+            labels={
+                "kind": latest.get("kind", "?"),
+                "workload_key": latest.get("workload_key", "?"),
+                "options_key": latest.get("options_key", "?"),
+            },
+        )
+        print(f"wrote OpenMetrics textfile to {args.openmetrics}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -849,6 +1256,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "verify": _cmd_verify,
         "profile": _cmd_profile,
+        "history": _cmd_history,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

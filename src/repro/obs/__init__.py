@@ -6,11 +6,19 @@ The telemetry layer behind ``repro-scan ... --trace``:
   when disabled) wired through the phase loops, dispatchers and backends;
 * :mod:`~repro.obs.metrics` — the namespaced counter/gauge/histogram
   registry that unifies ``OpCounter`` and ``TaskCost`` tallies;
-* :mod:`~repro.obs.export` — JSONL, Chrome-trace (Perfetto) and text
-  report exporters, for real wall-clock runs and simulated schedules;
-* :mod:`~repro.obs.regression` — baseline comparison for
-  ``benchmarks/check_regression.py`` (imported as a submodule, not
-  re-exported here: it pulls in the algorithm layer).
+* :mod:`~repro.obs.export` — JSONL, Chrome-trace (Perfetto), OpenMetrics
+  textfile and text report exporters, for real wall-clock runs and
+  simulated schedules;
+* :mod:`~repro.obs.ledger` — the schema-versioned append-only run ledger
+  (JSONL + checksummed manifest) that makes per-run telemetry a durable
+  cross-run performance history;
+* :mod:`~repro.obs.profiler` — opt-in sampling flight recorder (span
+  self/cumulative time) plus tracemalloc memory accounting;
+* :mod:`~repro.obs.progress` — ambient live-progress reporting behind
+  ``--progress`` (heartbeat renderer, cost-model ETA);
+* :mod:`~repro.obs.regression` — baseline comparison and trend-aware
+  gating for ``benchmarks/check_regression.py`` (imported as a
+  submodule, not re-exported here: it pulls in the algorithm layer).
 
 See ``docs/observability.md`` for the user-facing guide.
 """
@@ -28,11 +36,29 @@ from .export import (
     TRACE_FORMATS,
     chrome_trace,
     jsonl_lines,
+    openmetrics_lines,
     run_report,
     schedule_chrome_events,
     write_chrome_trace,
     write_jsonl,
+    write_openmetrics,
     write_trace,
+)
+from .ledger import (
+    LEDGER_SCHEMA,
+    RunLedger,
+    build_record,
+    migrate_trajectory,
+    record_from_run,
+    stable_key,
+)
+from .profiler import SpanProfiler, profile_tracer
+from .progress import (
+    NULL_PROGRESS,
+    NullProgress,
+    ProgressReporter,
+    current_progress,
+    use_progress,
 )
 
 __all__ = [
@@ -49,9 +75,24 @@ __all__ = [
     "TRACE_FORMATS",
     "chrome_trace",
     "jsonl_lines",
+    "openmetrics_lines",
     "run_report",
     "schedule_chrome_events",
     "write_chrome_trace",
     "write_jsonl",
+    "write_openmetrics",
     "write_trace",
+    "LEDGER_SCHEMA",
+    "RunLedger",
+    "build_record",
+    "migrate_trajectory",
+    "record_from_run",
+    "stable_key",
+    "SpanProfiler",
+    "profile_tracer",
+    "NULL_PROGRESS",
+    "NullProgress",
+    "ProgressReporter",
+    "current_progress",
+    "use_progress",
 ]

@@ -35,10 +35,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 __all__ = [
     "chrome_trace",
     "jsonl_lines",
+    "openmetrics_lines",
     "run_report",
     "schedule_chrome_events",
     "write_chrome_trace",
     "write_jsonl",
+    "write_openmetrics",
     "write_trace",
     "TRACE_FORMATS",
 ]
@@ -206,6 +208,67 @@ def jsonl_lines(tracer: "Tracer") -> Iterable[str]:
                 {"type": "metric", "name": name, "value": value},
                 sort_keys=True,
             )
+
+
+# ---------------------------------------------------------------------------
+# OpenMetrics textfile exposition
+# ---------------------------------------------------------------------------
+
+
+def _openmetrics_name(name: str) -> str:
+    """Sanitize a dot-namespaced metric name to OpenMetrics charset."""
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isascii() and (ch.isalnum() or ch == "_")) else "_")
+    sanitized = "".join(out)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return "repro_" + sanitized
+
+
+def _openmetrics_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def openmetrics_lines(
+    metrics, labels: "dict[str, str] | None" = None
+) -> Iterable[str]:
+    """A flat metrics mapping (or a tracer) as OpenMetrics text lines.
+
+    Every series is exposed as a ``gauge`` (counters included: the
+    registry already holds cumulative values and the textfile collector
+    re-reads the whole file each scrape, so gauge semantics are the
+    faithful ones for a per-run snapshot).  Non-numeric values are
+    skipped.  The mandatory ``# EOF`` terminator is included — callers
+    must not append after it.
+    """
+    if not isinstance(metrics, dict):  # a Tracer
+        registry = getattr(metrics, "metrics", None)
+        metrics = registry.as_dict() if registry is not None else {}
+    label_str = ""
+    if labels:
+        pairs = ",".join(
+            f'{key}="{_openmetrics_label_value(str(value))}"'
+            for key, value in sorted(labels.items())
+        )
+        label_str = "{" + pairs + "}"
+    for name in sorted(metrics):
+        value = metrics[name]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        om_name = _openmetrics_name(name)
+        yield f"# TYPE {om_name} gauge"
+        yield f"{om_name}{label_str} {value:g}"
+    yield "# EOF"
+
+
+def write_openmetrics(
+    path, metrics, labels: "dict[str, str] | None" = None
+) -> None:
+    """Write an OpenMetrics textfile (node-exporter collector layout)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in openmetrics_lines(metrics, labels):
+            fh.write(line + "\n")
 
 
 # ---------------------------------------------------------------------------

@@ -32,19 +32,39 @@ from typing import Any, Mapping
 
 __all__ = [
     "Regression",
+    "TrendViolation",
     "calibrate",
     "classify_metric",
     "compare_results",
     "flatten",
+    "median_mad",
     "run_smoke",
+    "trend_bands",
+    "trend_gate",
     "DEFAULT_COUNT_TOL",
     "DEFAULT_WALL_TOL",
     "DEFAULT_SPEEDUP_TOL",
+    "DEFAULT_MIN_HISTORY",
+    "DEFAULT_NSIGMA",
+    "DEFAULT_REL_FLOOR",
 ]
 
 DEFAULT_COUNT_TOL = 0.001
 DEFAULT_WALL_TOL = 0.15
 DEFAULT_SPEEDUP_TOL = 0.40
+
+#: Trend gating: fewer comparable ledger records than this and the gate
+#: falls back to the static baseline (history too thin for robust bands).
+DEFAULT_MIN_HISTORY = 3
+#: Width of the MAD band in (scaled) sigmas.  MAD × 1.4826 estimates the
+#: standard deviation under normality; 4σ keeps the false-positive rate
+#: negligible over hundreds of gated metrics while a 2x slowdown (≈ +100%)
+#: still lands far outside any realistic smoke-benchmark band.
+DEFAULT_NSIGMA = 4.0
+#: Relative floor on the band half-width.  Protects against a degenerate
+#: MAD (near-identical history values → zero-width band) flagging noise;
+#: a genuine 2x regression clears a 25% floor with a 4x margin.
+DEFAULT_REL_FLOOR = 0.25
 
 
 @dataclass(frozen=True)
@@ -144,6 +164,147 @@ def compare_results(
             if drift > count_tol:
                 regressions.append(Regression(key, kind, base, value, count_tol))
     return regressions
+
+
+# ---------------------------------------------------------------------------
+# Trend-aware gating over ledger history
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrendViolation:
+    """One metric outside its robust history band."""
+
+    key: str
+    kind: str
+    fresh: float
+    median: float
+    mad: float
+    limit: float
+    n_history: int
+
+    def describe(self) -> str:
+        direction = "above" if self.kind != "speedup" else "below"
+        return (
+            f"{self.key} [{self.kind}]: fresh {self.fresh:g} is {direction} "
+            f"the trend limit {self.limit:g} "
+            f"(median {self.median:g}, MAD {self.mad:g}, "
+            f"n={self.n_history})"
+        )
+
+
+def median_mad(values: "list[float]") -> tuple[float, float]:
+    """Median and median absolute deviation of ``values``.
+
+    Both are 50%-breakdown robust: one wild outlier in the history (a
+    noisy CI run that still passed) shifts neither, which is the whole
+    reason the trend gate prefers them to mean/stdev.
+    """
+    if not values:
+        raise ValueError("median_mad of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    med = (
+        ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
+    )
+    deviations = sorted(abs(v - med) for v in ordered)
+    mad = (
+        deviations[mid]
+        if n % 2
+        else (deviations[mid - 1] + deviations[mid]) / 2.0
+    )
+    return med, mad
+
+
+def trend_bands(
+    histories: "list[Mapping[str, Any]]",
+) -> dict[str, tuple[float, float, int]]:
+    """Per-metric ``(median, MAD, n)`` over flattened history dicts.
+
+    A metric contributes wherever it appears; metrics absent from some
+    records (older instrumentation) simply have smaller ``n``.
+    """
+    series: dict[str, list[float]] = {}
+    for entry in histories:
+        for key, value in flatten(entry).items():
+            series.setdefault(key, []).append(value)
+    out: dict[str, tuple[float, float, int]] = {}
+    for key, values in series.items():
+        med, mad = median_mad(values)
+        out[key] = (med, mad, len(values))
+    return out
+
+
+#: MAD → sigma under normality (1 / Φ⁻¹(3/4)).
+MAD_SIGMA = 1.4826
+
+
+def trend_gate(
+    histories: "list[Mapping[str, Any]]",
+    fresh: Mapping[str, Any],
+    *,
+    min_history: int = DEFAULT_MIN_HISTORY,
+    nsigma: float = DEFAULT_NSIGMA,
+    count_tol: float = DEFAULT_COUNT_TOL,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+) -> list[TrendViolation]:
+    """Gate ``fresh`` against the robust bands of comparable history.
+
+    Classification reuses :func:`classify_metric`:
+
+    * **wall** — one-sided upper band: fails when
+      ``fresh > median + max(nsigma · 1.4826 · MAD, rel_floor · median)``;
+    * **speedup** — the symmetric lower band (higher is better);
+    * **count** — deterministic, so the band is the same tight
+      ``count_tol`` relative drift off the *median* (both directions)
+      that the static gate uses off the baseline;
+    * **info** — never gated.
+
+    Metrics with fewer than ``min_history`` history points are skipped
+    (the caller decides whether thin history falls back to the static
+    baseline — :func:`trend_gate` itself only gates what it can defend).
+    New metrics absent from history are never violations.
+    """
+    bands = trend_bands(histories)
+    fresh_flat = flatten(fresh)
+    violations: list[TrendViolation] = []
+    for key in sorted(fresh_flat):
+        kind = classify_metric(key)
+        if kind == "info":
+            continue
+        band = bands.get(key)
+        if band is None:
+            continue
+        median, mad, n = band
+        if n < min_history:
+            continue
+        value = fresh_flat[key]
+        if kind == "wall":
+            width = max(nsigma * MAD_SIGMA * mad, rel_floor * abs(median))
+            limit = median + width
+            if value > limit and value - median > 1e-12:
+                violations.append(
+                    TrendViolation(key, kind, value, median, mad, limit, n)
+                )
+        elif kind == "speedup":
+            width = max(nsigma * MAD_SIGMA * mad, rel_floor * abs(median))
+            limit = median - width
+            if value < limit:
+                violations.append(
+                    TrendViolation(key, kind, value, median, mad, limit, n)
+                )
+        else:
+            if median == 0:
+                drift = abs(value)
+            else:
+                drift = abs(value - median) / abs(median)
+            if drift > count_tol:
+                limit = median * (1.0 + count_tol)
+                violations.append(
+                    TrendViolation(key, kind, value, median, mad, limit, n)
+                )
+    return violations
 
 
 # ---------------------------------------------------------------------------

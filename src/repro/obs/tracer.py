@@ -79,6 +79,27 @@ class Tracer:
         self.epoch = time.perf_counter()
         self._next_id = 0
         self._stacks: dict[int, list[Span]] = {}
+        self._observers: list[Any] = []
+
+    # -- observers ------------------------------------------------------
+
+    def add_observer(self, observer: Any) -> None:
+        """Register a span-lifecycle observer.
+
+        Observers may implement ``span_started(span)`` and/or
+        ``span_ended(span)``; both are invoked synchronously on the
+        instrumenting thread (the profiler's memory accounting and the
+        progress renderer hook in here).  The calls are guarded by an
+        emptiness check so an observer-free tracer pays one branch.
+        """
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer: Any) -> None:
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
 
     # -- spans ----------------------------------------------------------
 
@@ -98,6 +119,11 @@ class Tracer:
         )
         self._next_id += 1
         stack.append(span)
+        if self._observers:
+            for observer in self._observers:
+                started = getattr(observer, "span_started", None)
+                if started is not None:
+                    started(span)
         return span
 
     def end_span(self, span: Span) -> Span:
@@ -108,9 +134,35 @@ class Tracer:
             top = stack.pop()
             top.end = now
             self.spans.append(top)
+            if self._observers:
+                for observer in self._observers:
+                    ended = getattr(observer, "span_ended", None)
+                    if ended is not None:
+                        ended(top)
             if top is span:
                 break
         return span
+
+    def active_stack(self, lane: int = 0) -> tuple[str, ...]:
+        """Names of the currently-open spans on ``lane``, outermost first.
+
+        A point-in-time snapshot safe to call from another thread: the
+        per-lane stack is only ever appended/popped, and a copy is taken
+        before iteration, so the worst case is a momentarily stale view —
+        exactly what a sampling profiler or progress heartbeat wants.
+        """
+        stack = self._stacks.get(lane)
+        if not stack:
+            return ()
+        return tuple(span.name for span in list(stack))
+
+    def active_name(self, lane: int = 0) -> str | None:
+        """Name of the innermost open span on ``lane`` (``None`` if idle)."""
+        stack = self._stacks.get(lane)
+        if not stack:
+            return None
+        snapshot = list(stack)
+        return snapshot[-1].name if snapshot else None
 
     @contextmanager
     def span(self, name: str, lane: int = 0, **attrs: Any) -> Iterator[Span]:
@@ -199,6 +251,18 @@ class NullTracer:
 
     def end_span(self, span: Span) -> Span:
         return span
+
+    def add_observer(self, observer: Any) -> None:
+        return None
+
+    def remove_observer(self, observer: Any) -> None:
+        return None
+
+    def active_stack(self, lane: int = 0) -> tuple[str, ...]:
+        return ()
+
+    def active_name(self, lane: int = 0) -> str | None:
+        return None
 
     def span(self, name: str, lane: int = 0, **attrs: Any):
         return self._NULL_CONTEXT

@@ -241,6 +241,34 @@ class ExecutionOptions:
             supervised=True,
         )
 
+    def describe(self) -> dict:
+        """Stable JSON-able summary of the performance-relevant knobs.
+
+        The run ledger hashes this dict into the ``options_key`` that
+        groups comparable runs for trend gating, so it must (a) contain
+        every knob that can move performance and (b) be deterministic —
+        live objects (stores, managers, backends, fault plans) are
+        reduced to presence flags or their own stable keys, never ids.
+        """
+        sketch = self.effective_sketch()
+        return {
+            "backend": self.backend.value,
+            "workers": self.workers,
+            "exec_mode": self.exec_mode.value,
+            "kernel": self.kernel.value if self.kernel else None,
+            "lanes": self.lanes,
+            "task_threshold": self.task_threshold,
+            "supervised": (
+                self.backend is BackendKind.PROCESS
+                or self.backend_obj is not None
+            ),
+            "custom_backend": self.backend_obj is not None,
+            "chaos": self.chaos is not None,
+            "cache": self.cache is not None,
+            "checkpoint": self.checkpoint is not None,
+            "sketch": sketch.key() if sketch is not None else None,
+        }
+
     def algorithm_kwargs(self) -> dict:
         """The subset of options expressed as legacy algorithm kwargs."""
         out: dict = {}

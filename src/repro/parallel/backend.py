@@ -30,9 +30,11 @@ from typing import Any, Callable, Protocol, Sequence
 import numpy as np
 
 from ..metrics.records import TaskCost
+from ..obs.progress import current_progress
 from ..obs.tracer import current_tracer
 from .chaos import FaultPlan
 from .supervisor import FaultTolerancePolicy, RecoveryEvent, Supervisor
+from .supervisor import _worker_peak_rss_kb
 
 __all__ = [
     "ExecutionBackend",
@@ -90,18 +92,25 @@ class SerialBackend:
     ) -> list[TaskCost]:
         records: list[TaskCost] = []
         tracer = current_tracer()
-        if not tracer.enabled:
+        progress = current_progress()
+        if not (tracer.enabled or progress.enabled):
             # The hot path: no span objects, no clock reads per task.
             for beg, end in tasks:
                 writes, cost = run_task(beg, end)
                 commit(writes)
                 records.append(cost)
             return records
+        # Serial cost model: vertex-range width (the scheduler's floor).
+        progress.phase_begin(
+            float(sum(end - beg for beg, end in tasks))
+        )
         for beg, end in tasks:
             with tracer.span("task", lane=0, beg=beg, stop=end):
                 writes, cost = run_task(beg, end)
                 commit(writes)
             records.append(cost)
+            progress.advance(float(end - beg))
+        progress.phase_end()
         tracer.count("backend.serial.tasks", len(tasks))
         return records
 
@@ -127,14 +136,14 @@ def _invoke_task(beg: int, end: int) -> tuple[Any, TaskCost]:
 
 def _invoke_task_traced(
     beg: int, end: int
-) -> tuple[tuple[Any, TaskCost], tuple[int, float, float]]:
+) -> tuple[tuple[Any, TaskCost], tuple[int, float, float, int]]:
     fn = _ACTIVE_TASK_FN
     assert fn is not None, "worker forked without an active task function"
     identity = multiprocessing.current_process()._identity
     lane = ((identity[0] - 1) % _POOL_LANES + 1) if identity else 0
     t0 = time.perf_counter()
     result = fn(beg, end)
-    return result, (lane, t0, time.perf_counter())
+    return result, (lane, t0, time.perf_counter(), _worker_peak_rss_kb())
 
 
 class ProcessBackend:
@@ -216,10 +225,31 @@ class ProcessBackend:
             finally:
                 self._phase_index += 1
         tracer = current_tracer()
-        timings: list[tuple[int, float, float]] | None = None
+        progress = current_progress()
+        timings: list[tuple[int, float, float, int]] | None = None
+        # The plain pool's starmap is opaque mid-phase; progress brackets
+        # the phase (per-task advancement needs the supervised path).
+        weight = (
+            float(
+                sum(
+                    self.cost_model(beg, end) if self.cost_model else end - beg
+                    for beg, end in tasks
+                )
+            )
+            if tasks
+            else 0.0
+        )
+        progress.phase_begin(weight)
         if self.workers == 1 or len(tasks) <= 1:
             # Still bulk-synchronous: run all, then commit all.
-            results = [run_task(beg, end) for beg, end in tasks]
+            results = []
+            for beg, end in tasks:
+                results.append(run_task(beg, end))
+                progress.advance(
+                    float(self.cost_model(beg, end))
+                    if self.cost_model
+                    else float(end - beg)
+                )
         else:
             try:
                 ctx = multiprocessing.get_context("fork")
@@ -237,11 +267,17 @@ class ProcessBackend:
                 if tracer.enabled:
                     timings = [timing for _, timing in results]
                     results = [result for result, _ in results]
+        progress.phase_end()
         if timings is not None:
-            for (beg, end), (lane, t0, t1) in zip(tasks, timings):
+            lane_rss: dict[int, int] = {}
+            for (beg, end), (lane, t0, t1, rss_kb) in zip(tasks, timings):
                 tracer.add_span(
                     "task", t0, t1, lane=lane, depth=1, beg=beg, stop=end
                 )
+                if rss_kb > 0:
+                    lane_rss[lane] = max(lane_rss.get(lane, 0), rss_kb)
+            for lane, rss_kb in sorted(lane_rss.items()):
+                tracer.gauge(f"memory.lane.{lane}.peak_rss_kb", rss_kb)
             tracer.count("backend.process.tasks", len(tasks))
         records: list[TaskCost] = []
         if tracer.enabled:

@@ -48,6 +48,7 @@ from random import Random
 from typing import Any, Callable, Sequence
 
 from ..metrics.records import TaskCost
+from ..obs.progress import current_progress
 from ..obs.tracer import current_tracer
 from .chaos import FaultPlan
 
@@ -292,6 +293,20 @@ _FAULT_PLAN: FaultPlan | None = None
 _PHASE_INDEX: int = 0
 
 
+def _worker_peak_rss_kb() -> int:
+    """This process's peak RSS in kB (0 where ``resource`` is missing).
+
+    Shipped back piggybacked on each ``done`` message's timing tuple so
+    the parent can expose per-lane memory high-water marks without any
+    extra IPC round trip.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX hosts
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
 def _worker_main(worker_id: int, task_q, conn, hb_interval: float) -> None:
     """Worker loop: pull tasks from the shared queue, report on ``conn``.
 
@@ -341,7 +356,16 @@ def _worker_main(worker_id: int, task_q, conn, hb_interval: float) -> None:
                 t0 = time.perf_counter()
                 payload = fn(beg, end)
                 t1 = time.perf_counter()
-                send(("done", worker_id, task_idx, attempt, payload, (t0, t1)))
+                send(
+                    (
+                        "done",
+                        worker_id,
+                        task_idx,
+                        attempt,
+                        payload,
+                        (t0, t1, _worker_peak_rss_kb()),
+                    )
+                )
             except BaseException as exc:  # noqa: BLE001 - shipped to parent
                 send(
                     (
@@ -492,9 +516,11 @@ class Supervisor:
         backoff: list[tuple[float, _TaskState]] = []  # (eligible_at, state)
         respawns_left = policy.respawn_budget(lanes)
         results: dict[int, tuple[Any, TaskCost]] = {}
-        timings: dict[int, tuple[int, float, float]] = {}
+        timings: dict[int, tuple[int, float, float, int]] = {}
         completed = 0
         fatal: ExecutionFaultError | None = None
+        progress = current_progress()
+        progress.phase_begin(sum(weights))
 
         _TASK_FN = run_task
         _FAULT_PLAN = self.chaos
@@ -644,7 +670,9 @@ class Supervisor:
                 worker_flight[worker_id] = flight
             elif kind == "done":
                 nonlocal completed
-                _, worker_id, task_idx, attempt, payload, (t0, t1) = msg
+                _, worker_id, task_idx, attempt, payload, timing = msg
+                t0, t1 = timing[0], timing[1]
+                rss_kb = int(timing[2]) if len(timing) > 2 else 0
                 if worker_id in last_seen:
                     last_seen[worker_id] = time.perf_counter()
                 flights.pop((task_idx, attempt), None)
@@ -656,8 +684,9 @@ class Supervisor:
                 state.completed = True
                 state.consecutive_kills = 0
                 results[task_idx] = payload
-                timings[task_idx] = (worker_id % lanes + 1, t0, t1)
+                timings[task_idx] = (worker_id % lanes + 1, t0, t1, rss_kb)
                 completed += 1
+                progress.advance(weights[task_idx])
             elif kind == "err":
                 _, worker_id, task_idx, attempt, detail, _tb = msg
                 if worker_id in last_seen:
@@ -819,10 +848,12 @@ class Supervisor:
                             t0 = time.perf_counter()
                             results[state.index] = run_task(state.beg, state.end)
                             timings[state.index] = (
-                                0, t0, time.perf_counter()
+                                0, t0, time.perf_counter(),
+                                _worker_peak_rss_kb(),
                             )
                             state.completed = True
                             completed += 1
+                            progress.advance(weights[state.index])
                         break
 
                 # Requeue claims lost with their worker: a task pulled from
@@ -925,17 +956,23 @@ class Supervisor:
             task_q.cancel_join_thread()
             task_q.close()
 
+        progress.phase_end()
         if fatal is not None:
             raise fatal
 
         # Barrier commit, in task order, exactly once per task.
         tracer = current_tracer()
         if tracer.enabled:
-            for task_idx, (lane, t0, t1) in sorted(timings.items()):
+            lane_rss: dict[int, int] = {}
+            for task_idx, (lane, t0, t1, rss_kb) in sorted(timings.items()):
                 beg, end = tasks[task_idx]
                 tracer.add_span(
                     "task", t0, t1, lane=lane, depth=1, beg=beg, stop=end
                 )
+                if rss_kb > 0:
+                    lane_rss[lane] = max(lane_rss.get(lane, 0), rss_kb)
+            for lane, rss_kb in sorted(lane_rss.items()):
+                tracer.gauge(f"memory.lane.{lane}.peak_rss_kb", rss_kb)
             tracer.count("backend.process.tasks", len(tasks))
             with tracer.span("commit", lane=0, tasks=len(tasks)):
                 records = self._commit_all(tasks, results, commit)

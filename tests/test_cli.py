@@ -383,3 +383,113 @@ class TestCheckpointFlags:
         assert main(args + ["--resume"]) == 0
         out = capsys.readouterr().out
         assert "0.3" in out and "0.5" in out
+
+
+class TestObservabilityFlags:
+    def test_cluster_ledger_appends_record(self, graph_file, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        assert (
+            main(["cluster", graph_file, "--ledger", str(ledger_path)]) == 0
+        )
+        assert "ledger: appended" in capsys.readouterr().out
+        from repro.obs import RunLedger
+
+        (record,) = RunLedger(ledger_path).read()
+        assert record["kind"] == "cluster"
+        assert record["workload"]["graph"] == graph_file
+        assert "graph_fingerprint" in record["workload"]
+        assert record["stage_walls"]
+        assert record["metrics"]
+        assert record["memory"]["parent_peak_rss_kb"] > 0
+
+    def test_cluster_ledger_runs_are_comparable(
+        self, graph_file, tmp_path, capsys
+    ):
+        ledger_path = tmp_path / "ledger.jsonl"
+        for _ in range(2):
+            assert (
+                main(["cluster", graph_file, "--ledger", str(ledger_path)])
+                == 0
+            )
+        from repro.obs import RunLedger
+
+        first, second = RunLedger(ledger_path).read()
+        assert first["workload_key"] == second["workload_key"]
+        assert first["options_key"] == second["options_key"]
+
+    def test_compare_table_and_csv_gain_stage_and_rss_columns(
+        self, graph_file, tmp_path, capsys
+    ):
+        csv_path = tmp_path / "cmp.csv"
+        assert (
+            main(
+                ["compare", graph_file, "--eps", "0.4", "--mu", "2",
+                 "--csv", str(csv_path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stage wall" in out and "peak RSS" in out
+        header = csv_path.read_text().splitlines()[0]
+        assert "stage wall" in header and "peak RSS" in header
+
+    def test_compare_ledger_records_leg_stats(
+        self, graph_file, tmp_path, capsys
+    ):
+        ledger_path = tmp_path / "ledger.jsonl"
+        assert (
+            main(
+                ["compare", graph_file, "--eps", "0.4", "--mu", "2",
+                 "--ledger", str(ledger_path)]
+            )
+            == 0
+        )
+        from repro.obs import RunLedger
+
+        (record,) = RunLedger(ledger_path).read()
+        assert record["kind"] == "compare"
+        assert record["legs"]
+        for stats in record["legs"].values():
+            assert stats["wall_seconds"] >= 0.0
+
+    def test_profile_spans_prints_flight_recorder(self, graph_file, capsys):
+        assert main(["cluster", graph_file, "--profile-spans"]) == 0
+        assert "profile:" in capsys.readouterr().out
+
+    def test_profile_memory_prints_phase_deltas(self, graph_file, capsys):
+        assert main(["cluster", graph_file, "--profile-memory"]) == 0
+        assert "profile:" in capsys.readouterr().out
+
+    def test_progress_flag_runs_quietly_without_tty(self, graph_file):
+        assert main(["cluster", graph_file, "--progress"]) == 0
+
+    def test_history_and_report_over_cli_ledger(
+        self, graph_file, tmp_path, capsys
+    ):
+        ledger_path = tmp_path / "ledger.jsonl"
+        for _ in range(2):
+            main(["cluster", graph_file, "--ledger", str(ledger_path)])
+        capsys.readouterr()
+        assert main(["history", str(ledger_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out and "cluster" in out
+        om_path = tmp_path / "metrics.prom"
+        assert (
+            main(
+                ["report", str(ledger_path), "--openmetrics", str(om_path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trend report" in out
+        assert om_path.read_text().endswith("# EOF\n")
+
+    def test_history_json_mode(self, graph_file, tmp_path, capsys):
+        import json as _json
+
+        ledger_path = tmp_path / "ledger.jsonl"
+        main(["cluster", graph_file, "--ledger", str(ledger_path)])
+        capsys.readouterr()
+        assert main(["history", str(ledger_path), "--json"]) == 0
+        records = _json.loads(capsys.readouterr().out)
+        assert len(records) == 1 and records[0]["kind"] == "cluster"

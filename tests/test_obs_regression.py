@@ -14,6 +14,9 @@ from repro.obs.regression import (
     classify_metric,
     compare_results,
     flatten,
+    median_mad,
+    trend_bands,
+    trend_gate,
 )
 
 SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
@@ -175,16 +178,19 @@ class TestCheckRegressionScript:
     def test_identical_files_exit_zero(self, tmp_path):
         base = self._write(tmp_path / "base.json", sample_result())
         fresh = self._write(tmp_path / "fresh.json", sample_result())
-        proc = self._run("--baseline", base, "--fresh", fresh)
+        ledger = str(tmp_path / "ledger.jsonl")
+        proc = self._run("--baseline", base, "--fresh", fresh, "--ledger", ledger)
         assert proc.returncode == 0, proc.stderr
         assert "OK: no regressions" in proc.stdout
+        assert "ledger: appended" in proc.stdout
 
     def test_doctored_slower_result_exits_nonzero(self, tmp_path):
         doctored = sample_result()
         doctored["batched"]["wall_units"] *= 1.20
         base = self._write(tmp_path / "base.json", sample_result())
         fresh = self._write(tmp_path / "fresh.json", doctored)
-        proc = self._run("--baseline", base, "--fresh", fresh)
+        ledger = str(tmp_path / "ledger.jsonl")
+        proc = self._run("--baseline", base, "--fresh", fresh, "--ledger", ledger)
         assert proc.returncode == 1
         assert "REGRESSIONS" in proc.stdout
         assert "batched.wall_units" in proc.stdout
@@ -192,7 +198,12 @@ class TestCheckRegressionScript:
     def test_missing_baseline_exits_two(self, tmp_path):
         fresh = self._write(tmp_path / "fresh.json", sample_result())
         proc = self._run(
-            "--baseline", str(tmp_path / "absent.json"), "--fresh", fresh
+            "--baseline",
+            str(tmp_path / "absent.json"),
+            "--fresh",
+            fresh,
+            "--ledger",
+            str(tmp_path / "ledger.jsonl"),
         )
         assert proc.returncode == 2
         assert "no baseline" in proc.stderr
@@ -211,3 +222,196 @@ class TestCheckRegressionScript:
         data = json.loads(baseline.read_text())
         assert data["workload"]["graph"] == "livejournal"
         assert data["batched"]["speedup"] > 1.0
+
+
+# ---------------------------------------------------------------------------
+# Trend-aware gating over ledger history
+# ---------------------------------------------------------------------------
+
+
+class TestMedianMad:
+    def test_odd_and_even(self):
+        assert median_mad([1.0, 2.0, 9.0]) == (2.0, 1.0)
+        med, mad = median_mad([1.0, 2.0, 3.0, 4.0])
+        assert med == 2.5 and mad == 1.0
+
+    def test_robust_to_one_outlier(self):
+        med, mad = median_mad([1.0, 1.1, 0.9, 1.0, 50.0])
+        assert med == 1.0
+        assert mad <= 0.1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_mad([])
+
+
+class TestTrendBands:
+    def test_per_metric_bands_with_partial_coverage(self):
+        bands = trend_bands(
+            [
+                {"a": {"wall_units": 1.0}, "n": 5},
+                {"a": {"wall_units": 1.2}, "n": 5},
+                {"a": {"wall_units": 0.8}},  # "n" missing here
+            ]
+        )
+        med, mad, n = bands["a.wall_units"]
+        assert med == 1.0 and n == 3
+        assert bands["n"][2] == 2
+
+
+class TestTrendGate:
+    def history(self, n=5, wall=1.0, speedup=3.0, count=1000):
+        """n comparable passing runs with mild genuine jitter."""
+        out = []
+        for i in range(n):
+            jitter = 1.0 + 0.02 * ((i % 3) - 1)  # ±2%, the real-world noise
+            out.append(
+                {
+                    "batched": {
+                        "wall_units": wall * jitter,
+                        "speedup": speedup / jitter,
+                        "compsims": count,
+                    }
+                }
+            )
+        return out
+
+    def fresh(self, wall=1.0, speedup=3.0, count=1000):
+        return flatten(
+            {
+                "batched": {
+                    "wall_units": wall,
+                    "speedup": speedup,
+                    "compsims": count,
+                }
+            }
+        )
+
+    def test_genuine_replay_passes(self):
+        history = self.history()
+        for past in history:
+            assert trend_gate(history, flatten(past)) == []
+
+    def test_two_x_slowdown_caught(self):
+        violations = trend_gate(self.history(), self.fresh(wall=2.0))
+        keys = {v.key for v in violations}
+        assert "batched.wall_units" in keys
+        v = next(v for v in violations if v.key == "batched.wall_units")
+        assert v.kind == "wall" and v.fresh == 2.0
+        assert "above the trend limit" in v.describe()
+
+    def test_speedup_collapse_caught(self):
+        violations = trend_gate(self.history(), self.fresh(speedup=1.4))
+        assert any(v.key == "batched.speedup" for v in violations)
+
+    def test_faster_wall_never_flagged(self):
+        assert trend_gate(self.history(), self.fresh(wall=0.3)) == []
+
+    def test_count_drift_caught_both_directions(self):
+        up = trend_gate(self.history(), self.fresh(count=1300))
+        down = trend_gate(self.history(), self.fresh(count=700))
+        assert any(v.key == "batched.compsims" for v in up)
+        assert any(v.key == "batched.compsims" for v in down)
+
+    def test_thin_history_gates_nothing(self):
+        history = self.history(n=2)
+        assert trend_gate(history, self.fresh(wall=50.0)) == []
+
+    def test_info_metrics_never_gated(self):
+        history = [{"calibration_seconds": 0.01} for _ in range(5)]
+        assert (
+            trend_gate(history, {"calibration_seconds": 99.0}) == []
+        )
+
+    def test_rel_floor_absorbs_zero_mad_history(self):
+        # Identical history -> MAD 0; the relative floor must still
+        # allow ordinary noise through while catching 2x.
+        history = [{"wall_units": 1.0} for _ in range(5)]
+        assert trend_gate(history, {"wall_units": 1.1}) == []
+        assert trend_gate(history, {"wall_units": 2.0}) != []
+
+    def test_new_metric_missing_from_history_skipped(self):
+        violations = trend_gate(self.history(), {"brand.new_wall": 9.0})
+        assert violations == []
+
+
+class TestTrendGateScript:
+    """check_regression.py end to end: ledger history drives the gate."""
+
+    @staticmethod
+    def _run(*argv):
+        return subprocess.run(
+            [sys.executable, str(SCRIPT), *argv],
+            capture_output=True,
+            text=True,
+        )
+
+    def _seed_history(self, tmp_path, runs=3):
+        ledger = str(tmp_path / "ledger.jsonl")
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(sample_result()))
+        for _ in range(runs):
+            fresh = tmp_path / "fresh.json"
+            fresh.write_text(json.dumps(sample_result()))
+            proc = self._run(
+                "--baseline", str(base), "--fresh", str(fresh),
+                "--ledger", ledger,
+            )
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+        return ledger, base
+
+    def test_history_flips_gate_to_trend_mode(self, tmp_path):
+        ledger, base = self._seed_history(tmp_path)
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(sample_result()))
+        proc = self._run(
+            "--baseline", str(base), "--fresh", str(fresh), "--ledger", ledger
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "within median/MAD bands" in proc.stdout
+
+    def test_injected_slowdown_fails_against_history(self, tmp_path):
+        ledger, base = self._seed_history(tmp_path)
+        doctored = sample_result()
+        doctored["batched"]["wall_units"] *= 2.0
+        doctored["batched"]["speedup"] /= 2.0
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(doctored))
+        # The static baseline would also catch this; drop it to prove
+        # the *ledger history alone* is the gate.
+        proc = self._run(
+            "--baseline", str(tmp_path / "absent.json"),
+            "--fresh", str(fresh), "--ledger", ledger,
+        )
+        assert proc.returncode == 1
+        assert "REGRESSIONS vs ledger history" in proc.stdout
+        assert "batched.wall_units" in proc.stdout
+
+    def test_failed_run_excluded_from_future_bands(self, tmp_path):
+        ledger, base = self._seed_history(tmp_path)
+        doctored = sample_result()
+        doctored["batched"]["wall_units"] *= 2.0
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(doctored))
+        assert self._run(
+            "--baseline", str(base), "--fresh", str(fresh), "--ledger", ledger
+        ).returncode == 1
+        # A genuine replay must still pass: the FAILed append above may
+        # not widen the bands.
+        fresh.write_text(json.dumps(sample_result()))
+        proc = self._run(
+            "--baseline", str(base), "--fresh", str(fresh),
+            "--ledger", ledger, "--no-append",
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_no_append_leaves_ledger_untouched(self, tmp_path):
+        ledger, base = self._seed_history(tmp_path, runs=1)
+        before = Path(ledger).read_bytes()
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(sample_result()))
+        self._run(
+            "--baseline", str(base), "--fresh", str(fresh),
+            "--ledger", ledger, "--no-append",
+        )
+        assert Path(ledger).read_bytes() == before
