@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""CI gate for the always-on clustering service.
+
+Exercises the service exactly as an operator would — through the real
+CLI — and verifies the serving invariants end to end:
+
+1. ``repro-scan serve`` starts, pre-loads a graph, and answers
+   ``/healthz`` and ``/stats``;
+2. a concurrent burst of identical cold queries is **coalesced** (one
+   leader computes, the rest share its future: coalescing hits > 0) and
+   every response carries the same clustering summary;
+3. queries for a fingerprint that is not loaded answer 404, malformed
+   parameters answer 400 — structured errors, not dropped connections;
+4. the service ledger receives at least one ``kind="service"`` batch
+   record (flushed on shutdown at the latest);
+5. SIGINT produces a **clean shutdown**: exit code 0, no traceback.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_service.py
+
+Exit status follows the shared gate contract (0 ok, 1 violation,
+2 setup error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+BURST = 48
+N_POINTS = 2  # distinct (eps, mu) pairs in the burst
+
+
+async def _request(port: int, method: str, target: str):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"{method} {target} HTTP/1.1\r\nHost: gate\r\n"
+        "Connection: close\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), json.loads(body) if body else None
+
+
+async def _drive(port: int, fingerprint: str) -> list[str]:
+    problems: list[str] = []
+
+    status, health = await _request(port, "GET", "/healthz")
+    if status != 200 or health.get("status") != "ok":
+        problems.append(f"/healthz answered {status}: {health}")
+
+    # Concurrent identical burst on a cold point: one computation, the
+    # rest coalesce.  Interleave a second point so the burst is not one
+    # degenerate key.
+    targets = [
+        f"/graphs/{fingerprint}/cluster?eps={'0.42' if i % N_POINTS else '0.58'}&mu=3"
+        for i in range(BURST)
+    ]
+    responses = await asyncio.gather(
+        *(_request(port, "GET", t) for t in targets)
+    )
+    bad = [status for status, _ in responses if status not in (200, 429)]
+    if bad:
+        problems.append(f"burst statuses not in (200, 429): {sorted(set(bad))}")
+    ok = [payload for status, payload in responses if status == 200]
+    if not ok:
+        problems.append("burst produced no 200 responses")
+    else:
+        by_eps: dict[float, set[int]] = {}
+        for payload in ok:
+            by_eps.setdefault(payload["eps"], set()).add(
+                payload["num_clusters"]
+            )
+        for eps, counts in by_eps.items():
+            if len(counts) != 1:
+                problems.append(
+                    f"burst answers disagree at eps={eps}: {sorted(counts)}"
+                )
+
+    status, stats = await _request(port, "GET", "/stats")
+    if status != 200:
+        problems.append(f"/stats answered {status}")
+        return problems
+    coalesced = stats["counters"]["coalesced"]
+    print(
+        f"burst of {BURST}: {len(ok)} served, "
+        f"{coalesced} coalesced, "
+        f"{stats['counters']['rejected']} rejected (429), "
+        f"warm hit rate {stats['warm_hit_rate']:.1%}"
+    )
+    if coalesced <= 0:
+        problems.append(
+            "no coalescing under a concurrent identical-query burst"
+        )
+
+    status, _ = await _request(
+        port, "GET", "/graphs/0000000000/cluster?eps=0.5&mu=2"
+    )
+    if status != 404:
+        problems.append(f"unknown fingerprint answered {status}, want 404")
+    status, _ = await _request(
+        port, "GET", f"/graphs/{fingerprint}/cluster?eps=nope&mu=2"
+    )
+    if status != 400:
+        problems.append(f"malformed eps answered {status}, want 400")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.08)
+    parser.add_argument(
+        "--ledger-out",
+        default=None,
+        metavar="PATH",
+        help="also copy the service ledger here (CI artifact upload)",
+    )
+    args = parser.parse_args(argv)
+
+    env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+    with tempfile.TemporaryDirectory(prefix="service-gate-") as tmp:
+        work = Path(tmp)
+        graph = work / "graph.txt"
+        ledger = work / "service-ledger.jsonl"
+        gen = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "generate", "twitter",
+                str(graph), "--scale", str(args.scale), "--seed", "3",
+            ],
+            capture_output=True, text=True, cwd=REPO_ROOT, env=env,
+        )
+        if gen.returncode != 0:
+            print(gen.stdout)
+            print(gen.stderr, file=sys.stderr)
+            return 2
+        match = re.search(r"fingerprint: ([0-9a-f]+)", gen.stdout)
+        if not match:
+            print("FAIL: generate did not report a fingerprint")
+            return 1
+        fingerprint = match.group(1)
+
+        proc = subprocess.Popen(
+            [
+                # -u: the startup lines must cross the pipe unbuffered.
+                sys.executable, "-u", "-m", "repro", "serve",
+                "--port", "0", "--graph", str(graph),
+                "--ledger", str(ledger),
+                "--max-concurrent-queries", "2",
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, cwd=REPO_ROOT, env=env,
+        )
+        port = None
+        deadline = time.time() + 60
+        startup: list[str] = []
+        try:
+            while time.time() < deadline:
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                startup.append(line)
+                served = re.search(r"http://[\d.]+:(\d+)", line)
+                if served:
+                    port = int(served.group(1))
+                    break
+            if port is None:
+                print("FAIL: service never reported its port")
+                print("".join(startup))
+                return 1
+            print(f"service up on port {port} (pre-loaded {fingerprint})")
+            problems = asyncio.run(_drive(port, fingerprint))
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGINT)
+            try:
+                out, _ = proc.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                out, _ = proc.communicate()
+                problems = problems + ["service did not stop on SIGINT"]
+
+        if proc.returncode != 0:
+            problems.append(
+                f"service exited {proc.returncode} on SIGINT (want 0)"
+            )
+        if "Traceback" in (out or ""):
+            problems.append("service shutdown printed a traceback")
+
+        records = []
+        if ledger.exists():
+            for line in ledger.read_text().splitlines():
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    pass
+        service_records = [
+            r for r in records if r.get("kind") == "service"
+        ]
+        if not service_records:
+            problems.append(
+                f"no kind='service' ledger record in {ledger.name}"
+            )
+        else:
+            metrics = service_records[-1].get("metrics") or {}
+            print(
+                f"ledger: {len(service_records)} service record(s), last "
+                f"batch {metrics.get('service.batch_queries')} queries "
+                f"(p50 {metrics.get('service.p50_ms', 0):.2f}ms)"
+            )
+        if args.ledger_out and ledger.exists():
+            dest = Path(args.ledger_out)
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_bytes(ledger.read_bytes())
+            print(f"copied service ledger to {dest}")
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print("service gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,11 @@ CHECKS: dict[str, tuple[str, list[str], str]] = {
         [],
         "cross-run similarity cache reuse invariants",
     ),
+    "service": (
+        "check_service",
+        [],
+        "clustering service: coalescing, errors, ledger, clean shutdown",
+    ),
 }
 
 

@@ -35,8 +35,9 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
+from .cache import SimilarityStore, graph_fingerprint
 from .core import (
     ClusteringResult,
     GSIndex,
@@ -57,7 +58,10 @@ from .options import (
     Kernel,
     coerce_enum,
 )
-from .types import ScanParams
+from .types import ScanParams, role_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sweep import SweepOutcome
 
 __all__ = [
     "AlgorithmSpec",
@@ -68,6 +72,10 @@ __all__ = [
     "compare",
     "sweep",
     "ComparisonOutcome",
+    "Session",
+    "GraphHandle",
+    "VertexView",
+    "open",
 ]
 
 
@@ -183,21 +191,75 @@ _LEGACY_KWARGS = (
 )
 
 
+def _legacy_replacement(legacy: Mapping) -> str:
+    """The exact ``ExecutionOptions`` spelling replacing ``legacy`` kwargs.
+
+    Rendered into the :class:`DeprecationWarning` so a caller can paste
+    the replacement verbatim: every legacy keyword maps onto one typed
+    field (strings become their enum members, a pre-built backend object
+    becomes ``backend_obj=...``).
+    """
+    parts: list[str] = []
+    if "backend" in legacy:
+        backend = legacy["backend"]
+        if backend is None:
+            parts.append("backend=BackendKind.SERIAL")
+        elif isinstance(backend, (str, BackendKind)):
+            parts.append(f"backend=BackendKind.{BackendKind(backend).name}")
+        else:  # a pre-built ExecutionBackend instance
+            parts.append(f"backend_obj=<{type(backend).__name__}>")
+    if "workers" in legacy:
+        parts.append(f"workers={legacy['workers']!r}")
+    if "exec_mode" in legacy:
+        mode = legacy["exec_mode"]
+        parts.append(
+            f"exec_mode=ExecMode.{ExecMode(mode).name}"
+            if isinstance(mode, (str, ExecMode))
+            else f"exec_mode={mode!r}"
+        )
+    if "kernel" in legacy:
+        kernel = legacy["kernel"]
+        if kernel is None:
+            parts.append("kernel=None")
+        elif isinstance(kernel, (str, Kernel)):
+            parts.append(f"kernel=Kernel.{Kernel(kernel).name}")
+        else:
+            parts.append(f"kernel={kernel!r}")
+    if "lanes" in legacy:
+        parts.append(f"lanes={legacy['lanes']!r}")
+    if "task_threshold" in legacy:
+        parts.append(f"task_threshold={legacy['task_threshold']!r}")
+    return "options=ExecutionOptions(" + ", ".join(parts) + ")"
+
+
 def _options_from_legacy(
-    options: ExecutionOptions | None, legacy: dict
+    options: ExecutionOptions | None,
+    legacy: dict,
+    *,
+    caller: str = "cluster",
 ) -> ExecutionOptions:
-    """Fold deprecated keyword arguments into an ``ExecutionOptions``."""
+    """THE legacy-keyword shim: every deprecated spelling funnels here.
+
+    Folds the historical stringly-typed keyword arguments
+    (``exec_mode="batched"``, ``backend=ProcessBackend(...)``, ...) into
+    a typed :class:`~repro.options.ExecutionOptions`, emitting one
+    :class:`DeprecationWarning` that contains the exact replacement
+    string (see :func:`_legacy_replacement`) so call sites can migrate
+    mechanically.  Unknown keywords raise :class:`TypeError` exactly as
+    a plain signature would.
+    """
     unknown = set(legacy) - set(_LEGACY_KWARGS)
     if unknown:
         raise TypeError(
-            f"cluster() got unexpected keyword argument(s) "
+            f"{caller}() got unexpected keyword argument(s) "
             f"{sorted(unknown)}"
         )
     if not legacy:
         return options or ExecutionOptions()
     warnings.warn(
-        f"passing {sorted(legacy)} as keyword argument(s) is deprecated; "
-        "use options=ExecutionOptions(...) (from repro.options)",
+        f"passing {sorted(legacy)} to {caller}() as keyword argument(s) "
+        f"is deprecated; use {_legacy_replacement(legacy)} "
+        "(from repro.options)",
         DeprecationWarning,
         stacklevel=3,
     )
@@ -206,15 +268,381 @@ def _options_from_legacy(
     if "backend" in legacy:
         backend = legacy["backend"]
         if backend is None or isinstance(backend, (str, BackendKind)):
-            changes["backend"] = coerce_enum(
-                backend, BackendKind, param="backend"
-            )
+            with warnings.catch_warnings():
+                # The shim's own warning already names the enum spelling.
+                warnings.simplefilter("ignore", DeprecationWarning)
+                changes["backend"] = coerce_enum(
+                    backend, BackendKind, param="backend"
+                )
         else:  # a pre-built ExecutionBackend instance
             changes["backend_obj"] = backend
     for key in ("workers", "exec_mode", "kernel", "lanes", "task_threshold"):
         if key in legacy:
             changes[key] = legacy[key]
-    return opts.evolve(**changes)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return opts.evolve(**changes)
+
+
+# ---------------------------------------------------------------------------
+# Session API: bind a graph once, query it many times
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VertexView:
+    """One vertex's standing at a single ``(ε, µ)`` point.
+
+    ``role`` is the extended classification (``core`` / ``noncore`` /
+    ``hub`` / ``outlier``); ``clusters`` lists every cluster id the
+    vertex belongs to (non-core members can sit in several).
+    """
+
+    vertex: int
+    eps: float
+    mu: int
+    role: str
+    clusters: tuple[int, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "vertex": self.vertex,
+            "eps": self.eps,
+            "mu": self.mu,
+            "role": self.role,
+            "clusters": list(self.clusters),
+        }
+
+
+class GraphHandle:
+    """A graph bound to its index and similarity store, queried many times.
+
+    The unit of the session API (and the object the clustering service's
+    registry holds): one handle owns one :class:`~repro.graph.CSRGraph`
+    plus the lazily built :class:`~repro.core.GSIndex` and the shared
+    :class:`~repro.cache.SimilarityStore`, so the cost of similarity
+    resolution is paid once and every later ``(ε, µ)`` query is an index
+    walk (memoized per parameter point — a repeated query is a
+    dictionary hit).
+
+    ``cluster(eps, mu)`` with no ``algorithm`` serves from the index and
+    is bit-identical to a direct :func:`repro.api.cluster` call;
+    ``cluster(..., algorithm="scanxp")`` runs the named registered
+    algorithm through the same options/store instead.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        options: ExecutionOptions | None = None,
+        store: SimilarityStore | None = None,
+        label: str | None = None,
+    ) -> None:
+        self.graph = graph
+        self.options = options or ExecutionOptions()
+        #: Shared overlap memo: the index construction fully populates
+        #: it, and algorithm runs through this handle reuse it.  May be
+        #: ``None`` (one-shot sessions keep the facade's exact historical
+        #: no-cache behavior).
+        self.store = store if store is not None else self.options.cache
+        self.label = label
+        self._fingerprint: str | None = None
+        self._index: GSIndex | None = None
+        self._results: dict[tuple, ClusteringResult] = {}
+        self._vertex_views: dict[tuple, tuple] = {}
+        self.query_hits = 0
+        self.query_misses = 0
+
+    # -- identity -------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """BLAKE2b content fingerprint of the CSR graph (lazy, cached).
+
+        The same hash the similarity store keys by, so service clients
+        can pre-compute it with ``repro.cache.graph_fingerprint`` (or
+        read it off any CLI subcommand's output).
+        """
+        if self._fingerprint is None:
+            self._fingerprint = graph_fingerprint(self.graph)
+        return self._fingerprint
+
+    @property
+    def indexed(self) -> bool:
+        return self._index is not None
+
+    def memory_bytes(self) -> int:
+        """Approximate resident footprint (graph + index + memoized
+        results) — the quantity the service's eviction budget meters."""
+        graph = self.graph
+        total = int(graph.offsets.nbytes + graph.dst.nbytes)
+        if self._index is not None:
+            total += self._index.memory_bytes()
+        for result in self._results.values():
+            total += int(result.roles.nbytes + result.core_labels.nbytes)
+            total += 16 * len(result.noncore_pairs)
+        return total
+
+    # -- index ----------------------------------------------------------
+
+    def ensure_index(self) -> GSIndex:
+        """Build (once) and return the GS*-Index for this graph.
+
+        Construction is the one similarity-resolution pass the handle
+        ever pays: with a store attached it both reuses whatever
+        coverage earlier runs left and commits the full exact overlap
+        map back, warming every other consumer of the store.
+        """
+        if self._index is None:
+            tracer = current_tracer()
+            with tracer.span(
+                "session:index", fingerprint=self.fingerprint[:12]
+            ):
+                self._index = GSIndex(
+                    self.graph,
+                    store=self.store,
+                    sketch=self.options.effective_sketch(),
+                )
+            if tracer.enabled:
+                tracer.count("session.index_built", 1)
+        return self._index
+
+    # -- queries --------------------------------------------------------
+
+    @staticmethod
+    def _params(eps, mu=None) -> ScanParams:
+        if isinstance(eps, ScanParams):
+            if mu is not None:
+                raise TypeError("pass either ScanParams or (eps, mu)")
+            return eps
+        if mu is None:
+            raise TypeError("cluster() needs both eps and mu")
+        return ScanParams(float(eps), int(mu))
+
+    def _point_key(self, params: ScanParams) -> tuple:
+        frac = params.eps_fraction
+        return (frac.numerator, frac.denominator, params.mu)
+
+    def _query_index(self, params: ScanParams) -> ClusteringResult:
+        key = self._point_key(params)
+        result = self._results.get(key)
+        if result is not None:
+            self.query_hits += 1
+            return result
+        self.query_misses += 1
+        index = self.ensure_index()
+        tracer = current_tracer()
+        with tracer.span(
+            "session:query", eps=float(params.eps), mu=int(params.mu)
+        ):
+            result = index.query(params)
+        self._results[key] = result
+        return result
+
+    def lookup(self, eps, mu=None) -> ClusteringResult | None:
+        """The memoized index-served result for this point, or ``None``.
+
+        Never computes anything — the service uses it as the warm fast
+        path that stays on the event loop.
+        """
+        params = self._params(eps, mu)
+        result = self._results.get(self._point_key(params))
+        if result is not None:
+            self.query_hits += 1
+        return result
+
+    def cluster(
+        self,
+        eps,
+        mu=None,
+        *,
+        algorithm: str | None = None,
+        options: ExecutionOptions | None = None,
+    ) -> ClusteringResult:
+        """Exact clustering at ``(eps, mu)`` (or a :class:`ScanParams`).
+
+        Without ``algorithm`` the query is served from the handle's
+        GS*-Index (built on first use, memoized per parameter point);
+        with one, the named registered algorithm runs under the handle's
+        options and shared store — the same code path the module-level
+        :func:`cluster` facade uses.
+        """
+        params = self._params(eps, mu)
+        if algorithm is None:
+            return self._query_index(params)
+        spec = get_algorithm(algorithm)
+        opts = options if options is not None else self.options
+        if (
+            self.store is not None
+            and spec.supports_cache
+            and opts.cache is None
+        ):
+            opts = opts.evolve(cache=self.store)
+        return spec.run(self.graph, params, opts)
+
+    def vertex(self, v: int, eps, mu=None) -> VertexView:
+        """Per-vertex lookup at ``(eps, mu)``: role + cluster memberships.
+
+        Served from the same memoized index query as :meth:`cluster`,
+        with the (costlier) hub/outlier classification memoized per
+        parameter point as well — per-vertex lookups after the first are
+        O(1) dictionary and array reads.
+        """
+        v = int(v)
+        if not 0 <= v < self.graph.num_vertices:
+            raise ValueError(
+                f"vertex {v} out of range [0, {self.graph.num_vertices})"
+            )
+        params = self._params(eps, mu)
+        key = self._point_key(params)
+        view = self._vertex_views.get(key)
+        if view is None:
+            result = self._query_index(params)
+            view = (result.classify(self.graph), result.membership())
+            self._vertex_views[key] = view
+        classified, membership = view
+        return VertexView(
+            vertex=v,
+            eps=float(params.eps),
+            mu=int(params.mu),
+            role=role_name(int(classified[v])).lower(),
+            clusters=tuple(sorted(membership[v])),
+        )
+
+    def sweep(
+        self,
+        eps_values,
+        mu_values,
+        *,
+        algorithm: str = "ppscan",
+        use_cache: bool = True,
+        checkpoint=None,
+    ) -> "SweepOutcome":
+        """Cluster across the (ε, µ) grid, reusing the handle's store."""
+        from .sweep import SweepEngine
+
+        engine = SweepEngine(
+            self.graph,
+            algorithm=algorithm,
+            options=self.options,
+            store=self.store if use_cache else None,
+            use_cache=use_cache,
+            checkpoint=checkpoint,
+        )
+        return engine.run(eps_values, mu_values)
+
+    def stats(self) -> dict:
+        """JSON-able snapshot of this handle's state and query traffic."""
+        return {
+            "fingerprint": self.fingerprint,
+            "label": self.label,
+            "num_vertices": self.graph.num_vertices,
+            "num_edges": self.graph.num_edges,
+            "indexed": self.indexed,
+            "approximate": bool(getattr(self._index, "approximate", False)),
+            "memory_bytes": self.memory_bytes(),
+            "points_cached": len(self._results),
+            "query_hits": self.query_hits,
+            "query_misses": self.query_misses,
+        }
+
+    def close(self) -> None:
+        """Drop the index and memoized queries (the store is shared and
+        stays with the session)."""
+        self._index = None
+        self._results.clear()
+        self._vertex_views.clear()
+
+
+class Session:
+    """Bind graphs once, then query them through :class:`GraphHandle`\\ s.
+
+    The redesigned front door of :mod:`repro.api`::
+
+        with api.Session(cache_dir="/tmp/simstore") as session:
+            handle = session.open(graph)
+            result = handle.cluster(0.5, 2)     # index-served
+            info = handle.vertex(7, 0.5, 2)     # per-vertex lookup
+            grid = handle.sweep([0.4, 0.6], [2, 5])
+
+    One session owns one :class:`~repro.cache.SimilarityStore` (created
+    on demand, disk-backed when ``cache_dir`` is given) shared by every
+    handle, so index constructions and algorithm runs warm each other.
+    The module-level :func:`cluster` / :func:`compare` / :func:`sweep`
+    facades are thin wrappers over a one-shot session, and the
+    clustering service's registry stores these same handles — CLI,
+    library and server share one code path.
+
+    A session with no store configured (``options.cache`` unset, no
+    ``store``/``cache_dir``) leaves ``store=None``: one-shot wrappers
+    keep the facade's historical uncached behavior exactly.
+    """
+
+    def __init__(
+        self,
+        *,
+        options: ExecutionOptions | None = None,
+        store: SimilarityStore | None = None,
+        cache_dir=None,
+    ) -> None:
+        opts = options or ExecutionOptions()
+        if store is None and cache_dir is not None:
+            store = SimilarityStore(cache_dir=cache_dir)
+        if store is None:
+            store = opts.cache
+        elif opts.cache is None:
+            opts = opts.evolve(cache=store)
+        self.options = opts
+        self.store = store
+        self._handles: dict[int, GraphHandle] = {}
+
+    def open(self, graph: CSRGraph, *, label: str | None = None) -> GraphHandle:
+        """The handle for ``graph`` (one per graph object per session)."""
+        handle = self._handles.get(id(graph))
+        if handle is None:
+            handle = GraphHandle(
+                graph, options=self.options, store=self.store, label=label
+            )
+            self._handles[id(graph)] = handle
+        return handle
+
+    def handles(self) -> list[GraphHandle]:
+        return list(self._handles.values())
+
+    def discard(self, handle: GraphHandle) -> None:
+        """Release ``handle`` (drops its index and memoized queries)."""
+        self._handles.pop(id(handle.graph), None)
+        handle.close()
+
+    def close(self) -> None:
+        """Close every handle and spill the store's dirty entries."""
+        for handle in self.handles():
+            self.discard(handle)
+        if self.store is not None:
+            self.store.spill()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open(  # noqa: A001 - deliberate, mirrors Session.open
+    graph: CSRGraph,
+    *,
+    options: ExecutionOptions | None = None,
+    store: SimilarityStore | None = None,
+    cache_dir=None,
+) -> GraphHandle:
+    """``api.open(graph) -> GraphHandle`` — a standalone one-graph session.
+
+    Convenience for the common case of binding a single graph; the
+    handle owns its session implicitly.
+    """
+    session = Session(options=options, store=store, cache_dir=cache_dir)
+    return session.open(graph)
 
 
 def cluster(
@@ -232,11 +660,15 @@ def cluster(
     chaos injection) comes from ``options``; what the algorithm cannot
     honour it ignores (see :meth:`AlgorithmSpec.ignored_options` to
     check beforehand).  Legacy keyword arguments are accepted with a
-    :class:`DeprecationWarning`.
+    :class:`DeprecationWarning` naming the exact typed replacement.
+
+    This facade is a thin wrapper over a one-shot :class:`Session`; to
+    run many queries against one graph, hold a :class:`GraphHandle`
+    instead (``api.Session().open(graph)``).
     """
-    spec = get_algorithm(algorithm)
     opts = _options_from_legacy(options, legacy)
-    return spec.run(graph, params, opts)
+    handle = Session(options=opts).open(graph)
+    return handle.cluster(params, algorithm=algorithm)
 
 
 @dataclass(frozen=True)
@@ -278,14 +710,19 @@ def compare(
     *,
     algorithms: list[str] | None = None,
     options: ExecutionOptions | None = None,
+    **legacy,
 ) -> ComparisonOutcome:
     """Run several algorithms and assert they produce the same clustering.
 
     Defaults to every registered algorithm with ``in_compare=True``.
     Raises :class:`AssertionError` (from
     :func:`~repro.core.assert_same_clustering`) on the first
-    disagreement — the repo-wide correctness gate.
+    disagreement — the repo-wide correctness gate.  Legacy keyword
+    arguments funnel through the same deprecation shim as
+    :func:`cluster`.
     """
+    if legacy:
+        options = _options_from_legacy(options, legacy, caller="compare")
     names = (
         list(algorithms)
         if algorithms is not None
@@ -296,6 +733,7 @@ def compare(
     results: dict[str, ClusteringResult] = {}
     leg_stats: dict[str, dict] = {}
     reference_name = names[0]
+    handle = Session(options=options).open(graph)
     for name in names:
         opts = options
         if opts is not None and opts.checkpoint is not None:
@@ -304,7 +742,7 @@ def compare(
             # resumes every leg independently.
             opts = opts.evolve(checkpoint=opts.checkpoint.for_subrun(name))
         t0 = time.perf_counter()
-        result = cluster(graph, params, algorithm=name, options=opts)
+        result = handle.cluster(params, algorithm=name, options=opts)
         wall = time.perf_counter() - t0
         stats: dict = {"wall_seconds": wall}
         rss = _process_peak_rss_kb()
@@ -330,27 +768,36 @@ def sweep(
     cache_dir=None,
     use_cache: bool = True,
     checkpoint=None,
+    **legacy,
 ):
     """Cluster ``graph`` across the (ε, µ) grid with cross-run overlap reuse.
 
-    Thin facade over :class:`repro.sweep.SweepEngine` (imported lazily to
-    keep the module graph acyclic); returns its
+    Thin facade over a one-shot :class:`Session` driving
+    :class:`repro.sweep.SweepEngine`; returns its
     :class:`~repro.sweep.SweepOutcome`.  Each arc's exact overlap is
     resolved at most once across the whole grid, and every grid point's
-    clustering is bit-identical to an independent run.
+    clustering is bit-identical to an independent run.  Legacy keyword
+    arguments funnel through the same deprecation shim as
+    :func:`cluster`.
     """
-    from .sweep import SweepEngine
-
-    engine = SweepEngine(
-        graph,
+    if legacy:
+        options = _options_from_legacy(options, legacy, caller="sweep")
+    if store is None and use_cache:
+        # Preserve SweepEngine's defaults: reuse the options' store when
+        # one is attached, else create one per sweep (disk-backed when
+        # ``cache_dir`` is given).
+        if options is not None and options.cache is not None:
+            store = options.cache
+        else:
+            store = SimilarityStore(cache_dir=cache_dir)
+    handle = Session(options=options, store=store).open(graph)
+    return handle.sweep(
+        eps_values,
+        mu_values,
         algorithm=algorithm,
-        options=options,
-        store=store,
-        cache_dir=cache_dir,
         use_cache=use_cache,
         checkpoint=checkpoint,
     )
-    return engine.run(eps_values, mu_values)
 
 
 # ---------------------------------------------------------------------------

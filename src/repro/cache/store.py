@@ -41,6 +41,18 @@ is a no-op in any other process.  Forked workers (including ones a
 chaos plan later kills or quarantines) therefore can never commit
 overlaps into the parent's store — results flow back only through the
 supervised phase-barrier commit, same as arc states.
+
+Thread safety
+-------------
+The clustering service resolves queries for several graphs at once on a
+thread pool, all sharing one store.  Entry creation
+(:meth:`SimilarityStore.entry_for`), overlap commits
+(:meth:`StoreEntry.record` / :meth:`record_one`) and :meth:`spill` are
+therefore lock-guarded: concurrent readers resolving overlapping arc
+sets commit the same exact values at most once each and can never
+observe a torn overlap/coverage pair.  The guarded sections are memo
+writes, not the similarity computations themselves, so contention stays
+off the hot path.
 """
 
 from __future__ import annotations
@@ -49,6 +61,7 @@ import hashlib
 import io
 import json
 import os
+import threading
 import zipfile
 import zlib
 from dataclasses import dataclass
@@ -122,6 +135,7 @@ class StoreEntry:
         "dirty",
         "_owner_pid",
         "_rev",
+        "_lock",
     )
 
     def __init__(self, graph: "CSRGraph", fingerprint: str) -> None:
@@ -135,6 +149,7 @@ class StoreEntry:
         self.dirty = False
         self._owner_pid = os.getpid()
         self._rev: np.ndarray | None = None
+        self._lock = threading.Lock()
 
     # -- views ----------------------------------------------------------
 
@@ -148,9 +163,14 @@ class StoreEntry:
         return self.covered / self.num_arcs if self.num_arcs else 0.0
 
     def _reverse(self) -> np.ndarray:
-        if self._rev is None:
-            self._rev = _reverse_arcs(self.graph)
-        return self._rev
+        rev = self._rev
+        if rev is None:
+            # Built outside the lock (it is pure); a racing duplicate
+            # build computes the identical array, and publishing either
+            # one via a single attribute store is safe.
+            rev = _reverse_arcs(self.graph)
+            self._rev = rev
+        return rev
 
     # -- writes ---------------------------------------------------------
 
@@ -161,22 +181,24 @@ class StoreEntry:
             return
         arcs = np.asarray(arcs, dtype=np.int64)
         rev = self._reverse()[arcs]
-        self.overlap[arcs] = overlaps
-        self.overlap[rev] = overlaps
-        self.coverage[arcs] = True
-        self.coverage[rev] = True
-        self.dirty = True
+        with self._lock:
+            self.overlap[arcs] = overlaps
+            self.overlap[rev] = overlaps
+            self.coverage[arcs] = True
+            self.coverage[rev] = True
+            self.dirty = True
 
     def record_one(self, arc: int, overlap: int) -> None:
         """Scalar-path :meth:`record` (one arc + its mirror)."""
         if os.getpid() != self._owner_pid:
             return
         rev = int(self._reverse()[arc])
-        self.overlap[arc] = overlap
-        self.overlap[rev] = overlap
-        self.coverage[arc] = True
-        self.coverage[rev] = True
-        self.dirty = True
+        with self._lock:
+            self.overlap[arc] = overlap
+            self.overlap[rev] = overlap
+            self.coverage[arc] = True
+            self.coverage[rev] = True
+            self.dirty = True
 
 
 @dataclass(frozen=True)
@@ -213,19 +235,28 @@ class SimilarityStore:
         self._sketches: dict[tuple[str, str], object] = {}
         self.spills = 0
         self.rejects = 0
+        self._lock = threading.Lock()
 
     # -- entry access ---------------------------------------------------
 
     def entry_for(self, graph: "CSRGraph") -> StoreEntry:
         """The (possibly disk-warmed) entry for ``graph``, creating a cold
-        one on first sight of its fingerprint."""
+        one on first sight of its fingerprint.
+
+        Creation is serialized so two threads racing on the same
+        fingerprint share one entry — a private duplicate would fork the
+        memo and lose whichever commits landed in the loser.
+        """
         fingerprint = graph_fingerprint(graph)
         entry = self._entries.get(fingerprint)
         if entry is None:
-            entry = self._load(graph, fingerprint)
-            if entry is None:
-                entry = StoreEntry(graph, fingerprint)
-            self._entries[fingerprint] = entry
+            with self._lock:
+                entry = self._entries.get(fingerprint)
+                if entry is None:
+                    entry = self._load(graph, fingerprint)
+                    if entry is None:
+                        entry = StoreEntry(graph, fingerprint)
+                    self._entries[fingerprint] = entry
         return entry
 
     def entries(self) -> list[StoreEntry]:
@@ -342,17 +373,19 @@ class SimilarityStore:
 
         written = 0
         tracer = current_tracer()
-        for fingerprint, entry in self._entries.items():
+        for fingerprint, entry in list(self._entries.items()):
             if not entry.dirty:
                 continue
             npz_path, meta_path = self._paths(fingerprint)
             with tracer.span("cache:spill", fingerprint=fingerprint):
+                with entry._lock:
+                    # Snapshot under the entry lock so a concurrent
+                    # record() can't tear the overlap/coverage pair
+                    # mid-serialization.
+                    overlap = entry.overlap.copy()
+                    packed = np.packbits(entry.coverage)
                 buf = io.BytesIO()
-                np.savez_compressed(
-                    buf,
-                    overlap=entry.overlap,
-                    coverage=np.packbits(entry.coverage),
-                )
+                np.savez_compressed(buf, overlap=overlap, coverage=packed)
                 atomic_write_bytes(npz_path, buf.getvalue())
                 atomic_write_text(
                     meta_path,

@@ -16,6 +16,8 @@ generate
     Write a synthetic evaluation graph to an edge-list file.
 bench
     Run one of the paper-figure experiments and print its table.
+serve
+    Start the always-on clustering service (HTTP, see docs/service.md).
 """
 
 from __future__ import annotations
@@ -52,6 +54,15 @@ EXIT_EXECUTION_FAULT = 3
 #: Exit code for ``--resume`` against a checkpoint directory that records
 #: a different graph / parameters / algorithm.
 EXIT_RESUME_MISMATCH = 4
+
+
+def _print_fingerprint(graph) -> None:
+    """One ``fingerprint:`` line so every subcommand names the graph it
+    ran on — the same CSR content key the cache, checkpoints and the
+    service registry use."""
+    from .cache import graph_fingerprint
+
+    print(f"fingerprint: {graph_fingerprint(graph)}")
 
 
 def _cache_store(args: argparse.Namespace):
@@ -579,6 +590,62 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_args(p_bench)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="start the always-on clustering service (HTTP)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="TCP port (0 picks an ephemeral port and prints it)",
+    )
+    p_serve.add_argument(
+        "--graph",
+        action="append",
+        default=[],
+        metavar="PATH",
+        dest="preload",
+        help="pre-load and index this graph file at startup (repeatable)",
+    )
+    p_serve.add_argument(
+        "--max-graphs",
+        type=int,
+        default=8,
+        help="LRU registry capacity: resident graph count cap",
+    )
+    p_serve.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="LRU registry capacity: resident byte budget (graph + index "
+        "+ memoized results); idle graphs age out past it",
+    )
+    p_serve.add_argument(
+        "--max-concurrent-queries",
+        type=int,
+        default=4,
+        help="admission limit on simultaneous heavy operations; beyond "
+        "it the service answers 429 with Retry-After",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the shared similarity store under DIR",
+    )
+    p_serve.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append one service record per query batch to the run "
+        "ledger at PATH",
+    )
+
     p_verify = sub.add_parser(
         "verify", help="verify a saved clustering against a graph"
     )
@@ -641,6 +708,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
+    _print_fingerprint(graph)
     params = ScanParams(eps=args.eps, mu=args.mu)
     spec = api.get_algorithm(args.algorithm)
     options = _execution_options(args)
@@ -727,6 +795,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from .bench.reporting import format_table
 
     graph = load_graph(args.graph)
+    _print_fingerprint(graph)
     params = ScanParams(eps=args.eps, mu=args.mu)
     names = [
         name
@@ -849,6 +918,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sweep import SweepEngine
 
     graph = load_graph(args.graph)
+    _print_fingerprint(graph)
     eps_values = [float(x) for x in args.eps.split(",") if x]
     mu_values = [int(x) for x in args.mu.split(",") if x]
     # Unlike cluster/compare, a sweep reuses overlaps *within* one
@@ -931,6 +1001,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
+    _print_fingerprint(graph)
     stats = graph_stats(args.graph, graph)
     print(
         f"|V| = {stats.num_vertices:,}\n|E| = {stats.num_edges:,}\n"
@@ -952,6 +1023,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"error: cannot read {args.graph}: {exc}", file=sys.stderr)
         return 1
+    _print_fingerprint(graph)
     problems = validate_graph(graph)
     if problems:
         print(f"INVALID: {args.graph}")
@@ -971,6 +1043,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     else:
         graph = real_world_standin(args.kind, scale=args.scale, seed=args.seed)
     write_edge_list(graph, args.output)
+    _print_fingerprint(graph)
     print(
         f"wrote {args.output}: |V|={graph.num_vertices:,}, "
         f"|E|={graph.num_edges:,}"
@@ -1001,11 +1074,60 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .cache import graph_fingerprint
+    from .service import ClusteringService
+
+    service = ClusteringService(
+        cache_dir=args.cache_dir,
+        max_graphs=args.max_graphs,
+        memory_budget_mb=args.memory_budget_mb,
+        max_concurrent_queries=args.max_concurrent_queries,
+        ledger_path=args.ledger,
+    )
+    for path in args.preload:
+        graph = load_graph(path)
+        handle = service.session.open(graph, label=path)
+        handle.ensure_index()
+        fingerprint = handle.fingerprint
+        for _, evicted in service.registry.put(fingerprint, handle):
+            service.session.discard(evicted)
+        print(
+            f"loaded {path}: fingerprint {fingerprint} "
+            f"(|V|={graph.num_vertices:,}, |E|={graph.num_edges:,})"
+        )
+
+    async def run() -> None:
+        await service.start(args.host, args.port)
+        print(
+            f"serving on http://{args.host}:{service.port} "
+            f"(max {args.max_concurrent_queries} concurrent heavy "
+            "queries; Ctrl-C to stop)",
+            flush=True,  # supervisors wait on this line to learn the port
+        )
+        assert service._server is not None
+        try:
+            await service._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .core import ClusteringResult, verify_clustering
     from .core.verify import ClusteringVerificationError
 
     graph = load_graph(args.graph)
+    _print_fingerprint(graph)
     result = ClusteringResult.load(args.clustering)
     try:
         verify_clustering(graph, result)
@@ -1024,6 +1146,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from .bench.reporting import format_table
 
     graph = load_graph(args.graph)
+    _print_fingerprint(graph)
     eps_values = tuple(float(x) for x in args.eps.split(",") if x)
 
     counts, bins = similarity_histogram(graph, bins=10)
@@ -1254,6 +1377,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _cmd_validate,
         "generate": _cmd_generate,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
         "verify": _cmd_verify,
         "profile": _cmd_profile,
         "history": _cmd_history,

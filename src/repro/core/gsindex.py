@@ -218,6 +218,20 @@ class GSIndex:
         )
         self.construction_record.apportion_wall()
 
+    def memory_bytes(self) -> int:
+        """Rough resident footprint of the index structures.
+
+        Python-list ints cost far more than 8 bytes each; 28 bytes per
+        element approximates the list-slot pointer plus a small-int
+        object amortized over interning.  This is a budgeting estimate
+        (for the service's LRU eviction), not an exact measurement.
+        """
+        per_element = 28
+        count = len(self._overlap) + len(self._sim_num) + len(self._sim_den)
+        count += sum(len(order) for order in self._neighbor_order)
+        count += sum(len(order) for order in self._core_orders)
+        return per_element * count
+
     @staticmethod
     def _fix_float_sort(
         arcs: list[int], num: list[int], den: list[int]

@@ -8,8 +8,10 @@ offset and destination arrays.
 
 from __future__ import annotations
 
+import contextlib
 import gzip
 import os
+import sys
 from pathlib import Path
 
 import numpy as np
@@ -76,11 +78,19 @@ def read_edge_list(
     Malformed input raises :class:`GraphFormatError` with ``path:line:``
     context.  ``strict=True`` additionally rejects what normalization
     would otherwise silently repair: self-loops and duplicate edges.
+
+    ``path="-"`` reads the edge list from standard input (pipes compose:
+    ``repro-scan generate ... /dev/stdout | repro-scan stats -``).
     """
     rows: list[tuple[int, int]] = []
     seen: set[tuple[int, int]] | None = set() if strict else None
-    opener = gzip.open if Path(path).suffix == ".gz" else open
-    with opener(path, "rt", encoding="utf-8") as fh:
+    if str(path) == "-":
+        source = contextlib.nullcontext(sys.stdin)
+        path = "<stdin>"
+    else:
+        opener = gzip.open if Path(path).suffix == ".gz" else open
+        source = opener(path, "rt", encoding="utf-8")
+    with source as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line or line.startswith(comment):
@@ -258,12 +268,15 @@ def write_matrix_market(graph: CSRGraph, path: str | os.PathLike) -> None:
 def load_graph(path: str | os.PathLike, *, strict: bool = False) -> CSRGraph:
     """Load a graph, dispatching on extension: ``.bin`` binary CSR,
     ``.mtx`` MatrixMarket, else a whitespace edge list (optionally
-    gzip-compressed, the format SNAP distributes).
+    gzip-compressed, the format SNAP distributes).  ``path="-"`` reads
+    an edge list from standard input.
 
     ``strict=True`` rejects input that normalization would silently
     repair (self-loops, duplicate edges in text formats); binary CSR is
     always fully validated on read.
     """
+    if str(path) == "-":
+        return read_edge_list(path, strict=strict)
     suffix = Path(path).suffix
     if suffix == ".bin":
         return read_csr_binary(path)

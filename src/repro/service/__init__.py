@@ -1,0 +1,38 @@
+"""Always-on clustering service: HTTP front-end over the session API.
+
+The package splits into three layers:
+
+* :mod:`repro.service.http` — a thin HTTP/1.1 request/response layer
+  over asyncio streams (no framework dependency);
+* :mod:`repro.service.registry` — the LRU graph registry with a memory
+  budget;
+* :mod:`repro.service.server` — :class:`ClusteringService`, which wires
+  a :class:`repro.api.Session` to the HTTP layer with request
+  coalescing, admission control and observability.
+
+Start one from the command line with ``repro-scan serve`` or embed it::
+
+    import asyncio
+    from repro.service import ClusteringService
+
+    async def main():
+        service = ClusteringService()
+        await service.start(port=8321)
+        ...
+        await service.stop()
+
+    asyncio.run(main())
+"""
+
+from .http import HTTPError, Request, read_request, response_bytes
+from .registry import GraphRegistry
+from .server import ClusteringService
+
+__all__ = [
+    "ClusteringService",
+    "GraphRegistry",
+    "HTTPError",
+    "Request",
+    "read_request",
+    "response_bytes",
+]

@@ -1,0 +1,754 @@
+"""The always-on clustering service.
+
+One long-lived process owns a :class:`~repro.api.Session`: a graph is
+submitted once (``POST /graphs``), pays its similarity-resolution cost
+once (GS*-Index construction + similarity-store warm-up, in a worker
+executor so the event loop stays responsive), and from then on every
+``(ε, µ)`` clustering query, per-vertex lookup or sweep is an index walk
+— the serving model of index-based SCAN (Tseng, Dhulipala & Shun; see
+``docs/service.md``).
+
+Endpoints
+---------
+``GET  /healthz``                          liveness probe
+``GET  /stats``                            counters, registry, store stats
+``GET  /graphs``                           resident graph summaries
+``POST /graphs``                           submit a graph (edge-list text
+                                           or ``{"edges": [[u, v], ...]}``)
+``GET  /graphs/{fp}``                      one graph's summary
+``DELETE /graphs/{fp}``                    unload a graph
+``GET  /graphs/{fp}/cluster?eps=&mu=``     clustering at (ε, µ)
+``GET  /graphs/{fp}/vertex/{v}?eps=&mu=``  per-vertex role + clusters
+``POST /graphs/{fp}/sweep``                grid sweep (``{"eps": [...],
+                                           "mu": [...]}``)
+
+Scheduling model
+----------------
+* **Coalescing** — identical in-flight work (same fingerprint, ε, µ and
+  algorithm) shares one future: a thundering herd on a cold point costs
+  one index query.
+* **Admission control** — at most ``max_concurrent_queries`` heavy
+  operations (index builds, cold queries, sweeps) run at once; beyond
+  that the service answers ``429`` with ``Retry-After`` instead of
+  queueing unboundedly.  Warm (memoized) queries and coalesced
+  followers bypass the limit — they add no load.
+* **Eviction** — the graph registry is LRU-bounded by count and by a
+  byte budget (:class:`~repro.service.registry.GraphRegistry`).
+
+Failures map to structured JSON errors: validation → 400, unknown
+fingerprint → 404, checkpoint identity mismatch → 409, admission → 429,
+supervisor exhaustion (:class:`~repro.parallel.ExecutionFaultError`) →
+503 with the fault detail.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+import numpy as np
+
+from .. import api
+from ..cache import SimilarityStore, graph_fingerprint
+from ..checkpoint import ResumeMismatchError
+from ..graph import CSRGraph, from_edge_array
+from ..obs.tracer import current_tracer
+from ..options import ExecutionOptions
+from ..parallel import ExecutionFaultError
+from ..types import ScanParams
+from .http import (
+    DEFAULT_MAX_BODY,
+    HTTPError,
+    read_request,
+    response_bytes,
+)
+from .registry import GraphRegistry
+
+__all__ = ["ClusteringService"]
+
+#: Ledger flush threshold: one ``service`` record summarizes this many
+#: queries (latency percentiles + coalescing traffic per batch).
+DEFAULT_LEDGER_FLUSH = 64
+
+_COUNTER_NAMES = (
+    "requests",
+    "queries",
+    "warm_hits",
+    "cold_queries",
+    "coalesced",
+    "rejected",
+    "submissions",
+    "evictions",
+    "sweeps",
+    "vertex_lookups",
+    "errors",
+)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (empty → 0.0)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values))))
+    return sorted_values[rank]
+
+
+class ClusteringService:
+    """Asyncio HTTP server over a :class:`~repro.api.Session`.
+
+    Construct, ``await start(host, port)``, drive requests, ``await
+    stop()``.  All state mutation happens on the event-loop thread; the
+    executor threads only run pure computations on
+    :class:`~repro.api.GraphHandle` objects (whose stores take their own
+    commit locks), so no additional synchronization is needed.
+    """
+
+    def __init__(
+        self,
+        *,
+        session: api.Session | None = None,
+        options: ExecutionOptions | None = None,
+        cache_dir=None,
+        max_graphs: int | None = 8,
+        memory_budget_mb: float | None = None,
+        max_concurrent_queries: int = 4,
+        max_body_bytes: int = DEFAULT_MAX_BODY,
+        ledger_path=None,
+        ledger_flush_every: int = DEFAULT_LEDGER_FLUSH,
+        executor_workers: int | None = None,
+    ) -> None:
+        if max_concurrent_queries < 1:
+            raise ValueError("max_concurrent_queries must be >= 1")
+        if session is None:
+            session = api.Session(
+                options=options,
+                store=SimilarityStore(cache_dir=cache_dir),
+            )
+        self.session = session
+        self.registry = GraphRegistry(
+            max_graphs=max_graphs,
+            memory_budget_bytes=(
+                int(memory_budget_mb * 1024 * 1024)
+                if memory_budget_mb is not None
+                else None
+            ),
+        )
+        self.max_concurrent_queries = max_concurrent_queries
+        self.max_body_bytes = max_body_bytes
+        self.counters: dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._heavy = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers or max_concurrent_queries,
+            thread_name_prefix="repro-service",
+        )
+        self._ledger = None
+        self._ledger_flush_every = max(1, int(ledger_flush_every))
+        if ledger_path is not None:
+            from ..obs.ledger import RunLedger
+
+            self._ledger = RunLedger(ledger_path)
+        self._pending: list[tuple[str, float]] = []
+        self._batch_coalesced = 0
+        self._batch_rejected = 0
+        self._lane_ids = itertools.count(1)
+        self._server: asyncio.AbstractServer | None = None
+        self._started = time.time()
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def port(self) -> int | None:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.AbstractServer:
+        """Bind and start serving (``port=0`` picks an ephemeral port)."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        return self._server
+
+    async def stop(self) -> None:
+        """Stop accepting, flush the ledger, and release the executor."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._flush_ledger(force=True)
+        if self.session.store is not None:
+            self.session.store.spill()
+        self._executor.shutdown(wait=True)
+
+    async def serve_forever(
+        self, host: str = "127.0.0.1", port: int = 8321
+    ) -> None:
+        """Convenience loop for the CLI: serve until cancelled."""
+        server = await self.start(host, port)
+        try:
+            await server.serve_forever()
+        finally:
+            await self.stop()
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.max_body_bytes
+                    )
+                except HTTPError as exc:
+                    # Framing is broken; answer once and hang up.
+                    writer.write(
+                        response_bytes(
+                            exc.status,
+                            {"error": exc.message},
+                            extra_headers=exc.headers,
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload, headers = await self._respond(request)
+                writer.write(
+                    response_bytes(
+                        status,
+                        payload,
+                        extra_headers=headers,
+                        keep_alive=request.keep_alive,
+                    )
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover - shutdown/peer races
+                # CancelledError lands here when the loop shuts down
+                # mid-close; the handler has nothing left to do, and
+                # letting it escape makes streams' connection callback
+                # log a spurious traceback.
+                pass
+
+    async def _respond(
+        self, request
+    ) -> tuple[int, dict, dict[str, str]]:
+        """Dispatch one request, mapping every failure to a JSON error."""
+        self.counters["requests"] += 1
+        t0 = time.perf_counter()
+        status, payload, headers = 500, {"error": "unhandled"}, {}
+        try:
+            status, payload, headers = await self._dispatch(request)
+        except HTTPError as exc:
+            if exc.status != 429:  # rejections are counted separately
+                self.counters["errors"] += 1
+            status, payload, headers = (
+                exc.status,
+                {"error": exc.message},
+                exc.headers,
+            )
+        except ResumeMismatchError as exc:
+            self.counters["errors"] += 1
+            status, payload = 409, {"error": str(exc)}
+        except ExecutionFaultError as exc:
+            self.counters["errors"] += 1
+            status, payload = 503, {
+                "error": "execution fault",
+                "detail": str(exc),
+            }
+            headers = {"Retry-After": "5"}
+        except (ValueError, KeyError) as exc:
+            self.counters["errors"] += 1
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - the service must answer
+            self.counters["errors"] += 1
+            status, payload = 500, {
+                "error": f"{type(exc).__name__}: {exc}"
+            }
+        finally:
+            tracer = current_tracer()
+            if tracer.enabled:
+                # Requests overlap freely, so each records as its own
+                # already-timed interval on a private lane instead of
+                # nesting on the (strictly stacked) ambient lanes.
+                tracer.add_span(
+                    "service:request",
+                    t0,
+                    time.perf_counter(),
+                    lane=next(self._lane_ids),
+                    method=request.method,
+                    path=request.path,
+                    status=status,
+                )
+                tracer.count("service.requests", 1)
+                tracer.count(f"service.status.{status // 100}xx", 1)
+        return status, payload, headers
+
+    # -- routing --------------------------------------------------------
+
+    async def _dispatch(self, request) -> tuple[int, dict, dict[str, str]]:
+        parts = request.path_parts
+        method = request.method
+        if parts == ["healthz"] and method == "GET":
+            return 200, {"status": "ok", "uptime_seconds": time.time() - self._started}, {}
+        if parts == ["stats"] and method == "GET":
+            return 200, self.stats(), {}
+        if parts == ["graphs"]:
+            if method == "GET":
+                return (
+                    200,
+                    {"graphs": [h.stats() for h in self.registry]},
+                    {},
+                )
+            if method == "POST":
+                return await self._submit(request)
+            raise HTTPError(405, f"{method} not allowed on /graphs")
+        if len(parts) >= 2 and parts[0] == "graphs":
+            fingerprint = parts[1]
+            if len(parts) == 2:
+                if method == "GET":
+                    return 200, self._handle_for(fingerprint).stats(), {}
+                if method == "DELETE":
+                    return self._unload(fingerprint)
+                raise HTTPError(405, f"{method} not allowed here")
+            action = parts[2]
+            if action == "cluster" and len(parts) == 3 and method == "GET":
+                return await self._cluster(request, fingerprint)
+            if action == "vertex" and len(parts) == 4 and method == "GET":
+                return await self._vertex(request, fingerprint, parts[3])
+            if action == "sweep" and len(parts) == 3 and method == "POST":
+                return await self._sweep(request, fingerprint)
+        raise HTTPError(404, f"no route for {method} {request.path}")
+
+    # -- helpers --------------------------------------------------------
+
+    def _handle_for(self, fingerprint: str):
+        handle = self.registry.get(fingerprint)
+        if handle is None:
+            raise HTTPError(
+                404,
+                f"no graph loaded with fingerprint {fingerprint!r}; "
+                "POST /graphs to (re)submit it",
+            )
+        return handle
+
+    @staticmethod
+    def _parse_params(query: dict[str, str]) -> ScanParams:
+        try:
+            eps = float(query["eps"])
+            mu = int(query["mu"])
+        except KeyError as exc:
+            raise HTTPError(
+                400, f"missing query parameter {exc.args[0]!r}"
+            ) from None
+        except ValueError as exc:
+            raise HTTPError(400, f"malformed parameter: {exc}") from None
+        try:
+            return ScanParams(eps, mu)
+        except ValueError as exc:
+            raise HTTPError(400, str(exc)) from None
+
+    async def _run_heavy(self, key: tuple, work: Callable):
+        """Run ``work`` in the executor under coalescing + admission.
+
+        Identical in-flight ``key``\\ s share one future (followers do not
+        count against the concurrency limit); a fresh heavy operation
+        beyond ``max_concurrent_queries`` is rejected with 429 and a
+        ``Retry-After`` hint instead of queueing.
+        """
+        existing = self._inflight.get(key)
+        tracer = current_tracer()
+        if existing is not None:
+            self.counters["coalesced"] += 1
+            self._batch_coalesced += 1
+            if tracer.enabled:
+                tracer.count("service.coalesced", 1)
+            return await asyncio.shield(existing)
+        if self._heavy >= self.max_concurrent_queries:
+            self.counters["rejected"] += 1
+            self._batch_rejected += 1
+            if tracer.enabled:
+                tracer.count("service.rejected", 1)
+            raise HTTPError(
+                429,
+                "server is at its concurrent heavy-query limit "
+                f"({self.max_concurrent_queries}); retry shortly",
+                headers={"Retry-After": "1"},
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self._heavy += 1
+        try:
+            result = await loop.run_in_executor(self._executor, work)
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                future.exception()  # consumed: followers re-raise their copy
+            raise
+        else:
+            if not future.done():
+                future.set_result(result)
+            return result
+        finally:
+            self._heavy -= 1
+            self._inflight.pop(key, None)
+
+    def _observe(self, kind: str, seconds: float) -> None:
+        """Record one served query's latency and maybe flush a ledger
+        batch."""
+        self._pending.append((kind, seconds))
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.observe(f"service.latency.{kind}", seconds)
+        if len(self._pending) >= self._ledger_flush_every:
+            self._flush_ledger()
+
+    def _flush_ledger(self, force: bool = False) -> None:
+        """Append one ``service`` record summarizing the pending batch."""
+        if self._ledger is None or not self._pending:
+            if force:
+                self._pending.clear()
+            return
+        latencies = sorted(seconds for _, seconds in self._pending)
+        kinds: dict[str, int] = {}
+        for kind, _ in self._pending:
+            kinds[kind] = kinds.get(kind, 0) + 1
+        from ..obs.ledger import build_record
+
+        record = build_record(
+            "service",
+            workload={
+                "service": "query-batch",
+                "graphs": self.registry.fingerprints(),
+            },
+            wall_seconds=float(sum(latencies)),
+            metrics={
+                "service.batch_queries": len(latencies),
+                "service.p50_ms": _percentile(latencies, 0.50) * 1e3,
+                "service.p95_ms": _percentile(latencies, 0.95) * 1e3,
+                "service.max_ms": latencies[-1] * 1e3,
+                "service.coalesced": self._batch_coalesced,
+                "service.rejected": self._batch_rejected,
+                **{f"service.kind.{k}": n for k, n in kinds.items()},
+            },
+        )
+        try:
+            self._ledger.append(record)
+        except OSError:  # pragma: no cover - ledger disk trouble
+            pass  # telemetry must never take the service down
+        self._pending.clear()
+        self._batch_coalesced = 0
+        self._batch_rejected = 0
+
+    # -- endpoint bodies ------------------------------------------------
+
+    def _parse_graph_body(self, request) -> tuple[CSRGraph, str | None]:
+        content_type = request.headers.get("content-type", "")
+        label: str | None = None
+        if "json" in content_type:
+            payload = request.json()
+            if not isinstance(payload, dict) or "edges" not in payload:
+                raise HTTPError(
+                    400, 'JSON graph body must be {"edges": [[u, v], ...]}'
+                )
+            label = payload.get("label")
+            try:
+                edges = np.asarray(
+                    payload["edges"], dtype=np.int64
+                ).reshape(-1, 2)
+            except (TypeError, ValueError) as exc:
+                raise HTTPError(
+                    400, f"malformed edges array: {exc}"
+                ) from None
+        else:
+            rows: list[tuple[int, int]] = []
+            for lineno, line in enumerate(
+                request.text().splitlines(), start=1
+            ):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                fields = line.split()
+                if len(fields) < 2:
+                    raise HTTPError(
+                        400, f"line {lineno}: malformed edge line {line!r}"
+                    )
+                try:
+                    rows.append((int(fields[0]), int(fields[1])))
+                except ValueError:
+                    raise HTTPError(
+                        400,
+                        f"line {lineno}: non-integer vertex id in {line!r}",
+                    ) from None
+            edges = np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+        if edges.size == 0:
+            raise HTTPError(400, "graph body contains no edges")
+        if edges.min() < 0:
+            raise HTTPError(400, "negative vertex id in edges")
+        return from_edge_array(edges), label
+
+    async def _submit(self, request) -> tuple[int, dict, dict[str, str]]:
+        graph, label = self._parse_graph_body(request)
+        loop = asyncio.get_running_loop()
+        fingerprint = await loop.run_in_executor(
+            self._executor, graph_fingerprint, graph
+        )
+        existing = self.registry.get(fingerprint)
+        if existing is not None:
+            return (
+                200,
+                {**existing.stats(), "already_loaded": True},
+                {},
+            )
+        t0 = time.perf_counter()
+
+        def build():
+            handle = self.session.open(graph, label=label)
+            handle._fingerprint = fingerprint  # precomputed above
+            handle.ensure_index()
+            return handle
+
+        handle = await self._run_heavy(("submit", fingerprint), build)
+        build_seconds = time.perf_counter() - t0
+        if fingerprint not in self.registry:
+            evicted = self.registry.put(fingerprint, handle)
+            for _, old in evicted:
+                self.session.discard(old)
+            self.counters["evictions"] += len(evicted)
+            self.counters["submissions"] += 1
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.count("service.submissions", 1)
+                tracer.count("service.evictions", len(evicted))
+        self._observe("submit", build_seconds)
+        return (
+            201,
+            {
+                **handle.stats(),
+                "index_build_seconds": build_seconds,
+                "already_loaded": False,
+            },
+            {},
+        )
+
+    def _unload(self, fingerprint: str) -> tuple[int, dict, dict[str, str]]:
+        handle = self.registry.pop(fingerprint)
+        if handle is None:
+            raise HTTPError(404, f"no graph {fingerprint!r} to unload")
+        self.session.discard(handle)
+        return 200, {"fingerprint": fingerprint, "unloaded": True}, {}
+
+    async def _cluster(
+        self, request, fingerprint: str
+    ) -> tuple[int, dict, dict[str, str]]:
+        handle = self._handle_for(fingerprint)
+        params = self._parse_params(request.query)
+        algorithm = request.query.get("algorithm")
+        if algorithm is not None and algorithm not in api.available_algorithms():
+            known = ", ".join(api.available_algorithms())
+            raise HTTPError(
+                400, f"unknown algorithm {algorithm!r}; known: {known}"
+            )
+        include_labels = request.query.get("include") == "labels"
+        self.counters["queries"] += 1
+        t0 = time.perf_counter()
+        result = None
+        warm = False
+        if algorithm is None:
+            result = handle.lookup(params)
+            warm = result is not None
+        if result is None:
+            frac = params.eps_fraction
+            key = (
+                "cluster",
+                fingerprint,
+                frac.numerator,
+                frac.denominator,
+                params.mu,
+                algorithm,
+            )
+            result = await self._run_heavy(
+                key,
+                lambda: handle.cluster(params, algorithm=algorithm),
+            )
+            self.counters["cold_queries"] += 1
+        else:
+            self.counters["warm_hits"] += 1
+        seconds = time.perf_counter() - t0
+        self._observe("cluster", seconds)
+        payload = {
+            "fingerprint": fingerprint,
+            "eps": float(params.eps),
+            "mu": int(params.mu),
+            "algorithm": algorithm or "gsindex",
+            "num_clusters": result.num_clusters,
+            "num_cores": result.num_cores,
+            "num_vertices": result.num_vertices,
+            "warm": warm,
+            "wall_seconds": seconds,
+        }
+        if include_labels:
+            payload["roles"] = result.roles.tolist()
+            payload["core_labels"] = result.core_labels.tolist()
+            payload["noncore_pairs"] = [
+                [int(a), int(b)] for a, b in result.noncore_pairs
+            ]
+        return 200, payload, {}
+
+    async def _vertex(
+        self, request, fingerprint: str, vertex: str
+    ) -> tuple[int, dict, dict[str, str]]:
+        handle = self._handle_for(fingerprint)
+        params = self._parse_params(request.query)
+        try:
+            v = int(vertex)
+        except ValueError:
+            raise HTTPError(400, f"malformed vertex id {vertex!r}") from None
+        if not 0 <= v < handle.graph.num_vertices:
+            raise HTTPError(
+                404,
+                f"vertex {v} out of range "
+                f"[0, {handle.graph.num_vertices})",
+            )
+        self.counters["queries"] += 1
+        self.counters["vertex_lookups"] += 1
+        t0 = time.perf_counter()
+        frac = params.eps_fraction
+        key = (
+            "vertex",
+            fingerprint,
+            frac.numerator,
+            frac.denominator,
+            params.mu,
+        )
+        # The classification pass (not the individual lookup) is the
+        # heavy part; coalesce per parameter point, then read the view.
+        view = await self._run_heavy(
+            key, lambda: handle.vertex(v, params)
+        )
+        if view.vertex != v:
+            # A coalesced follower shared the leader's classification
+            # warm-up; its own read is now a pure memo hit.
+            view = handle.vertex(v, params)
+        seconds = time.perf_counter() - t0
+        self._observe("vertex", seconds)
+        return (
+            200,
+            {
+                "fingerprint": fingerprint,
+                **view.as_dict(),
+                "wall_seconds": seconds,
+            },
+            {},
+        )
+
+    async def _sweep(
+        self, request, fingerprint: str
+    ) -> tuple[int, dict, dict[str, str]]:
+        handle = self._handle_for(fingerprint)
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HTTPError(400, 'sweep body must be {"eps": [...], "mu": [...]}')
+        try:
+            eps_values = [float(x) for x in payload["eps"]]
+            mu_values = [int(x) for x in payload["mu"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HTTPError(
+                400, f'malformed sweep grid ({exc}); expected '
+                '{"eps": [...], "mu": [...]}'
+            ) from None
+        if not eps_values or not mu_values:
+            raise HTTPError(400, "sweep grid must be non-empty")
+        algorithm = payload.get("algorithm", "ppscan")
+        if algorithm not in api.available_algorithms():
+            known = ", ".join(api.available_algorithms())
+            raise HTTPError(
+                400, f"unknown algorithm {algorithm!r}; known: {known}"
+            )
+        self.counters["queries"] += 1
+        self.counters["sweeps"] += 1
+        t0 = time.perf_counter()
+        key = (
+            "sweep",
+            fingerprint,
+            tuple(sorted(eps_values)),
+            tuple(sorted(mu_values)),
+            algorithm,
+        )
+        outcome = await self._run_heavy(
+            key,
+            lambda: handle.sweep(eps_values, mu_values, algorithm=algorithm),
+        )
+        seconds = time.perf_counter() - t0
+        self._observe("sweep", seconds)
+        return (
+            200,
+            {
+                "fingerprint": fingerprint,
+                "algorithm": algorithm,
+                "wall_seconds": seconds,
+                "reuse_fraction": outcome.stats.reuse_fraction,
+                "points": [
+                    {
+                        "eps": p.eps,
+                        "mu": p.mu,
+                        "num_clusters": p.result.num_clusters,
+                        "num_cores": p.result.num_cores,
+                        "reuse_fraction": p.reuse_fraction,
+                        "wall_seconds": p.wall_seconds,
+                    }
+                    for p in outcome.points
+                ],
+            },
+            {},
+        )
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload: counters, registry and store state."""
+        queries = self.counters["queries"]
+        warm = self.counters["warm_hits"]
+        store = self.session.store
+        out = {
+            "counters": dict(self.counters),
+            "inflight": len(self._inflight),
+            "heavy_running": self._heavy,
+            "max_concurrent_queries": self.max_concurrent_queries,
+            "warm_hit_rate": warm / queries if queries else 0.0,
+            "coalescing_hits": self.counters["coalesced"],
+            "registry": self.registry.stats(),
+            "uptime_seconds": time.time() - self._started,
+        }
+        if store is not None:
+            cache = store.stats()
+            out["store"] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "reuse_fraction": cache.reuse_fraction,
+            }
+        return out

@@ -349,3 +349,173 @@ class TestSpillDurability:
         warm = SimilarityStore(cache_dir=tmp_path)
         assert warm.entry_for(graph).covered > 0
         assert warm.rejects == 0
+
+
+def _ground_truth_overlaps(graph):
+    """Exact closed overlap |N[u] ∩ N[v]| for every arc."""
+    src = graph.arc_source()
+    adj = [graph.neighbors(u) for u in range(graph.num_vertices)]
+    truth = np.empty(graph.num_arcs, dtype=np.int64)
+    for arc in range(graph.num_arcs):
+        u, v = int(src[arc]), int(graph.dst[arc])
+        truth[arc] = merge_count(adj[u], adj[v]) + 2
+    return truth
+
+
+class TestConcurrentReaders:
+    """Two threads resolving *overlapping* arc sets against one store.
+
+    The service runs heavy queries on an executor, so the same
+    :class:`StoreEntry` is written from multiple threads at once.  The
+    invariants: every committed overlap is the exact ground truth
+    (idempotent double-commits, never a torn mix), the coverage bitmap
+    stays mirror-consistent (arc covered ⇔ reverse arc covered), and a
+    spill taken mid-write snapshots a coherent entry.
+    """
+
+    ROUNDS = 4
+
+    def _record_range(self, entry, truth, arcs, barrier):
+        barrier.wait()
+        # Interleave the batch and scalar write paths in small chunks so
+        # the two threads genuinely overlap inside the entry.
+        for start in range(0, len(arcs), 16):
+            chunk = arcs[start : start + 16]
+            entry.record(chunk, truth[chunk])
+            for arc in chunk[:2]:
+                entry.record_one(int(arc), int(truth[arc]))
+
+    def test_two_threads_overlapping_arc_sets(self):
+        import threading
+
+        graph = small_graph()
+        truth = _ground_truth_overlaps(graph)
+        entry = StoreEntry(graph, graph_fingerprint(graph))
+        arcs = np.arange(graph.num_arcs, dtype=np.int64)
+        # Deliberately overlapping thirds: the middle third is committed
+        # by both threads (the double-commit case).
+        split_a = arcs[: 2 * graph.num_arcs // 3]
+        split_b = arcs[graph.num_arcs // 3 :]
+
+        for _ in range(self.ROUNDS):
+            barrier = threading.Barrier(2)
+            threads = [
+                threading.Thread(
+                    target=self._record_range,
+                    args=(entry, truth, part, barrier),
+                )
+                for part in (split_a, split_b)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert entry.covered == graph.num_arcs
+        assert np.array_equal(entry.overlap, truth)
+        rev = entry._reverse()
+        assert np.array_equal(entry.coverage, entry.coverage[rev])
+        assert np.array_equal(entry.overlap, entry.overlap[rev])
+
+    def test_concurrent_entry_for_is_single_entry(self):
+        import threading
+
+        graph = small_graph()
+        store = SimilarityStore()
+        barrier = threading.Barrier(8)
+        seen = []
+        lock = threading.Lock()
+
+        def grab():
+            barrier.wait()
+            entry = store.entry_for(graph)
+            with lock:
+                seen.append(entry)
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 8
+        assert all(e is seen[0] for e in seen)
+
+    def test_concurrent_resolution_stays_exact(self):
+        """Two engine contexts racing over every arc: decisions match
+        the plain kernel and the store ends up exactly ground truth."""
+        import threading
+
+        graph = small_graph()
+        truth = _ground_truth_overlaps(graph)
+        store = SimilarityStore()
+        src = graph.arc_source()
+        adj = [graph.neighbors(u) for u in range(graph.num_vertices)]
+
+        plain = RunContext(graph, PARAMS, kernel="merge")
+        reference = [
+            SIM if plain.compsim_arc(int(src[arc]), arc) else NSIM
+            for arc in range(graph.num_arcs)
+        ]
+
+        barrier = threading.Barrier(2)
+        failures = []
+
+        def resolve_all(order):
+            ctx = RunContext(graph, PARAMS, kernel="merge", store=store)
+            barrier.wait()
+            for arc in order:
+                u, v = int(src[arc]), int(graph.dst[arc])
+                got = ctx.engine.resolve_arc_cached(
+                    arc, adj[u], adj[v], ctx.mcn[arc]
+                )
+                if got != reference[arc]:
+                    failures.append((arc, got))
+
+        forward = range(graph.num_arcs)
+        backward = range(graph.num_arcs - 1, -1, -1)
+        threads = [
+            threading.Thread(target=resolve_all, args=(order,))
+            for order in (forward, backward)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not failures
+        entry = store.entry_for(graph)
+        assert entry.covered == graph.num_arcs
+        assert np.array_equal(entry.overlap, truth)
+
+    def test_spill_during_writes_snapshots_consistently(self, tmp_path):
+        import threading
+
+        graph = small_graph()
+        truth = _ground_truth_overlaps(graph)
+        store = SimilarityStore(cache_dir=tmp_path)
+        entry = store.entry_for(graph)
+        arcs = np.arange(graph.num_arcs, dtype=np.int64)
+        barrier = threading.Barrier(2)
+
+        def writer():
+            barrier.wait()
+            for start in range(0, len(arcs), 8):
+                chunk = arcs[start : start + 8]
+                entry.record(chunk, truth[chunk])
+
+        t = threading.Thread(target=writer)
+        t.start()
+        barrier.wait()
+        while t.is_alive():
+            store.spill()
+        t.join()
+        store.spill()  # final spill captures the complete entry
+
+        reloaded = SimilarityStore(cache_dir=tmp_path).entry_for(graph)
+        covered = np.flatnonzero(reloaded.coverage)
+        # Whatever made it to disk is exact and mirror-consistent.
+        assert np.array_equal(reloaded.overlap[covered], truth[covered])
+        rev = reloaded._reverse()
+        assert np.array_equal(reloaded.coverage, reloaded.coverage[rev])
+        # The final spill happened after the writer finished.
+        assert reloaded.covered == graph.num_arcs

@@ -286,6 +286,80 @@ class TestValidateCommand:
         assert "cannot read" in capsys.readouterr().err
 
 
+class TestFingerprintAndStdin:
+    """Every subcommand names the graph fingerprint; stats/validate
+    read edge lists from stdin via ``-``."""
+
+    def _fingerprint_of(self, graph_file):
+        from repro.cache import graph_fingerprint
+        from repro.graph import load_graph
+
+        return graph_fingerprint(load_graph(graph_file))
+
+    def _stdin(self, monkeypatch, graph_file):
+        import io
+        import sys
+
+        monkeypatch.setattr(
+            sys, "stdin", io.StringIO(open(graph_file).read())
+        )
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["cluster", "{g}", "--eps", "0.4", "--mu", "2"],
+            ["stats", "{g}"],
+            ["validate", "{g}"],
+            ["compare", "{g}", "--eps", "0.4", "--mu", "2"],
+            ["sweep", "{g}", "--eps", "0.5", "--mu", "2"],
+            ["profile", "{g}", "--eps", "0.4", "--mu", "2"],
+        ],
+    )
+    def test_subcommands_report_fingerprint(
+        self, graph_file, capsys, argv
+    ):
+        fingerprint = self._fingerprint_of(graph_file)
+        argv = [a.format(g=graph_file) for a in argv]
+        assert main(argv) == 0
+        assert f"fingerprint: {fingerprint}" in capsys.readouterr().out
+
+    def test_generate_reports_fingerprint(self, tmp_path, capsys):
+        out_path = str(tmp_path / "g.txt")
+        assert main(["generate", "orkut", out_path, "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert f"fingerprint: {self._fingerprint_of(out_path)}" in out
+
+    def test_stats_reads_stdin(self, graph_file, capsys, monkeypatch):
+        self._stdin(monkeypatch, graph_file)
+        assert main(["stats", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "|V| = 40" in out
+        # Same bytes, same fingerprint as the file-based path.
+        assert f"fingerprint: {self._fingerprint_of(graph_file)}" in out
+
+    def test_validate_reads_stdin(self, graph_file, capsys, monkeypatch):
+        self._stdin(monkeypatch, graph_file)
+        assert main(["validate", "-"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_rejects_bad_stdin(self, capsys, monkeypatch):
+        import io
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO("0 1\n1 -2\n"))
+        assert main(["validate", "-"]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_serve_parser_registered(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", "--help"])
+        assert exit_info.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--port", "--graph", "--max-graphs",
+                     "--max-concurrent-queries", "--memory-budget-mb"):
+            assert flag in out
+
+
 class TestCheckpointFlags:
     def test_cluster_writes_checkpoints(self, graph_file, tmp_path, capsys):
         ck = tmp_path / "ck"

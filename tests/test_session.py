@@ -1,0 +1,200 @@
+"""The session-handle API: bind a graph once, query it many times.
+
+Covers :class:`repro.api.Session` / :class:`repro.api.GraphHandle`:
+index-backed queries bit-identical to the one-shot facade, per-point
+memoization (with hit/miss accounting and the never-computing
+:meth:`lookup` peek), vertex views, sweeps through the handle, the
+store plumbing between session and handle, and handle statistics the
+service registry budgets with.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.cache import SimilarityStore, graph_fingerprint
+from repro.core import assert_same_clustering
+from repro.graph.generators import erdos_renyi, planted_partition
+from repro.options import ExecutionOptions
+from repro.types import ScanParams
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition(6, 30, 0.7, 0.05, seed=5)[0]
+
+
+@pytest.fixture
+def handle(graph):
+    return api.open(graph)
+
+
+PARAMS = ScanParams(0.5, 3)
+
+
+class TestGraphHandle:
+    def test_open_returns_handle(self, graph):
+        handle = api.open(graph)
+        assert isinstance(handle, api.GraphHandle)
+        assert handle.graph is graph
+        assert handle.fingerprint == graph_fingerprint(graph)
+
+    def test_cluster_bit_identical_to_facade(self, graph, handle):
+        direct = api.cluster(graph, PARAMS)
+        via_handle = handle.cluster(PARAMS)
+        assert_same_clustering(direct, via_handle)
+
+    def test_cluster_accepts_eps_mu_pair(self, graph, handle):
+        assert_same_clustering(
+            handle.cluster(0.5, 3), api.cluster(graph, PARAMS)
+        )
+
+    def test_repeat_query_is_memoized(self, handle):
+        first = handle.cluster(PARAMS)
+        second = handle.cluster(PARAMS)
+        assert second is first
+        assert handle.query_hits == 1
+        assert handle.query_misses == 1
+
+    def test_lookup_never_computes(self, graph):
+        handle = api.open(graph)
+        assert handle.lookup(PARAMS) is None
+        result = handle.cluster(PARAMS)
+        assert handle.lookup(PARAMS) is result
+
+    def test_distinct_points_are_distinct_queries(self, handle):
+        handle.cluster(0.4, 2)
+        handle.cluster(0.6, 2)
+        assert handle.query_misses == 2
+        assert handle.query_hits == 0
+
+    def test_explicit_algorithm_bypasses_index(self, graph, handle):
+        via_algo = handle.cluster(PARAMS, algorithm="pscan")
+        assert_same_clustering(via_algo, api.cluster(graph, PARAMS))
+        # algorithm-path results are not the index memo
+        assert handle.query_misses == 0
+
+    def test_index_grid_matches_facade(self, graph, handle):
+        for eps in (0.3, 0.5, 0.7):
+            for mu in (2, 4):
+                assert_same_clustering(
+                    handle.cluster(eps, mu),
+                    api.cluster(graph, ScanParams(eps, mu)),
+                )
+
+    def test_vertex_view(self, graph, handle):
+        result = handle.cluster(PARAMS)
+        membership = result.membership()
+        for v in range(0, graph.num_vertices, 7):
+            view = handle.vertex(v, PARAMS)
+            assert view.vertex == v
+            assert view.role in {"core", "noncore", "hub", "outlier"}
+            assert view.clusters == tuple(sorted(membership[v]))
+            as_dict = view.as_dict()
+            assert as_dict["vertex"] == v
+            assert as_dict["role"] == view.role
+
+    def test_vertex_range_validated(self, graph, handle):
+        with pytest.raises(ValueError, match="out of range"):
+            handle.vertex(graph.num_vertices, PARAMS)
+        with pytest.raises(ValueError, match="out of range"):
+            handle.vertex(-1, PARAMS)
+
+    def test_sweep_through_handle(self, graph, handle):
+        outcome = handle.sweep([0.4, 0.6], [2, 3])
+        assert len(outcome.points) == 4
+        for point in outcome.points:
+            assert_same_clustering(
+                point.result,
+                api.cluster(graph, ScanParams(point.eps, point.mu)),
+            )
+
+    def test_stats_shape(self, handle):
+        handle.cluster(PARAMS)
+        stats = handle.stats()
+        assert stats["fingerprint"] == handle.fingerprint
+        assert stats["indexed"] is True
+        assert stats["points_cached"] == 1
+        assert stats["num_vertices"] == handle.graph.num_vertices
+        assert stats["memory_bytes"] > 0
+
+    def test_memory_grows_with_index(self, graph):
+        handle = api.open(graph)
+        cold = handle.memory_bytes()
+        handle.ensure_index()
+        assert handle.memory_bytes() > cold
+
+    def test_close_releases_memos(self, handle):
+        handle.cluster(PARAMS)
+        handle.close()
+        assert handle.lookup(PARAMS) is None
+        assert not handle.indexed
+
+
+class TestSession:
+    def test_open_is_memoized_per_graph(self, graph):
+        session = api.Session()
+        assert session.open(graph) is session.open(graph)
+
+    def test_handles_and_discard(self, graph):
+        session = api.Session()
+        handle = session.open(graph)
+        assert session.handles() == [handle]
+        session.discard(handle)
+        assert session.handles() == []
+        assert session.open(graph) is not handle
+
+    def test_context_manager_closes(self, graph):
+        with api.Session() as session:
+            handle = session.open(graph)
+            handle.cluster(PARAMS)
+        assert session.handles() == []
+
+    def test_shared_store_warms_across_handles(self, tmp_path):
+        g = erdos_renyi(60, 240, seed=3)
+        store = SimilarityStore(cache_dir=tmp_path)
+        with api.Session(store=store) as session:
+            session.open(g).cluster(PARAMS)
+        assert store.stats().misses > 0
+        spilled = list(tmp_path.glob("simstore-*.npz"))
+        assert spilled, "session close must spill the shared store"
+
+    def test_cache_dir_builds_store(self, tmp_path, graph):
+        session = api.Session(cache_dir=tmp_path)
+        assert session.store is not None
+        assert session.store.cache_dir == tmp_path
+
+    def test_no_store_by_default(self, graph):
+        # The historic facade behavior: an unconfigured one-shot call
+        # runs uncached, so Session must not invent a store.
+        assert api.Session().store is None
+
+    def test_options_cache_adopted(self, graph):
+        store = SimilarityStore()
+        session = api.Session(options=ExecutionOptions(cache=store))
+        assert session.store is store
+
+
+class TestFacadeIsThinWrapper:
+    """The module-level entry points are one-shot sessions now."""
+
+    def test_cluster_unchanged(self, graph):
+        a = api.cluster(graph, PARAMS)
+        b = api.cluster(graph, PARAMS, algorithm="scan")
+        assert_same_clustering(a, b)
+
+    def test_typed_path_emits_no_warning(self, graph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            api.cluster(graph, PARAMS, options=ExecutionOptions())
+
+    def test_compare_still_agrees(self, graph):
+        outcome = api.compare(graph, PARAMS, algorithms=["scan", "ppscan"])
+        assert set(outcome.results) == {"scan", "ppscan"}
+
+    def test_sweep_still_works(self, graph):
+        outcome = api.sweep(graph, [0.4, 0.6], [2])
+        assert len(outcome.points) == 2
