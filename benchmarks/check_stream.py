@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""CI gate for streaming batched incremental index maintenance.
+
+Two legs, both required:
+
+1. **Differential corpus** — replay the fixed-seed edit-script corpus
+   (:func:`repro.streaming.build_corpus`: ER / LFR / powerlaw fixtures
+   × insert / delete / mixed scripts) through the
+   :class:`~repro.streaming.StreamingEngine` with a live
+   ``SimilarityStore`` attached.  Every batch checkpoint of every case
+   must be bit-identical — roles, core labels, non-core pairs at every
+   (ε, µ) point, plus snapshot fingerprints — to a from-scratch
+   ``GSIndex`` rebuild.  A corpus manifest (case descriptions, seeds,
+   per-case replay stats) is written to
+   ``bench_results/stream_corpus.json`` for upload as a CI artifact.
+2. **Update throughput** — the smoke workload of
+   ``benchmarks/bench_stream_updates.py`` must show incremental batch
+   apply at least 5x faster than full recompute, refreshing
+   ``bench_results/stream_updates.json``.
+
+With ``--ledger PATH`` a ``stream_gate`` record (corpus size, verified
+checkpoints, smoke speedup) is appended to the run ledger.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_stream.py
+    PYTHONPATH=src python benchmarks/check_stream.py \
+        --ledger bench_results/ledger.jsonl
+
+Exit codes: 0 pass, 1 divergence or throughput regression, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import bench_stream_updates  # noqa: E402 - path setup first
+from repro.cache import SimilarityStore  # noqa: E402
+from repro.obs.ledger import RunLedger, build_record  # noqa: E402
+from repro.streaming import (  # noqa: E402
+    DifferentialMismatch,
+    build_corpus,
+    replay_differential,
+)
+
+RESULTS = REPO_ROOT / "bench_results"
+MANIFEST = RESULTS / "stream_corpus.json"
+
+CORPUS_SEED = 2026
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="corpus size multiplier"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=CORPUS_SEED, help="corpus seed"
+    )
+    parser.add_argument("--batches", type=int, default=6)
+    parser.add_argument("--batch-size", type=int, default=12)
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="append a stream_gate record to this run ledger",
+    )
+    parser.add_argument(
+        "--skip-throughput",
+        action="store_true",
+        help="corpus leg only (e.g. when timings are unreliable)",
+    )
+    args = parser.parse_args(argv)
+    if args.batches < 1 or args.batch_size < 1:
+        print("--batches/--batch-size must be positive", file=sys.stderr)
+        return 2
+
+    t_gate = time.perf_counter()
+    corpus = build_corpus(
+        scale=args.scale,
+        seed=args.seed,
+        batches=args.batches,
+        batch_size=args.batch_size,
+    )
+    manifest: dict = {
+        "seed": args.seed,
+        "scale": args.scale,
+        "cases": [],
+    }
+    checkpoints = 0
+    ops_applied = 0
+    failures: list[str] = []
+    for case in corpus:
+        label = f"{case.fixture}/{case.kind}"
+        entry = case.describe()
+        try:
+            report = replay_differential(
+                case.graph,
+                case.script,
+                store=SimilarityStore(),
+                fixture=case.fixture,
+                kind=case.kind,
+            )
+        except DifferentialMismatch as exc:
+            entry["verified"] = False
+            entry["mismatch"] = str(exc)
+            failures.append(f"{label}: {exc}")
+            print(f"{label}: DIVERGED — {exc}")
+        else:
+            entry["verified"] = True
+            entry["replay"] = report.as_dict()
+            checkpoints += report.batches * report.points
+            ops_applied += report.ops_applied
+            print(
+                f"{label}: {report.batches} checkpoints bit-identical "
+                f"({report.ops_applied} edits, "
+                f"{report.arcs_repaired} arcs repaired, "
+                f"speedup {report.speedup:.2f}x)"
+            )
+        manifest["cases"].append(entry)
+    manifest["verified_checkpoints"] = checkpoints
+    manifest["ops_applied"] = ops_applied
+    manifest["passed"] = not failures
+    RESULTS.mkdir(exist_ok=True)
+    MANIFEST.write_text(
+        json.dumps(manifest, indent=1, sort_keys=True) + "\n"
+    )
+    print(
+        f"corpus: {len(corpus)} cases, {checkpoints} verified "
+        f"(ε, µ)-checkpoints; manifest at {MANIFEST}"
+    )
+
+    smoke_speedup = None
+    if failures:
+        # Bit-identity is the contract; do not bother timing a broken
+        # engine.
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+    elif not args.skip_throughput:
+        print("--- throughput leg (bench_stream_updates --smoke) ---")
+        if bench_stream_updates.main(["--smoke"]) != 0:
+            failures.append(
+                "update throughput below the "
+                f"{bench_stream_updates.SPEEDUP_FLOOR}x floor"
+            )
+        else:
+            results = json.loads(bench_stream_updates.OUT_JSON.read_text())
+            smoke_speedup = results["smoke"]["speedup"]
+
+    if args.ledger:
+        ledger = RunLedger(Path(args.ledger))
+        record = build_record(
+            "stream_gate",
+            workload={
+                "corpus_cases": len(corpus),
+                "seed": args.seed,
+                "scale": args.scale,
+            },
+            algorithm="StreamingEngine vs GSIndex rebuild",
+            wall_seconds=time.perf_counter() - t_gate,
+            metrics={
+                "stream.checkpoints_verified": checkpoints,
+                "stream.ops_applied": ops_applied,
+                "stream.mismatches": len(failures),
+            },
+            extra={
+                "passed": not failures,
+                "smoke_speedup": smoke_speedup,
+            },
+        )
+        sealed = ledger.append(record)
+        print(f"ledger: appended stream_gate record seq={sealed['seq']}")
+
+    if failures:
+        return 1
+    print("stream gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

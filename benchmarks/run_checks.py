@@ -74,6 +74,11 @@ CHECKS: dict[str, tuple[str, list[str], str]] = {
         [],
         "clustering service: coalescing, errors, ledger, clean shutdown",
     ),
+    "stream": (
+        "check_stream",
+        [],
+        "streaming updates: differential corpus bit-identity + throughput",
+    ),
 }
 
 

@@ -349,10 +349,12 @@ class GraphHandle:
         self.label = label
         self._fingerprint: str | None = None
         self._index: GSIndex | None = None
+        self._stream = None  # StreamingEngine, created by apply_updates
         self._results: dict[tuple, ClusteringResult] = {}
         self._vertex_views: dict[tuple, tuple] = {}
         self.query_hits = 0
         self.query_misses = 0
+        self.batches_applied = 0
 
     # -- identity -------------------------------------------------------
 
@@ -431,14 +433,59 @@ class GraphHandle:
             self.query_hits += 1
             return result
         self.query_misses += 1
-        index = self.ensure_index()
         tracer = current_tracer()
+        if self._stream is not None:
+            # A mutated handle serves from its streaming engine: the
+            # engine materializes the point once and repairs it in place
+            # across batches (bit-identical to a from-scratch index).
+            with tracer.span(
+                "session:query", eps=float(params.eps), mu=int(params.mu)
+            ):
+                result = self._stream.query(params)
+            self._results[key] = result
+            return result
+        index = self.ensure_index()
         with tracer.span(
             "session:query", eps=float(params.eps), mu=int(params.mu)
         ):
             result = index.query(params)
         self._results[key] = result
         return result
+
+    # -- streaming updates ----------------------------------------------
+
+    def apply_updates(self, edits):
+        """Apply one batch of edge edits and re-stamp the handle.
+
+        ``edits`` is anything :meth:`repro.streaming.EditBatch.coerce`
+        accepts — an :class:`~repro.streaming.EditBatch`, an iterable of
+        ``('+'/'-', u, v)`` triples, or an ``{"insert": [[u, v], ...],
+        "remove": [[u, v], ...]}`` mapping.  The handle's graph is
+        replaced by the post-batch snapshot, its fingerprint re-stamped,
+        and every previously queried (ε, µ) point is repaired in place
+        (scoped re-cluster) so warm queries keep serving between
+        batches.  Returns the :class:`~repro.streaming.BatchReport`.
+        """
+        from .streaming import StreamingEngine
+
+        if self._stream is None:
+            self._stream = StreamingEngine(
+                self.graph, store=self.store, label=self.label
+            )
+            # Points already memoized from the static index stay valid
+            # (the graph has not changed yet); materialize them in the
+            # engine so the first batch repairs them instead of dropping
+            # them cold.
+            for result in list(self._results.values()):
+                self._stream.query(result.params)
+        report = self._stream.apply(edits)
+        self.graph = self._stream.snapshot
+        self._fingerprint = report.fingerprint
+        self._index = None
+        self._results = dict(self._stream.materialized())
+        self._vertex_views.clear()
+        self.batches_applied += 1
+        return report
 
     def lookup(self, eps, mu=None) -> ClusteringResult | None:
         """The memoized index-served result for this point, or ``None``.
@@ -545,12 +592,15 @@ class GraphHandle:
             "points_cached": len(self._results),
             "query_hits": self.query_hits,
             "query_misses": self.query_misses,
+            "streaming": self._stream is not None,
+            "batches_applied": self.batches_applied,
         }
 
     def close(self) -> None:
-        """Drop the index and memoized queries (the store is shared and
-        stays with the session)."""
+        """Drop the index, streaming engine and memoized queries (the
+        store is shared and stays with the session)."""
         self._index = None
+        self._stream = None
         self._results.clear()
         self._vertex_views.clear()
 
@@ -611,8 +661,16 @@ class Session:
         return list(self._handles.values())
 
     def discard(self, handle: GraphHandle) -> None:
-        """Release ``handle`` (drops its index and memoized queries)."""
-        self._handles.pop(id(handle.graph), None)
+        """Release ``handle`` (drops its index and memoized queries).
+
+        Looked up by identity, not by ``id(handle.graph)`` — a streamed
+        handle's graph object is replaced on every
+        :meth:`GraphHandle.apply_updates` batch, so the open-time key
+        may no longer match.
+        """
+        for key, open_handle in list(self._handles.items()):
+            if open_handle is handle:
+                del self._handles[key]
         handle.close()
 
     def close(self) -> None:

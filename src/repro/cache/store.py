@@ -262,6 +262,26 @@ class SimilarityStore:
     def entries(self) -> list[StoreEntry]:
         return list(self._entries.values())
 
+    def peek(self, fingerprint: str) -> StoreEntry | None:
+        """The in-memory entry for ``fingerprint``, or ``None``.
+
+        Never creates or disk-loads anything — the streaming engine uses
+        it to read a superseded graph version's coverage while migrating
+        overlaps forward across a batch of edits.
+        """
+        return self._entries.get(fingerprint)
+
+    def discard(self, fingerprint: str) -> bool:
+        """Drop the in-memory entry for ``fingerprint`` (if any).
+
+        The disk layer is left untouched: a spilled entry for an old
+        graph version stays loadable should that exact graph come back.
+        Streaming workloads call this after migrating an entry forward
+        so a long edit script cannot accumulate one entry per batch.
+        """
+        with self._lock:
+            return self._entries.pop(fingerprint, None) is not None
+
     # -- sketch memoization ---------------------------------------------
     #
     # Per-vertex sketches (see repro.sketch) depend only on the CSR and

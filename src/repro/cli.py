@@ -10,6 +10,9 @@ compare
     clustering, and print a work/time comparison table.
 sweep
     Cluster over an (eps, mu) grid and print/export one row per cell.
+stream
+    Apply an edit-script file in batches, serving warm (eps, mu)
+    queries between batches (see docs/streaming.md).
 stats
     Print Table-1-style statistics for a graph file.
 generate
@@ -561,6 +564,39 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_trace_args(p_sweep)
     _add_obs_args(p_sweep)
 
+    p_stream = sub.add_parser(
+        "stream",
+        help="apply an edit script in batches, serving warm (eps, mu) "
+        "queries between batches",
+    )
+    p_stream.add_argument("graph", help="edge-list (.txt) or CSR (.bin) file")
+    p_stream.add_argument(
+        "script",
+        help="edit-script file ('+ u v' / '- u v' lines grouped by "
+        "'batch' lines; see docs/streaming.md)",
+    )
+    p_stream.add_argument(
+        "--eps",
+        default="0.5",
+        help="comma-separated eps values to keep materialized",
+    )
+    p_stream.add_argument(
+        "--mu", default="2", help="comma-separated mu values"
+    )
+    p_stream.add_argument(
+        "--verify",
+        action="store_true",
+        help="after every batch, rebuild a from-scratch GS*-Index and "
+        "assert the streamed clustering is bit-identical (slow; the "
+        "differential harness the tests and CI gate run)",
+    )
+    p_stream.add_argument(
+        "--csv", default=None, help="also write one row per batch as CSV"
+    )
+    _add_cache_args(p_stream)
+    _add_trace_args(p_stream)
+    _add_obs_args(p_stream)
+
     p_stats = sub.add_parser("stats", help="print graph statistics")
     p_stats.add_argument("graph")
 
@@ -999,6 +1035,153 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .core import assert_same_clustering
+    from .core.gsindex import GSIndex
+    from .streaming import EditScript, StreamingEngine
+
+    graph = load_graph(args.graph)
+    _print_fingerprint(graph)
+    script = EditScript.load(args.script)
+    try:
+        eps_values = [float(x) for x in args.eps.split(",") if x.strip()]
+        mu_values = [int(x) for x in args.mu.split(",") if x.strip()]
+    except ValueError as exc:
+        print(f"error: malformed --eps/--mu: {exc}", file=sys.stderr)
+        return 2
+    points = [
+        ScanParams(eps, mu) for eps in eps_values for mu in mu_values
+    ]
+    if not points:
+        print("error: empty (eps, mu) point set", file=sys.stderr)
+        return 2
+    store = _cache_store(args)
+    obs = _ObsSession(args)
+    tracer = obs.tracer
+    header = [
+        "batch",
+        "+",
+        "-",
+        "skip",
+        "arcs",
+        "reclustered",
+        "edges",
+        "ms",
+    ]
+    rows: list[list[str]] = []
+    ledger = None
+    if obs.ledger_path:
+        from .obs.ledger import RunLedger
+
+        ledger = RunLedger(obs.ledger_path)
+    t0 = _time.perf_counter()
+    with obs.activate():
+        engine = StreamingEngine(graph, store=store, label=args.graph)
+        for params in points:
+            engine.query(params)
+        for batch in script:
+            report = engine.apply(batch)
+            if args.verify:
+                reference = GSIndex(engine.snapshot)
+                for params in points:
+                    assert_same_clustering(
+                        reference.query(params), engine.query(params)
+                    )
+            rows.append(
+                [
+                    f"{report.batch}",
+                    f"{report.inserted}",
+                    f"{report.removed}",
+                    f"{report.skipped}",
+                    f"{report.arcs_repaired}",
+                    f"{report.vertices_reclustered}",
+                    f"{report.num_edges}",
+                    f"{report.wall_seconds * 1e3:.2f}",
+                ]
+            )
+            if ledger is not None:
+                from .obs.ledger import build_record
+
+                ledger.append(
+                    build_record(
+                        "stream",
+                        workload={
+                            "graph": args.graph,
+                            "fingerprint": report.fingerprint,
+                            "num_vertices": report.num_vertices,
+                            "num_edges": report.num_edges,
+                        },
+                        algorithm="StreamingEngine",
+                        wall_seconds=report.wall_seconds,
+                        metrics={
+                            "stream.batch": report.batch,
+                            "stream.edits_applied": report.effective,
+                            "stream.edits_skipped": report.skipped,
+                            "stream.arcs_repaired": report.arcs_repaired,
+                            "stream.reclustered": (
+                                report.vertices_reclustered
+                            ),
+                            "stream.overlaps_carried": (
+                                report.overlaps_carried
+                            ),
+                        },
+                        extra={"points": len(points)},
+                    )
+                )
+    wall = _time.perf_counter() - t0
+    from .bench.reporting import format_table
+
+    print(
+        format_table(
+            f"streamed {len(script)} batches onto {args.graph}",
+            header,
+            rows,
+        )
+    )
+    summary = engine.stats()
+    throughput = (
+        summary["edits_applied"] / wall if wall > 0 else float("inf")
+    )
+    print(
+        f"applied {summary['edits_applied']} edits "
+        f"({summary['edits_skipped']} skipped) in {wall:.3f}s "
+        f"({throughput:,.0f} edits/s); repaired "
+        f"{summary['arcs_repaired']} arcs, reclustered "
+        f"{summary['vertices_reclustered']} vertex-points across "
+        f"{summary['points_materialized']} warm point(s)"
+    )
+    print(f"final fingerprint: {engine.fingerprint}")
+    if args.verify:
+        print(
+            f"verify: all {len(script)} checkpoints bit-identical to "
+            "from-scratch rebuilds"
+        )
+    for params in points:
+        result = engine.query(params)
+        print(
+            f"  eps={float(params.eps):g} mu={params.mu}: "
+            f"{result.num_clusters} clusters, {result.num_cores} cores"
+        )
+    _report_cache(store)
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(",".join(header) + "\n")
+            for row in rows:
+                fh.write(",".join(row) + "\n")
+        print(f"wrote {args.csv}")
+    obs.print_profile()
+    if args.trace:
+        _export_trace(args, tracer, title=f"stream on {args.graph}")
+    if ledger is not None:
+        print(
+            f"ledger: appended {len(rows)} stream record(s) to "
+            f"{obs.ledger_path}"
+        )
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     _print_fingerprint(graph)
@@ -1373,6 +1556,7 @@ def main(argv: list[str] | None = None) -> int:
         "cluster": _cmd_cluster,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
+        "stream": _cmd_stream,
         "stats": _cmd_stats,
         "validate": _cmd_validate,
         "generate": _cmd_generate,

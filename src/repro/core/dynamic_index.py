@@ -19,6 +19,7 @@ so boundary queries agree with every other implementation.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,7 +29,7 @@ from ..types import CORE, NONCORE, ScanParams
 from ..unionfind import UnionFind
 from .result import ClusteringResult
 
-__all__ = ["DynamicGSIndex"]
+__all__ = ["BatchMaintenance", "DynamicGSIndex"]
 
 
 def _overlap_closed(adj_u: list[int], adj_v: list[int]) -> int:
@@ -53,6 +54,31 @@ def _contains(sorted_list: list[int], x: int) -> bool:
 
     i = bisect_left(sorted_list, x)
     return i < len(sorted_list) and sorted_list[i] == x
+
+
+@dataclass(frozen=True)
+class BatchMaintenance:
+    """What one :meth:`DynamicGSIndex.apply_batch` call actually did.
+
+    ``frontier`` is the affected-arc frontier — every undirected pair
+    ``(u, v)`` with ``u < v`` whose closed-neighborhood overlap was
+    recomputed because an endpoint's adjacency changed; ``touched`` is
+    the set of vertices whose adjacency itself changed (endpoints of
+    effective edits); ``dirty`` additionally includes their
+    post-batch neighbors (the vertices whose neighbor orders must be
+    refreshed, since their similarity keys involve changed degrees).
+    """
+
+    inserted: int
+    removed: int
+    skipped: int
+    touched: tuple[int, ...]
+    frontier: tuple[tuple[int, int], ...]
+    dirty: tuple[int, ...] = field(default=())
+
+    @property
+    def effective(self) -> int:
+        return self.inserted + self.removed
 
 
 class DynamicGSIndex:
@@ -113,7 +139,14 @@ class DynamicGSIndex:
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
-        """Remove ``{u, v}`` and repair the index locally."""
+        """Remove ``{u, v}`` and repair the index locally.
+
+        Validates ``(u, v)`` first so invalid endpoints raise exactly as
+        :meth:`insert_edge` does (``IndexError`` out of range,
+        ``ValueError`` on a self loop) instead of reporting the edge as
+        merely absent.
+        """
+        self.graph._check(u, v)
         if not self.graph.has_edge(u, v):
             return False
         # Decrement overlaps before the removal mutates the lists.
@@ -130,6 +163,95 @@ class DynamicGSIndex:
         self._mark_dirty(u, v)
         return True
 
+    def apply_batch(self, edits) -> BatchMaintenance:
+        """Apply a batch of ``(insert, u, v)`` edits in one repair pass.
+
+        Instead of repairing overlaps after every edit (the per-edge
+        :meth:`insert_edge` / :meth:`remove_edge` path), the batch is
+        applied to the graph first and the index is repaired once:
+
+        * an arc's closed-neighborhood overlap can only change if one of
+          its endpoints' adjacency changed, so the affected-arc frontier
+          is exactly the arcs incident to the touched-vertex set ``T``;
+        * each frontier arc's overlap is recomputed by a single sorted
+          merge — once per arc, no matter how many edits touched its
+          endpoints;
+        * neighbor orders need refreshing only for ``T ∪ N(T)`` (the
+          vertices whose similarity keys involve a changed degree).
+
+        The whole batch is validated up front, so an invalid edit raises
+        (``IndexError`` / ``ValueError``) before any mutation happens.
+        Duplicate inserts and absent removes are counted as ``skipped``.
+        """
+        graph = self.graph
+        ops: list[tuple[bool, int, int]] = []
+        for op in edits:
+            insert, u, v = bool(op[0]), int(op[1]), int(op[2])
+            graph._check(u, v)
+            ops.append((insert, u, v))
+
+        inserted = removed = skipped = 0
+        touched: set[int] = set()
+        removed_pairs: set[tuple[int, int]] = set()
+        for insert, u, v in ops:
+            pair = (u, v) if u < v else (v, u)
+            if insert:
+                if graph.insert_edge(u, v):
+                    inserted += 1
+                    touched.update(pair)
+                    removed_pairs.discard(pair)
+                else:
+                    skipped += 1
+            else:
+                if graph.remove_edge(u, v):
+                    removed += 1
+                    touched.update(pair)
+                    removed_pairs.add(pair)
+                else:
+                    skipped += 1
+
+        # Overlap keys of edges that no longer exist.
+        for pair in removed_pairs:
+            self._overlap.pop(pair, None)
+
+        # Recompute every frontier arc's overlap exactly once.
+        frontier: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for a in touched:
+            for b in graph.neighbors(a):
+                pair = (a, b) if a < b else (b, a)
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                self._overlap[pair] = _overlap_closed(
+                    graph.neighbors(pair[0]), graph.neighbors(pair[1])
+                )
+                self.maintenance_ops += graph.degree(pair[0]) + graph.degree(
+                    pair[1]
+                )
+                frontier.append(pair)
+
+        dirty = set(touched)
+        for a in touched:
+            dirty.update(graph.neighbors(a))
+        self._dirty.update(dirty)
+        return BatchMaintenance(
+            inserted=inserted,
+            removed=removed,
+            skipped=skipped,
+            touched=tuple(sorted(touched)),
+            frontier=tuple(sorted(frontier)),
+            dirty=tuple(sorted(dirty)),
+        )
+
+    def overlap(self, u: int, v: int) -> int:
+        """Exact closed-neighborhood overlap of the existing edge ``{u, v}``."""
+        return self._overlap[(u, v) if u < v else (v, u)]
+
+    def overlaps(self):
+        """Iterate ``((u, v), overlap)`` over every edge (``u < v``)."""
+        return iter(self._overlap.items())
+
     def _mark_dirty(self, u: int, v: int) -> None:
         self._dirty.add(u)
         self._dirty.add(v)
@@ -137,26 +259,50 @@ class DynamicGSIndex:
         self._dirty.update(self.graph.neighbors(v))
 
     def _refresh_orders(self) -> None:
+        graph = self.graph
+        overlap = self._overlap
         for u in self._dirty:
-            nbrs = list(self.graph.neighbors(u))
-            nbrs.sort(
-                key=lambda v: -(
-                    self._key(u, v)[0] / self._key(u, v)[1]
-                )
-            )
+            # Precompute each neighbor's exact key once: re-deriving it
+            # per comparison dominates batched maintenance otherwise.
+            du1 = graph.degree(u) + 1
+            keyed = []
+            for v in graph.neighbors(u):
+                o = overlap[(u, v) if u < v else (v, u)]
+                keyed.append((o * o, du1 * (graph.degree(v) + 1), v))
+            keyed.sort(key=lambda t: -(t[0] / t[1]))
             # Exact repair of float-key near-ties (descending).
-            for i in range(1, len(nbrs)):
+            for i in range(1, len(keyed)):
                 j = i
                 while j > 0:
-                    na, da = self._key(u, nbrs[j - 1])
-                    nb, db = self._key(u, nbrs[j])
+                    na, da, _ = keyed[j - 1]
+                    nb, db, _ = keyed[j]
                     if na * db < nb * da:
-                        nbrs[j - 1], nbrs[j] = nbrs[j], nbrs[j - 1]
+                        keyed[j - 1], keyed[j] = keyed[j], keyed[j - 1]
                         j -= 1
                     else:
                         break
-            self._order[u] = nbrs
+            self._order[u] = [t[2] for t in keyed]
         self._dirty.clear()
+
+    def refresh(self) -> None:
+        """Re-sort every dirty vertex's neighbor order (idempotent)."""
+        self._refresh_orders()
+
+    def similar_prefix(
+        self, u: int, eps_num: int, eps_den: int
+    ) -> list[int]:
+        """The ε-similar prefix of ``u``'s neighbor order (descending σ).
+
+        Callers must :meth:`refresh` first; ``eps_num`` / ``eps_den``
+        are the squared ε fraction's numerator and denominator (the same
+        integers :meth:`query` compares against).
+        """
+        prefix: list[int] = []
+        for v in self._order[u]:
+            if not self._similar(u, v, eps_num, eps_den):
+                break
+            prefix.append(v)
+        return prefix
 
     # -- queries ------------------------------------------------------------
 

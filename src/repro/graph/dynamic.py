@@ -10,11 +10,11 @@ re-clustering and cross-validation.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
+from itertools import chain
 
 import numpy as np
 
 from .csr import CSRGraph, VERTEX_DTYPE
-from .builders import from_edge_array
 
 __all__ = ["DynamicGraph"]
 
@@ -101,12 +101,29 @@ class DynamicGraph:
     # -- snapshot ------------------------------------------------------------
 
     def snapshot(self) -> CSRGraph:
-        """Freeze the current state into a normalized CSR graph."""
-        pairs = [
-            (u, v)
-            for u in range(len(self._adj))
-            for v in self._adj[u]
-            if u < v
-        ]
-        edges = np.array(pairs, dtype=VERTEX_DTYPE).reshape(-1, 2)
-        return from_edge_array(edges, num_vertices=len(self._adj))
+        """Freeze the current state into a normalized CSR graph.
+
+        The adjacency lists are sorted, unique and symmetric by
+        construction, so the CSR arrays are emitted directly — byte-
+        identical to :func:`~repro.graph.builders.from_edge_array` over
+        the edge list (same fingerprint), without its edge-pair sort.
+        This also makes the all-isolated-vertex case trivially safe
+        (the old pair-list path reshaped an empty float array).
+        """
+        n = len(self._adj)
+        offsets = np.zeros(n + 1, dtype=VERTEX_DTYPE)
+        if n:
+            np.cumsum(
+                np.fromiter(
+                    (len(adj) for adj in self._adj),
+                    count=n,
+                    dtype=VERTEX_DTYPE,
+                ),
+                out=offsets[1:],
+            )
+        dst = np.fromiter(
+            chain.from_iterable(self._adj),
+            count=int(offsets[-1]),
+            dtype=VERTEX_DTYPE,
+        )
+        return CSRGraph(offsets, dst)

@@ -21,6 +21,13 @@ Endpoints
 ``GET  /graphs/{fp}/vertex/{v}?eps=&mu=``  per-vertex role + clusters
 ``POST /graphs/{fp}/sweep``                grid sweep (``{"eps": [...],
                                            "mu": [...]}``)
+``POST /graphs/{fp}/updates``              apply a batch of edge edits
+                                           (``{"insert": [[u, v], ...],
+                                           "remove": [[u, v], ...]}``);
+                                           the graph is re-stamped and
+                                           re-keyed under its new
+                                           fingerprint, warm queries
+                                           keep serving between batches
 
 Scheduling model
 ----------------
@@ -84,6 +91,7 @@ _COUNTER_NAMES = (
     "evictions",
     "sweeps",
     "vertex_lookups",
+    "updates",
     "errors",
 )
 
@@ -155,6 +163,11 @@ class ClusteringService:
         self._batch_coalesced = 0
         self._batch_rejected = 0
         self._lane_ids = itertools.count(1)
+        #: Per-handle serialization of update batches (see _updates):
+        #: batches against one graph apply in arrival order, never
+        #: concurrently — the streaming engine is not thread-safe.
+        self._update_locks: dict[int, asyncio.Lock] = {}
+        self._update_seq = itertools.count(1)
         self._server: asyncio.AbstractServer | None = None
         self._started = time.time()
 
@@ -341,6 +354,8 @@ class ClusteringService:
                 return await self._vertex(request, fingerprint, parts[3])
             if action == "sweep" and len(parts) == 3 and method == "POST":
                 return await self._sweep(request, fingerprint)
+            if action == "updates" and len(parts) == 3 and method == "POST":
+                return await self._updates(request, fingerprint)
         raise HTTPError(404, f"no route for {method} {request.path}")
 
     # -- helpers --------------------------------------------------------
@@ -559,8 +574,69 @@ class ClusteringService:
         handle = self.registry.pop(fingerprint)
         if handle is None:
             raise HTTPError(404, f"no graph {fingerprint!r} to unload")
+        self._update_locks.pop(id(handle), None)
         self.session.discard(handle)
         return 200, {"fingerprint": fingerprint, "unloaded": True}, {}
+
+    async def _updates(
+        self, request, fingerprint: str
+    ) -> tuple[int, dict, dict[str, str]]:
+        handle = self._handle_for(fingerprint)
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HTTPError(
+                400,
+                'updates body must be {"insert": [[u, v], ...], '
+                '"remove": [[u, v], ...]} or {"edits": [["+", u, v], ...]}',
+            )
+        from ..streaming import EditBatch
+
+        try:
+            source = payload["edits"] if "edits" in payload else payload
+            batch = EditBatch.coerce(source)
+        except (TypeError, ValueError) as exc:
+            raise HTTPError(400, f"malformed updates body: {exc}") from None
+        if not len(batch):
+            raise HTTPError(400, "updates body contains no edits")
+        self.counters["updates"] += 1
+        t0 = time.perf_counter()
+        # Unique key per request: distinct batches must never coalesce
+        # (they are different mutations); the per-handle lock serializes
+        # them instead, so batches apply in arrival order.
+        key = ("updates", fingerprint, next(self._update_seq))
+        lock = self._update_locks.setdefault(id(handle), asyncio.Lock())
+        async with lock:
+            try:
+                report = await self._run_heavy(
+                    key, lambda: handle.apply_updates(batch)
+                )
+            except IndexError as exc:
+                raise HTTPError(400, str(exc)) from None
+        # Re-key the registry: the handle answers to its new fingerprint.
+        if (
+            report.fingerprint != fingerprint
+            and fingerprint in self.registry
+        ):
+            moved = self.registry.pop(fingerprint)
+            if moved is not None:
+                evicted = self.registry.put(report.fingerprint, moved)
+                for _, old in evicted:
+                    self.session.discard(old)
+                self.counters["evictions"] += len(evicted)
+        seconds = time.perf_counter() - t0
+        self._observe("updates", seconds)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("service.updates", 1)
+        out = report.as_dict()
+        out.update(
+            {
+                "previous_fingerprint": fingerprint,
+                "warm_points": len(handle._results),
+                "request_seconds": seconds,
+            }
+        )
+        return 200, out, {}
 
     async def _cluster(
         self, request, fingerprint: str

@@ -1,0 +1,39 @@
+"""Streaming clustering: batched index maintenance + differential checks.
+
+Public surface:
+
+* :class:`~repro.streaming.engine.StreamingEngine` — apply batches of
+  edge edits in one repair pass while serving exact warm (ε, µ) queries;
+* :class:`~repro.streaming.edits.EditScript` /
+  :func:`~repro.streaming.edits.random_edit_script` — the edit-script
+  data model, text format and seeded generator;
+* :func:`~repro.streaming.differential.replay_differential` /
+  :func:`~repro.streaming.differential.build_corpus` — the randomized
+  differential harness that makes the incremental path trustworthy.
+"""
+
+from .edits import EditBatch, EditOp, EditScript, random_edit_script
+from .engine import BatchReport, StreamingEngine
+from .differential import (
+    CorpusCase,
+    DifferentialMismatch,
+    ReplayReport,
+    build_corpus,
+    corpus_fixtures,
+    replay_differential,
+)
+
+__all__ = [
+    "BatchReport",
+    "CorpusCase",
+    "DifferentialMismatch",
+    "EditBatch",
+    "EditOp",
+    "EditScript",
+    "ReplayReport",
+    "StreamingEngine",
+    "build_corpus",
+    "corpus_fixtures",
+    "random_edit_script",
+    "replay_differential",
+]

@@ -1,0 +1,415 @@
+"""Batched streaming maintenance of the GS*-Index and its query state.
+
+The :class:`StreamingEngine` owns one evolving graph and keeps three
+layers consistent across batches of edge edits:
+
+1. **Index** — :meth:`~repro.core.dynamic_index.DynamicGSIndex.apply_batch`
+   repairs only the affected-arc frontier (arcs incident to a vertex
+   whose adjacency changed) and refreshes neighbor orders for the
+   touched vertices and their neighbors.
+2. **SimilarityStore** — every snapshot has its own content fingerprint,
+   so a batch *moves* the store entry: overlaps of arcs untouched by the
+   batch are migrated to the new fingerprint's entry (their exact values
+   cannot have changed), touched arcs are deliberately dropped
+   (invalidated), frontier arcs are re-recorded from the just-repaired
+   index, and the superseded entry is discarded.
+3. **Materialized (ε, µ) points** — for every point a query has
+   materialized, the engine caches each vertex's ε-similar prefix.  A
+   batch re-derives prefixes only for the dirty vertices, then rebuilds
+   roles / core labels / non-core pairs from the cached prefixes — a
+   scoped re-cluster that is bit-identical to a from-scratch
+   :class:`~repro.core.gsindex.GSIndex` query (verified by the
+   differential harness in :mod:`repro.streaming.differential`).
+
+Only the prefix-repair step scales with the batch's footprint; the
+label rebuild is a cheap union-find over cached prefixes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cache.store import SimilarityStore, graph_fingerprint
+from ..core.dynamic_index import BatchMaintenance, DynamicGSIndex
+from ..core.result import ClusteringResult
+from ..graph.csr import CSRGraph
+from ..graph.dynamic import DynamicGraph
+from ..metrics.records import RunRecord, StageRecord, TaskCost
+from ..obs.tracer import current_tracer
+from ..types import CORE, NONCORE, ScanParams
+from ..unionfind import UnionFind
+from .edits import EditBatch
+
+__all__ = ["BatchReport", "StreamingEngine"]
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Everything one applied batch changed, for ledgers and callers."""
+
+    batch: int
+    inserted: int
+    removed: int
+    skipped: int
+    arcs_repaired: int
+    vertices_reclustered: int
+    points_repaired: int
+    overlaps_carried: int
+    fingerprint: str
+    num_vertices: int
+    num_edges: int
+    wall_seconds: float
+
+    @property
+    def effective(self) -> int:
+        return self.inserted + self.removed
+
+    def as_dict(self) -> dict:
+        return {
+            "batch": self.batch,
+            "inserted": self.inserted,
+            "removed": self.removed,
+            "skipped": self.skipped,
+            "arcs_repaired": self.arcs_repaired,
+            "vertices_reclustered": self.vertices_reclustered,
+            "points_repaired": self.points_repaired,
+            "overlaps_carried": self.overlaps_carried,
+            "fingerprint": self.fingerprint,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class _PointState:
+    """One materialized (ε, µ) point: per-vertex similar prefixes + result.
+
+    A vertex's prefix depends only on its own neighbor order and the
+    similarity keys of its incident arcs, so after a batch only the
+    dirty vertices' prefixes can change; everything downstream (roles,
+    labels, pairs) is rebuilt from the cached prefixes.
+    """
+
+    __slots__ = ("params", "eps_num", "eps_den", "prefixes", "result")
+
+    def __init__(self, params: ScanParams, index: DynamicGSIndex) -> None:
+        self.params = params
+        frac = params.eps_fraction
+        self.eps_num = frac.numerator * frac.numerator
+        self.eps_den = frac.denominator * frac.denominator
+        n = index.graph.num_vertices
+        self.prefixes: list[list[int]] = [
+            index.similar_prefix(u, self.eps_num, self.eps_den)
+            for u in range(n)
+        ]
+        self.result = self._rebuild()
+
+    def repair(self, index: DynamicGSIndex, dirty) -> int:
+        """Re-derive the dirty vertices' prefixes, rebuild the result."""
+        for u in dirty:
+            self.prefixes[u] = index.similar_prefix(
+                u, self.eps_num, self.eps_den
+            )
+        self.result = self._rebuild()
+        return len(dirty)
+
+    def _rebuild(self) -> ClusteringResult:
+        """Roles / labels / pairs from cached prefixes.
+
+        Mirrors :meth:`repro.core.gsindex.GSIndex.query` exactly — core
+        iff the similar prefix reaches µ, ascending-core union order,
+        cluster id = first core seen per union-find root — so the
+        result is bit-identical to a from-scratch index build.
+        """
+        t0 = time.perf_counter()
+        mu = self.params.mu
+        prefixes = self.prefixes
+        n = len(prefixes)
+        lens = np.fromiter(
+            (len(p) for p in prefixes), count=n, dtype=np.int64
+        )
+        roles = np.where(lens >= mu, CORE, NONCORE).astype(np.int8)
+
+        uf = UnionFind(n)
+        pairs: list[tuple[int, int]] = []
+        arcs_walked = n
+        for u in np.flatnonzero(roles == CORE).tolist():
+            for v in prefixes[u]:
+                arcs_walked += 1
+                if roles[v] == CORE:
+                    if u < v:
+                        uf.union(u, v)
+                else:
+                    pairs.append((u, v))
+
+        cluster_id: dict[int, int] = {}
+        labels = np.full(n, -1, dtype=np.int64)
+        for u in np.flatnonzero(roles == CORE).tolist():
+            root = uf.find(u)
+            if root not in cluster_id:
+                cluster_id[root] = u
+            labels[u] = cluster_id[root]
+        pair_rows = [(int(labels[u]), v) for u, v in pairs]
+
+        record = RunRecord(
+            algorithm="StreamingEngine (recluster)",
+            stages=[
+                StageRecord(
+                    "scoped recluster",
+                    [TaskCost(arcs=arcs_walked, atomics=uf.num_unions)],
+                )
+            ],
+            wall_seconds=time.perf_counter() - t0,
+        )
+        record.apportion_wall()
+        return ClusteringResult(
+            algorithm="StreamingEngine",
+            params=self.params,
+            roles=roles,
+            core_labels=labels,
+            noncore_pairs=pair_rows,
+            record=record,
+        )
+
+
+class StreamingEngine:
+    """Serve exact (ε, µ) queries while batches of edits stream in."""
+
+    def __init__(
+        self,
+        graph: CSRGraph | DynamicGraph,
+        *,
+        store: SimilarityStore | None = None,
+        record_frontier: bool = True,
+        label: str | None = None,
+    ) -> None:
+        if isinstance(graph, DynamicGraph):
+            self._dyn = graph
+            snapshot = graph.snapshot()
+        else:
+            snapshot = graph
+            self._dyn = DynamicGraph.from_csr(graph)
+        self._index = DynamicGSIndex(self._dyn)
+        self._index.refresh()
+        self.store = store
+        self.record_frontier = record_frontier
+        self.label = label
+        self._snapshot = snapshot
+        self._fingerprint = graph_fingerprint(snapshot)
+        self._points: dict[tuple, _PointState] = {}
+        self.batches_applied = 0
+        self.edits_applied = 0
+        self.edits_skipped = 0
+        self.arcs_repaired = 0
+        self.vertices_reclustered = 0
+        self.overlaps_carried = 0
+        if self.store is not None:
+            self._seed_store()
+
+    # -- identity --------------------------------------------------------
+
+    @property
+    def graph(self) -> DynamicGraph:
+        return self._dyn
+
+    @property
+    def snapshot(self) -> CSRGraph:
+        """CSR snapshot of the current state (refreshed per batch)."""
+        return self._snapshot
+
+    @property
+    def fingerprint(self) -> str:
+        return self._fingerprint
+
+    @property
+    def num_points(self) -> int:
+        return len(self._points)
+
+    # -- queries ---------------------------------------------------------
+
+    def _point_key(self, params: ScanParams) -> tuple:
+        frac = params.eps_fraction
+        return (frac.numerator, frac.denominator, params.mu)
+
+    def query(self, params: ScanParams) -> ClusteringResult:
+        """Exact clustering at ``params``, memoized and batch-maintained."""
+        key = self._point_key(params)
+        state = self._points.get(key)
+        if state is None:
+            self._index.refresh()
+            state = _PointState(params, self._index)
+            self._points[key] = state
+        return state.result
+
+    def materialized(self) -> dict[tuple, ClusteringResult]:
+        """Current results for every materialized point (post-repair)."""
+        return {key: st.result for key, st in self._points.items()}
+
+    # -- batches ---------------------------------------------------------
+
+    def apply(self, edits) -> BatchReport:
+        """Apply one batch of edits and repair index, store and points."""
+        batch = EditBatch.coerce(edits)
+        t0 = time.perf_counter()
+        tracer = current_tracer()
+        with tracer.span(
+            "stream:apply",
+            batch=self.batches_applied,
+            ops=len(batch),
+            fingerprint=self._fingerprint[:12],
+        ):
+            stats = self._index.apply_batch(batch)
+            self._index.refresh()
+
+            carried = 0
+            if stats.effective:
+                old_snapshot = self._snapshot
+                old_fingerprint = self._fingerprint
+                self._snapshot = self._dyn.snapshot()
+                self._fingerprint = graph_fingerprint(self._snapshot)
+                if self.store is not None:
+                    carried = self._migrate_store(
+                        old_snapshot, old_fingerprint, stats
+                    )
+
+            points_repaired = 0
+            reclustered = 0
+            if stats.dirty:
+                for state in self._points.values():
+                    reclustered += state.repair(self._index, stats.dirty)
+                    points_repaired += 1
+
+        wall = time.perf_counter() - t0
+        self.batches_applied += 1
+        self.edits_applied += stats.effective
+        self.edits_skipped += stats.skipped
+        self.arcs_repaired += len(stats.frontier)
+        self.vertices_reclustered += reclustered
+        self.overlaps_carried += carried
+        if tracer.enabled:
+            tracer.count("stream.batches", 1)
+            tracer.count("stream.edits_applied", stats.effective)
+            tracer.count("stream.edits_skipped", stats.skipped)
+            tracer.count("stream.arcs_repaired", len(stats.frontier))
+            tracer.count("stream.reclustered", reclustered)
+            tracer.count("stream.overlaps_carried", carried)
+        return BatchReport(
+            batch=self.batches_applied - 1,
+            inserted=stats.inserted,
+            removed=stats.removed,
+            skipped=stats.skipped,
+            arcs_repaired=len(stats.frontier),
+            vertices_reclustered=reclustered,
+            points_repaired=points_repaired,
+            overlaps_carried=carried,
+            fingerprint=self._fingerprint,
+            num_vertices=self._snapshot.num_vertices,
+            num_edges=self._snapshot.num_edges,
+            wall_seconds=wall,
+        )
+
+    # -- store maintenance ----------------------------------------------
+
+    def _seed_store(self) -> None:
+        """Commit the freshly built index's overlaps for the start state."""
+        entry = self.store.entry_for(self._snapshot)
+        graph = self._snapshot
+        arcs: list[int] = []
+        overlaps: list[int] = []
+        for (u, v), overlap in self._index.overlaps():
+            arcs.append(graph.edge_offset(u, v))
+            overlaps.append(overlap)
+        if arcs:
+            entry.record(
+                np.asarray(arcs, dtype=np.int64),
+                np.asarray(overlaps, dtype=np.int64),
+            )
+
+    def _migrate_store(
+        self,
+        old_snapshot: CSRGraph,
+        old_fingerprint: str,
+        stats: BatchMaintenance,
+    ) -> int:
+        """Move the store entry across one batch's fingerprint change.
+
+        Exactness argument: a batch only mutates the adjacency of its
+        touched vertices, so for every arc whose endpoints are both
+        untouched the source vertex's neighbor list is byte-identical in
+        both snapshots — the arc's position merely shifts by the source's
+        offset delta, and its overlap (a function of the two unchanged
+        closed neighborhoods) carries over verbatim.  Arcs incident to a
+        touched vertex are *not* migrated: their old values may be stale,
+        so they miss until recomputed (``record_frontier`` re-records
+        them immediately from the just-repaired index).
+        """
+        store = self.store
+        new_snapshot = self._snapshot
+        old_entry = store.peek(old_fingerprint)
+        new_entry = store.entry_for(new_snapshot)
+        carried = 0
+        if old_entry is not None and old_entry.covered and stats.touched:
+            n = new_snapshot.num_vertices
+            touched_mask = np.zeros(n, dtype=bool)
+            touched_mask[list(stats.touched)] = True
+            src_new = np.repeat(
+                np.arange(n, dtype=np.int64), new_snapshot.degrees
+            )
+            dst_new = new_snapshot.dst.astype(np.int64)
+            # Forward arcs only: record() mirrors onto the reverse arc.
+            keep = (
+                ~touched_mask[src_new]
+                & ~touched_mask[dst_new]
+                & (src_new < dst_new)
+            )
+            arcs_new = np.flatnonzero(keep)
+            if arcs_new.size:
+                shift = old_snapshot.offsets[src_new[arcs_new]].astype(
+                    np.int64
+                ) - new_snapshot.offsets[src_new[arcs_new]].astype(np.int64)
+                arcs_old = arcs_new + shift
+                covered = old_entry.coverage[arcs_old]
+                if np.any(covered):
+                    sel_new = arcs_new[covered]
+                    new_entry.record(
+                        sel_new, old_entry.overlap[arcs_old[covered]]
+                    )
+                    carried = int(sel_new.size)
+        if self.record_frontier and stats.frontier:
+            arcs = np.fromiter(
+                (
+                    new_snapshot.edge_offset(u, v)
+                    for u, v in stats.frontier
+                ),
+                count=len(stats.frontier),
+                dtype=np.int64,
+            )
+            overlaps = np.fromiter(
+                (self._index.overlap(u, v) for u, v in stats.frontier),
+                count=len(stats.frontier),
+                dtype=np.int64,
+            )
+            new_entry.record(arcs, overlaps)
+        store.discard(old_fingerprint)
+        return carried
+
+    # -- reporting -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-able counters over the engine's lifetime."""
+        return {
+            "fingerprint": self._fingerprint,
+            "label": self.label,
+            "num_vertices": self._snapshot.num_vertices,
+            "num_edges": self._snapshot.num_edges,
+            "batches_applied": self.batches_applied,
+            "edits_applied": self.edits_applied,
+            "edits_skipped": self.edits_skipped,
+            "arcs_repaired": self.arcs_repaired,
+            "vertices_reclustered": self.vertices_reclustered,
+            "overlaps_carried": self.overlaps_carried,
+            "points_materialized": len(self._points),
+        }

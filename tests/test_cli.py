@@ -567,3 +567,60 @@ class TestObservabilityFlags:
         assert main(["history", str(ledger_path), "--json"]) == 0
         records = _json.loads(capsys.readouterr().out)
         assert len(records) == 1 and records[0]["kind"] == "cluster"
+
+
+class TestStream:
+    @pytest.fixture
+    def script_file(self, tmp_path, graph_file):
+        from repro.graph import read_edge_list
+        from repro.streaming import random_edit_script
+
+        script = random_edit_script(
+            read_edge_list(graph_file), batches=3, batch_size=6, seed=5
+        )
+        return str(script.save(tmp_path / "edits.txt"))
+
+    def test_stream_verify(self, graph_file, script_file, capsys):
+        assert (
+            main(
+                [
+                    "stream", graph_file, script_file,
+                    "--eps", "0.4,0.6", "--mu", "2", "--verify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "batch" in out
+        assert "verify: all 3 checkpoints bit-identical" in out
+        assert "fingerprint" in out
+
+    def test_stream_csv_and_ledger(
+        self, graph_file, script_file, tmp_path, capsys
+    ):
+        csv = tmp_path / "stream.csv"
+        ledger = tmp_path / "ledger.jsonl"
+        assert (
+            main(
+                [
+                    "stream", graph_file, script_file,
+                    "--csv", str(csv), "--ledger", str(ledger),
+                ]
+            )
+            == 0
+        )
+        rows = csv.read_text().strip().splitlines()
+        assert len(rows) == 4  # header + 3 batches
+        assert ledger.exists()
+        import json
+
+        records = [
+            json.loads(line) for line in ledger.read_text().splitlines()
+        ]
+        assert len(records) == 3
+        assert all(r["kind"] == "stream" for r in records)
+
+    def test_stream_rejects_bad_points(self, graph_file, script_file):
+        assert (
+            main(["stream", graph_file, script_file, "--eps", "nope"]) == 2
+        )

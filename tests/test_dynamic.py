@@ -66,6 +66,79 @@ class TestDynamicGraph:
         assert snap.num_edges == 1
         snap.validate()
 
+    def test_snapshot_empty_graph(self):
+        snap = DynamicGraph(0).snapshot()
+        snap.validate()
+        assert snap.num_vertices == 0 and snap.num_edges == 0
+
+    def test_snapshot_all_isolated_vertices(self):
+        # Regression guard: the old pair-list snapshot path reshaped an
+        # empty float array when no vertex had any edges.
+        snap = DynamicGraph(5).snapshot()
+        snap.validate()
+        assert snap.num_vertices == 5 and snap.num_edges == 0
+        assert all(snap.degree(u) == 0 for u in range(5))
+
+    def test_snapshot_after_draining_all_edges(self):
+        dyn = DynamicGraph(4)
+        dyn.insert_edge(0, 1)
+        dyn.insert_edge(2, 3)
+        dyn.remove_edge(0, 1)
+        dyn.remove_edge(2, 3)
+        snap = dyn.snapshot()
+        snap.validate()
+        assert snap.num_edges == 0
+
+    def test_snapshot_matches_edge_array_builder(self):
+        from repro.graph.builders import from_edge_array
+
+        dyn = DynamicGraph.from_csr(erdos_renyi(25, 60, seed=11))
+        dyn.insert_edge(0, 24)
+        dyn.remove_edge(*map(int, dyn.snapshot().edge_list()[0]))
+        snap = dyn.snapshot()
+        rebuilt = from_edge_array(snap.edge_list(), snap.num_vertices)
+        assert np.array_equal(snap.offsets, rebuilt.offsets)
+        assert np.array_equal(snap.dst, rebuilt.dst)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.integers(0, 11),
+                st.integers(0, 11),
+            ),
+            max_size=40,
+        )
+    )
+    def test_snapshot_invariants_under_random_edits(self, updates):
+        dyn = DynamicGraph(12)
+        edges: set[tuple[int, int]] = set()
+        for insert, u, v in updates:
+            if u == v:
+                continue
+            pair = (min(u, v), max(u, v))
+            if insert:
+                assert dyn.insert_edge(u, v) == (pair not in edges)
+                edges.add(pair)
+            else:
+                assert dyn.remove_edge(u, v) == (pair in edges)
+                edges.discard(pair)
+        assert dyn.num_edges == len(edges)
+        assert sum(dyn.degree(u) for u in range(12)) == 2 * len(edges)
+        for u in range(12):
+            nbrs = dyn.neighbors(u)
+            assert nbrs == sorted(set(nbrs))
+        snap = dyn.snapshot()
+        snap.validate()
+        assert snap.num_edges == len(edges)
+        got = {tuple(sorted(map(int, e))) for e in snap.edge_list()}
+        assert got == edges
+
 
 class TestDynamicIndex:
     def test_fresh_index_matches_static(self):
@@ -115,6 +188,35 @@ class TestDynamicIndex:
         before = idx.query(params)
         assert idx.insert_edge(0, 24) or True
         idx.remove_edge(0, 24)
+        assert idx.query(params).same_clustering(before)
+
+    def test_remove_absent_edge_in_range_returns_false(self):
+        idx = DynamicGSIndex(DynamicGraph(4))
+        assert idx.insert_edge(0, 1)
+        assert not idx.remove_edge(2, 3)
+        assert not idx.insert_edge(0, 1)
+
+    def test_insert_and_remove_validate_identically(self):
+        # remove_edge must reject bad endpoints exactly like
+        # insert_edge, not silently report the edge as absent.
+        idx = DynamicGSIndex(DynamicGraph(3))
+        for bad in ((0, 7), (-1, 2), (5, 9)):
+            with pytest.raises(IndexError):
+                idx.insert_edge(*bad)
+            with pytest.raises(IndexError):
+                idx.remove_edge(*bad)
+        with pytest.raises(ValueError):
+            idx.insert_edge(1, 1)
+        with pytest.raises(ValueError):
+            idx.remove_edge(1, 1)
+
+    def test_rejected_remove_leaves_index_intact(self):
+        csr = erdos_renyi(20, 50, seed=10)
+        idx = DynamicGSIndex(DynamicGraph.from_csr(csr))
+        params = ScanParams(0.5, 2)
+        before = idx.query(params)
+        with pytest.raises(IndexError):
+            idx.remove_edge(0, 99)
         assert idx.query(params).same_clustering(before)
 
     def test_maintenance_is_local(self):

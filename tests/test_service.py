@@ -514,3 +514,117 @@ class TestServiceMatchesAPI:
                 ]
 
         _serve(drive)
+
+
+class TestUpdatesEndpoint:
+    def test_update_rekeys_and_serves_warm(self):
+        graph = _graph()
+        n = graph.num_vertices
+
+        async def drive(service, port):
+            status, info, _ = await _request(
+                port, "POST", "/graphs", {"edges": _edges(graph)}
+            )
+            assert status == 201
+            old_fp = info["fingerprint"]
+            status, _, _ = await _request(
+                port, "GET", f"/graphs/{old_fp}/cluster?eps=0.4&mu=3"
+            )
+            assert status == 200
+
+            status, report, _ = await _request(
+                port,
+                "POST",
+                f"/graphs/{old_fp}/updates",
+                {"edits": {"insert": [[0, n - 1]], "remove": []}},
+            )
+            assert status == 200, report
+            assert report["previous_fingerprint"] == old_fp
+            assert report["fingerprint"] != old_fp
+            assert report["inserted"] == 1
+            assert report["warm_points"] == 1
+            new_fp = report["fingerprint"]
+
+            # Registry re-keyed: old fingerprint gone, new one warm.
+            status, payload, _ = await _request(
+                port, "GET", f"/graphs/{old_fp}/cluster?eps=0.4&mu=3"
+            )
+            assert status == 404
+            status, warm, _ = await _request(
+                port,
+                "GET",
+                f"/graphs/{new_fp}/cluster?eps=0.4&mu=3&include=labels",
+            )
+            assert status == 200 and warm["warm"] is True
+
+            mutated = api.open(service.registry.get(new_fp).graph)
+            reference = api.cluster(mutated.graph, ScanParams(0.4, 3))
+            assert warm["roles"] == reference.roles.tolist()
+            assert warm["core_labels"] == reference.core_labels.tolist()
+
+            status, stats, _ = await _request(port, "GET", "/stats")
+            assert stats["counters"]["updates"] == 1
+
+        _serve(drive)
+
+    def test_sequential_batches_accumulate(self):
+        graph = _graph()
+        n = graph.num_vertices
+
+        async def drive(service, port):
+            status, info, _ = await _request(
+                port, "POST", "/graphs", {"edges": _edges(graph)}
+            )
+            fp = info["fingerprint"]
+            for k in range(3):
+                status, report, _ = await _request(
+                    port,
+                    "POST",
+                    f"/graphs/{fp}/updates",
+                    {"insert": [[k, n - 1 - k]], "remove": []},
+                )
+                assert status == 200, report
+                fp = report["fingerprint"]
+                assert report["batch"] == k
+            status, listing, _ = await _request(port, "GET", "/graphs")
+            assert [g["fingerprint"] for g in listing["graphs"]] == [fp]
+
+        _serve(drive)
+
+    def test_update_error_mapping(self):
+        graph = _graph()
+
+        async def drive(service, port):
+            status, payload, _ = await _request(
+                port,
+                "POST",
+                "/graphs/beef/updates",
+                {"insert": [[0, 1]], "remove": []},
+            )
+            assert status == 404
+
+            status, info, _ = await _request(
+                port, "POST", "/graphs", {"edges": _edges(graph)}
+            )
+            fp = info["fingerprint"]
+            bad_bodies = [
+                None,                                  # no body
+                {"edits": {"bogus": [[0, 1]]}},        # unknown key
+                {"edits": [["?", 0, 1]]},              # unknown op kind
+                {"insert": [], "remove": []},          # empty batch
+                {"insert": [[0, 10_000]], "remove": []},  # out of range
+                {"insert": [[3, 3]], "remove": []},    # self loop
+            ]
+            for body in bad_bodies:
+                status, payload, _ = await _request(
+                    port, "POST", f"/graphs/{fp}/updates", body
+                )
+                assert status == 400, (body, payload)
+                assert "error" in payload
+            # The handle still answers on its original fingerprint.
+            status, _, _ = await _request(
+                port, "GET", f"/graphs/{fp}/cluster?eps=0.5&mu=2"
+            )
+            assert status == 200
+
+        _serve(drive)

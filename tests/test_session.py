@@ -198,3 +198,67 @@ class TestFacadeIsThinWrapper:
     def test_sweep_still_works(self, graph):
         outcome = api.sweep(graph, [0.4, 0.6], [2])
         assert len(outcome.points) == 2
+
+
+class TestApplyUpdates:
+    """Streaming mutation through the handle: re-stamp + warm serving."""
+
+    def test_restamps_fingerprint_and_graph(self, graph):
+        handle = api.open(graph)
+        old_fp = handle.fingerprint
+        report = handle.apply_updates([("+", 0, graph.num_vertices - 1)])
+        assert report.effective == 1
+        assert handle.fingerprint == report.fingerprint != old_fp
+        assert handle.graph is not graph
+        assert handle.graph.num_edges == graph.num_edges + 1
+        assert handle.fingerprint == graph_fingerprint(handle.graph)
+        assert handle.batches_applied == 1
+        assert handle.stats()["streaming"] is True
+
+    def test_warm_points_survive_updates_bit_identically(self, graph):
+        handle = api.open(graph)
+        handle.cluster(PARAMS)
+        handle.apply_updates(
+            {"insert": [[0, graph.num_vertices - 1]], "remove": []}
+        )
+        warm = handle.lookup(PARAMS)
+        assert warm is not None, "materialized point must stay warm"
+        assert_same_clustering(warm, api.cluster(handle.graph, PARAMS))
+        assert handle.cluster(PARAMS) is warm
+
+    def test_queries_after_update_use_stream(self, graph):
+        handle = api.open(graph)
+        handle.apply_updates([("+", 0, graph.num_vertices - 1)])
+        fresh = ScanParams(0.45, 2)
+        assert handle.lookup(fresh) is None
+        assert_same_clustering(
+            handle.cluster(fresh), api.cluster(handle.graph, fresh)
+        )
+
+    def test_rejected_update_leaves_handle_intact(self, graph):
+        handle = api.open(graph)
+        before = handle.cluster(PARAMS)
+        fp = handle.fingerprint
+        with pytest.raises(IndexError):
+            handle.apply_updates([("+", 0, 10_000)])
+        assert handle.fingerprint == fp
+        assert handle.lookup(PARAMS) is before
+
+    def test_session_discard_after_updates(self, graph):
+        session = api.Session()
+        handle = session.open(graph)
+        handle.apply_updates([("+", 0, graph.num_vertices - 1)])
+        assert handle in session.handles()
+        session.discard(handle)
+        assert handle not in session.handles()
+        assert handle.stats()["streaming"] is False
+
+    def test_store_follows_the_stream(self, graph):
+        store = SimilarityStore()
+        session = api.Session(store=store)
+        handle = session.open(graph)
+        handle.cluster(PARAMS)
+        old_fp = handle.fingerprint
+        handle.apply_updates([("+", 0, graph.num_vertices - 1)])
+        assert store.peek(old_fp) is None
+        assert store.peek(handle.fingerprint) is not None
