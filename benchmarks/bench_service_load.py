@@ -26,6 +26,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import random
 import sys
 import time
 from pathlib import Path
@@ -79,15 +80,17 @@ class _Client:
         status_line = await self.reader.readline()
         status = int(status_line.split()[1])
         length = 0
+        headers: dict[str, str] = {}
         while True:
             line = await self.reader.readline()
             if line in (b"\r\n", b""):
                 break
             name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
         body = await self.reader.readexactly(length) if length else b""
-        return status, json.loads(body) if body else None
+        return status, json.loads(body) if body else None, headers
 
     async def close(self) -> None:
         if self.writer is not None:
@@ -108,7 +111,7 @@ async def _drive(service: ClusteringService, graph, n_queries: int) -> dict:
     port = service.port
     submitter = _Client(port)
     edges = [[int(u), int(v)] for u, v in graph.edge_list()]
-    status, info = await submitter.request(
+    status, info, _ = await submitter.request(
         "POST", "/graphs", {"edges": edges, "label": GRAPH_NAME}
     )
     assert status == 201, info
@@ -122,10 +125,14 @@ async def _drive(service: ClusteringService, graph, n_queries: int) -> dict:
     for i in range(n_queries):
         work.put_nowait(POINTS[i % len(POINTS)])
     latencies: list[float] = []
+    rejected_then_succeeded = 0
     t_load = time.perf_counter()
 
-    async def worker() -> None:
+    async def worker(worker_id: int) -> None:
+        nonlocal rejected_then_succeeded
         client = _Client(port)
+        # Seeded per worker: the jitter is reproducible run to run.
+        rng = random.Random(0xB0FF + worker_id)
         try:
             while True:
                 try:
@@ -133,25 +140,34 @@ async def _drive(service: ClusteringService, graph, n_queries: int) -> dict:
                 except asyncio.QueueEmpty:
                     return
                 t0 = time.perf_counter()
+                was_rejected = False
                 while True:
-                    status, payload = await client.request(
+                    status, payload, headers = await client.request(
                         "GET", f"/graphs/{fp}/cluster?eps={eps}&mu={mu}"
                     )
                     if status != 429:
                         break
-                    await asyncio.sleep(0.02)  # admission said Retry-After
+                    # Honour the server's Retry-After hint, jittered so
+                    # the rejected herd does not re-arrive in lockstep.
+                    was_rejected = True
+                    retry_after = float(headers.get("retry-after", 1))
+                    await asyncio.sleep(
+                        rng.uniform(0.05, max(retry_after, 0.05))
+                    )
                 assert status == 200, payload
+                if was_rejected:
+                    rejected_then_succeeded += 1
                 latencies.append(time.perf_counter() - t0)
         finally:
             await client.close()
 
-    await asyncio.gather(*(worker() for _ in range(CONCURRENCY)))
+    await asyncio.gather(*(worker(i) for i in range(CONCURRENCY)))
     load_seconds = time.perf_counter() - t_load
 
     # Bit-identity: pull full labels for every point and compare with
     # the direct in-process API, element for element.
     for eps, mu in POINTS:
-        status, payload = await submitter.request(
+        status, payload, _ = await submitter.request(
             "GET",
             f"/graphs/{fp}/cluster?eps={eps}&mu={mu}&include=labels",
         )
@@ -166,7 +182,7 @@ async def _drive(service: ClusteringService, graph, n_queries: int) -> dict:
             [int(a), int(b)] for a, b in reference.noncore_pairs
         ], (eps, mu)
 
-    status, stats = await submitter.request("GET", "/stats")
+    status, stats, _ = await submitter.request("GET", "/stats")
     assert status == 200
     await submitter.close()
     await service.stop()
@@ -176,6 +192,7 @@ async def _drive(service: ClusteringService, graph, n_queries: int) -> dict:
         "index_build_seconds": index_build_seconds,
         "latencies": latencies,
         "load_seconds": load_seconds,
+        "rejected_then_succeeded": rejected_then_succeeded,
         "stats": stats,
     }
 
@@ -228,6 +245,7 @@ def run_bench(scale: float | None = None, n_queries: int = N_QUERIES) -> dict:
         if queries
         else 0.0,
         "rejected_429": counters["rejected"],
+        "rejected_then_succeeded": outcome["rejected_then_succeeded"],
         "fingerprint": outcome["fingerprint"],
     }
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -250,7 +268,9 @@ def test_service_load():
         f"{data['throughput_qps']:.0f} q/s, "
         f"warm speedup {data['warm_speedup_p50']:.0f}x over cold "
         f"{data['cold_cluster_mean_seconds'] * 1e3:.0f}ms, "
-        f"coalescing rate {data['coalescing_hit_rate'] * 100:.1f}%",
+        f"coalescing rate {data['coalescing_hit_rate'] * 100:.1f}%, "
+        f"{data['rejected_429']} rejected of which "
+        f"{data['rejected_then_succeeded']} succeeded on backoff retry",
         file=sys.stderr,
     )
     assert data["warm_speedup_p50"] >= MIN_WARM_SPEEDUP, (

@@ -79,6 +79,11 @@ CHECKS: dict[str, tuple[str, list[str], str]] = {
         [],
         "streaming updates: differential corpus bit-identity + throughput",
     ),
+    "service_crash": (
+        "check_service_crash",
+        [],
+        "kill -9 at seeded WAL points + SIGTERM drain recover bit-identically",
+    ),
 }
 
 

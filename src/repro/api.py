@@ -487,6 +487,17 @@ class GraphHandle:
         self.batches_applied += 1
         return report
 
+    def materialized_points(self) -> list[list[int]]:
+        """The memoized (ε, µ) points as exact ``[num, den, mu]`` triples.
+
+        ``eps`` identity is its snapped rational (see
+        :attr:`~repro.types.ScanParams.eps_fraction`), so the triple
+        re-materializes the identical point key via
+        ``ScanParams(num / den, mu)`` — how the service WAL's snapshot
+        records which points recovery must re-warm.
+        """
+        return [[num, den, mu] for (num, den, mu) in sorted(self._results)]
+
     def lookup(self, eps, mu=None) -> ClusteringResult | None:
         """The memoized index-served result for this point, or ``None``.
 

@@ -237,6 +237,19 @@ class SimilarityStore:
         self.rejects = 0
         self._lock = threading.Lock()
 
+    def attach_dir(self, cache_dir: str | os.PathLike | None) -> bool:
+        """Late-bind a disk layer onto a memory-only store.
+
+        The service does this when it is given a WAL directory but no
+        ``--cache-dir``: overlap state spills under the WAL so recovery
+        warms from disk.  A store that already has a ``cache_dir`` keeps
+        it (returns ``False``) — an explicit cache location wins.
+        """
+        if self.cache_dir is not None or cache_dir is None:
+            return False
+        self.cache_dir = Path(cache_dir)
+        return True
+
     # -- entry access ---------------------------------------------------
 
     def entry_for(self, graph: "CSRGraph") -> StoreEntry:

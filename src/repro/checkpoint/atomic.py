@@ -20,6 +20,7 @@ import os
 from pathlib import Path
 
 __all__ = [
+    "atomic_truncate",
     "atomic_write_bytes",
     "atomic_write_text",
     "fsync_directory",
@@ -72,3 +73,16 @@ def atomic_write_text(
 ) -> None:
     """:func:`atomic_write_bytes` for text payloads."""
     atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_truncate(path: str | os.PathLike) -> None:
+    """Durably replace ``path`` with an empty file.
+
+    Same rename dance as :func:`atomic_write_bytes`, so a reader
+    observes either the old complete file or the empty one — the
+    primitive the service WAL uses to discard its replayed prefix after
+    a compaction snapshot is durable.  A missing file is already
+    truncated (no-op).
+    """
+    if Path(path).exists():
+        atomic_write_bytes(path, b"")

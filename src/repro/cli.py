@@ -681,6 +681,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append one service record per query batch to the run "
         "ledger at PATH",
     )
+    p_serve.add_argument(
+        "--wal-dir",
+        default=None,
+        metavar="DIR",
+        help="make the service durable: write-ahead-log every submission "
+        "and edit batch under DIR before acknowledging, replay it on "
+        "startup (see docs/service.md)",
+    )
+    p_serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="compact the WAL into a snapshot after N appends "
+        "(default 64; requires --wal-dir)",
+    )
+    p_serve.add_argument(
+        "--max-request-seconds",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="server-side ceiling on any per-request timeout= parameter; "
+        "past it the request gets a structured 504 while the work "
+        "continues (default 120)",
+    )
+    p_serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="close a keep-alive connection after S seconds with no "
+        "request bytes (slow-loris defense; 0 disables, default 60)",
+    )
+    p_serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="on SIGTERM/SIGINT, wait up to S seconds for in-flight "
+        "requests before force-closing (default 10)",
+    )
 
     p_verify = sub.add_parser(
         "verify", help="verify a saved clustering against a graph"
@@ -1259,8 +1300,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal as _signal
 
-    from .cache import graph_fingerprint
     from .service import ClusteringService
 
     service = ClusteringService(
@@ -1269,38 +1310,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         memory_budget_mb=args.memory_budget_mb,
         max_concurrent_queries=args.max_concurrent_queries,
         ledger_path=args.ledger,
+        wal_dir=args.wal_dir,
+        snapshot_every=args.snapshot_every,
+        max_request_seconds=args.max_request_seconds,
+        idle_timeout_seconds=args.idle_timeout,
+        drain_grace_seconds=args.drain_grace,
     )
-    for path in args.preload:
-        graph = load_graph(path)
-        handle = service.session.open(graph, label=path)
-        handle.ensure_index()
-        fingerprint = handle.fingerprint
-        for _, evicted in service.registry.put(fingerprint, handle):
-            service.session.discard(evicted)
-        print(
-            f"loaded {path}: fingerprint {fingerprint} "
-            f"(|V|={graph.num_vertices:,}, |E|={graph.num_edges:,})"
-        )
 
-    async def run() -> None:
+    async def run() -> int:
+        # Bind + recover before preloading: a --graph already restored
+        # from the WAL dedupes to already_loaded instead of rebuilding.
         await service.start(args.host, args.port)
+        report = service.recovery_report
+        if report is not None and (
+            report.graphs_restored
+            or report.records_replayed
+            or report.skipped_lines
+        ):
+            print(
+                f"recovered {len(report.fingerprints)} graph(s) from "
+                f"{args.wal_dir}: {report.records_replayed} WAL record(s) "
+                f"replayed, {report.warm_points} warm point(s), "
+                f"{report.wall_seconds:.2f}s"
+            )
+        for path in args.preload:
+            graph = load_graph(path)
+            # The full submission transaction: durable (WAL-logged)
+            # when --wal-dir is set, deduped against recovered state.
+            _, payload, _ = await service._submit_txn(graph, label=path)
+            note = " (recovered)" if payload.get("already_loaded") else ""
+            print(
+                f"loaded {path}: fingerprint {payload['fingerprint']} "
+                f"(|V|={graph.num_vertices:,}, "
+                f"|E|={graph.num_edges:,}){note}"
+            )
+        stopping = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stopping.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
         print(
             f"serving on http://{args.host}:{service.port} "
             f"(max {args.max_concurrent_queries} concurrent heavy "
-            "queries; Ctrl-C to stop)",
+            "queries; SIGTERM or Ctrl-C drains and stops)",
             flush=True,  # supervisors wait on this line to learn the port
         )
-        assert service._server is not None
-        try:
-            await service._server.serve_forever()
-        except asyncio.CancelledError:
-            pass
-        finally:
-            await service.stop()
+        await stopping.wait()
+        print("shutting down: draining in-flight work", flush=True)
+        summary = await service.drain(grace_seconds=args.drain_grace)
+        if summary.get("snapshot_written"):
+            print(
+                f"final snapshot written "
+                f"(lsn {summary['final_lsn']}, "
+                f"{summary['drained_inflight']} request(s) were in flight)"
+            )
+        await service.stop()
+        return 0
 
     try:
-        asyncio.run(run())
-    except KeyboardInterrupt:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - pre-loop Ctrl-C
         print("shutting down")
     return 0
 

@@ -25,6 +25,7 @@ __all__ = [
     "write_edge_list",
     "read_csr_binary",
     "write_csr_binary",
+    "csr_to_bytes",
     "read_matrix_market",
     "write_matrix_market",
     "load_graph",
@@ -145,16 +146,29 @@ def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
             fh.write(f"{u} {v}\n")
 
 
+def csr_to_bytes(graph: CSRGraph) -> bytes:
+    """The compact binary CSR serialization as one ``bytes`` payload.
+
+    Byte-exact with what :func:`write_csr_binary` puts on disk, so the
+    round trip through :func:`read_csr_binary` preserves the graph's
+    content fingerprint — the property the service WAL's spilled
+    payloads rely on.
+    """
+    header = np.array([graph.num_vertices, graph.num_arcs], dtype=np.int64)
+    return b"".join(
+        (
+            _MAGIC,
+            header.tobytes(),
+            np.asarray(graph.offsets, dtype=np.int64).tobytes(),
+            np.asarray(graph.dst, dtype=np.int64).tobytes(),
+        )
+    )
+
+
 def write_csr_binary(graph: CSRGraph, path: str | os.PathLike) -> None:
     """Write the graph in the compact binary CSR format."""
     with open(path, "wb") as fh:
-        fh.write(_MAGIC)
-        header = np.array(
-            [graph.num_vertices, graph.num_arcs], dtype=np.int64
-        )
-        fh.write(header.tobytes())
-        fh.write(np.asarray(graph.offsets, dtype=np.int64).tobytes())
-        fh.write(np.asarray(graph.dst, dtype=np.int64).tobytes())
+        fh.write(csr_to_bytes(graph))
 
 
 def read_csr_binary(path: str | os.PathLike) -> CSRGraph:

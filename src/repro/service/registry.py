@@ -74,6 +74,17 @@ class GraphRegistry:
     def pop(self, fingerprint: str) -> "GraphHandle | None":
         return self._handles.pop(fingerprint, None)
 
+    def restore(self, fingerprint: str, handle: "GraphHandle") -> None:
+        """Insert without running the eviction budget.
+
+        WAL replay uses this: the live registry's eviction decisions
+        were shaped by query recency the log does not record, so replay
+        must not re-derive them — it re-applies the logged ``evict`` /
+        ``delete`` records instead and inserts everything else verbatim.
+        """
+        self._handles.pop(fingerprint, None)
+        self._handles[fingerprint] = handle
+
     def put(
         self, fingerprint: str, handle: "GraphHandle"
     ) -> list[tuple[str, "GraphHandle"]]:

@@ -124,6 +124,17 @@ class EditBatch:
     def __iter__(self) -> Iterator[EditOp]:
         return iter(self.ops)
 
+    def as_triples(self) -> list[list]:
+        """The ordered JSON-able ``[["+"/"-", u, v], ...]`` form.
+
+        Round-trips exactly through :meth:`coerce` (order preserved),
+        which is what lets the service WAL log an accepted batch and
+        recovery re-apply it to a bit-identical result.
+        """
+        return [
+            ["+" if op.insert else "-", op.u, op.v] for op in self.ops
+        ]
+
     def inverse(self) -> "EditBatch":
         """The batch undoing this one (reversed order, flipped kinds)."""
         return EditBatch([op.inverse() for op in reversed(self.ops)])

@@ -628,3 +628,187 @@ class TestUpdatesEndpoint:
             assert status == 200
 
         _serve(drive)
+
+
+# ---------------------------------------------------------------------------
+# Destructive races: DELETE / LRU eviction vs in-flight work
+# ---------------------------------------------------------------------------
+
+
+class TestDestructiveRaces:
+    def test_delete_races_inflight_cold_query(self):
+        """DELETE lands while a cold query is pinned in the executor.
+
+        The query must complete with its correct answer (the discard is
+        deferred until no in-flight work references the handle), new
+        queries get a structured 404, and the handle is eventually
+        closed — never a crash or half-closed handle under live work.
+        """
+        graph = _graph()
+        gate = threading.Event()
+        expected = api.cluster(graph, ScanParams(0.43, 2))
+
+        async def drive(service, port):
+            _, info, _ = await _request(
+                port, "POST", "/graphs", {"edges": _edges(graph)}
+            )
+            fp = info["fingerprint"]
+            handle = service.registry.peek(fp)
+            loop = asyncio.get_running_loop()
+            blocker = loop.run_in_executor(service._executor, gate.wait)
+            await asyncio.sleep(0.05)
+            inflight = asyncio.create_task(
+                _request(
+                    port,
+                    "GET",
+                    f"/graphs/{fp}/cluster?eps=0.43&mu=2&include=labels",
+                )
+            )
+            await asyncio.sleep(0.1)
+            assert service._inflight  # pinned behind the blocked executor
+            status, payload, _ = await _request(
+                port, "DELETE", f"/graphs/{fp}"
+            )
+            assert status == 200 and payload["unloaded"] is True
+            status, payload, _ = await _request(
+                port, "GET", f"/graphs/{fp}/cluster?eps=0.5&mu=2"
+            )
+            assert status == 404 and "error" in payload
+            gate.set()
+            await blocker
+            status, answer, _ = await inflight
+            assert status == 200, answer
+            assert answer["roles"] == expected.roles.tolist()
+            # The deferred discard runs once the in-flight key drains.
+            for _ in range(500):
+                if handle._index is None:
+                    break
+                await asyncio.sleep(0.01)
+            assert handle._index is None  # discarded, after the query
+
+        try:
+            _serve(drive, executor_workers=1)
+        finally:
+            gate.set()
+
+    def test_delete_loses_update_race_with_structured_404(self):
+        """DELETE queued behind an in-flight update batch.
+
+        The update wins (it holds the per-handle lock), re-keys the
+        graph, and the late DELETE observes the re-key: a structured
+        404, with the post-update graph still resident and intact.
+        """
+        graph = _graph()
+        gate = threading.Event()
+
+        async def drive(service, port):
+            _, info, _ = await _request(
+                port, "POST", "/graphs", {"edges": _edges(graph)}
+            )
+            fp = info["fingerprint"]
+            loop = asyncio.get_running_loop()
+            blocker = loop.run_in_executor(service._executor, gate.wait)
+            await asyncio.sleep(0.05)
+            update = asyncio.create_task(
+                _request(
+                    port,
+                    "POST",
+                    f"/graphs/{fp}/updates",
+                    {"insert": [[0, 79], [1, 78]]},
+                )
+            )
+            await asyncio.sleep(0.1)
+            delete = asyncio.create_task(
+                _request(port, "DELETE", f"/graphs/{fp}")
+            )
+            await asyncio.sleep(0.1)
+            assert not delete.done()  # parked on the per-handle lock
+            gate.set()
+            await blocker
+            status, applied, _ = await update
+            assert status == 200, applied
+            new_fp = applied["fingerprint"]
+            status, payload, _ = await delete
+            assert status == 404, payload
+            assert "re-keyed" in payload["error"]
+            # The update's result is untouched by the losing DELETE.
+            status, _, _ = await _request(
+                port, "GET", f"/graphs/{new_fp}/cluster?eps=0.5&mu=2"
+            )
+            assert status == 200
+            assert service.registry.fingerprints() == [new_fp]
+
+        try:
+            _serve(drive, executor_workers=1)
+        finally:
+            gate.set()
+
+    def test_eviction_races_inflight_update_batch(self, tmp_path):
+        """LRU eviction lands while an update batch is mid-apply.
+
+        The update loses with a structured 409, no WAL record is
+        written for the aborted batch (the log stays replayable), and
+        the mutated handle is unreachable — no half-mutation survives.
+        """
+        from repro.service import ServiceWAL, recover
+
+        gate = threading.Event()
+        entered = threading.Event()
+        graph_a = erdos_renyi(60, 240, seed=1)
+        graph_b = erdos_renyi(60, 240, seed=2)
+
+        async def drive(service, port):
+            _, info, _ = await _request(
+                port, "POST", "/graphs", {"edges": _edges(graph_a)}
+            )
+            fp_a = info["fingerprint"]
+            handle = service.registry.peek(fp_a)
+            original = handle.apply_updates
+
+            def slow_apply(batch):
+                entered.set()
+                gate.wait()
+                return original(batch)
+
+            handle.apply_updates = slow_apply
+            update = asyncio.create_task(
+                _request(
+                    port,
+                    "POST",
+                    f"/graphs/{fp_a}/updates",
+                    {"insert": [[0, 59]]},
+                )
+            )
+            while not entered.is_set():
+                await asyncio.sleep(0.01)
+            # The submit evicts graph A (max_graphs=1) mid-apply.
+            status, info_b, _ = await _request(
+                port, "POST", "/graphs", {"edges": _edges(graph_b)}
+            )
+            assert status == 201
+            fp_b = info_b["fingerprint"]
+            gate.set()
+            status, payload, _ = await update
+            assert status == 409, payload
+            assert "evicted" in payload["error"]
+            assert "not committed" in payload["error"]
+            assert service.registry.fingerprints() == [fp_b]
+            status, _, _ = await _request(
+                port, "GET", f"/graphs/{fp_a}/cluster?eps=0.5&mu=2"
+            )
+            assert status == 404  # the mutated handle is unreachable
+            return fp_b
+
+        try:
+            fp_b = _serve(drive, max_graphs=1, wal_dir=tmp_path / "wal")
+        finally:
+            gate.set()
+        # The aborted batch never reached the WAL: replay works and
+        # reconstructs exactly the post-eviction registry.
+        wal = ServiceWAL(tmp_path / "wal")
+        assert all(r["op"] != "update" for r in wal.read_records())
+        report, _ = recover(
+            wal, session=api.Session(), registry=(reg := GraphRegistry())
+        )
+        assert reg.fingerprints() == [fp_b]
+        assert report.evictions_replayed == 1
